@@ -1,0 +1,289 @@
+// Package optsync's root benchmark suite: one benchmark per experiment
+// table/figure (T1-T7, F1-F6 in EXPERIMENTS.md), each driving the same
+// harness code as the CLI, plus microbenchmarks of the substrates
+// (event engine, signatures, broadcast primitive).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem .
+package optsync
+
+import (
+	"testing"
+
+	"optsync/internal/clock"
+	"optsync/internal/core/bounds"
+	"optsync/internal/harness"
+	"optsync/internal/network"
+	"optsync/internal/node"
+	"optsync/internal/sig"
+	"optsync/internal/sim"
+)
+
+func benchParams(n int, v bounds.Variant) bounds.Params {
+	return bounds.Params{
+		N: n, F: v.MaxFaults(n), Variant: v,
+		Rho:  clock.Rho(1e-4),
+		DMin: 0.002, DMax: 0.01,
+		Period:      1.0,
+		InitialSkew: 0.005,
+	}.WithDefaults()
+}
+
+// runSpec executes one harness run per iteration and reports the key
+// reproduction metrics alongside the timing.
+func runSpec(b *testing.B, spec harness.Spec) {
+	b.Helper()
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		spec.Seed = int64(i + 1)
+		last = harness.Run(spec)
+	}
+	b.ReportMetric(last.MaxSkew*1e3, "skew_ms")
+	b.ReportMetric(last.SkewBound*1e3, "bound_ms")
+	b.ReportMetric(float64(last.CompleteRounds), "rounds")
+}
+
+// BenchmarkT1AuthAgreement regenerates a T1 cell: authenticated algorithm
+// at optimal resilience with silent faults.
+func BenchmarkT1AuthAgreement(b *testing.B) {
+	p := benchParams(7, bounds.Auth)
+	runSpec(b, harness.Spec{
+		Algo: harness.AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: harness.AttackSilent, Horizon: 20,
+	})
+}
+
+// BenchmarkT2PrimitiveAgreement regenerates a T2 cell.
+func BenchmarkT2PrimitiveAgreement(b *testing.B) {
+	p := benchParams(7, bounds.Primitive)
+	runSpec(b, harness.Spec{
+		Algo: harness.AlgoPrim, Params: p,
+		FaultyCount: p.F, Attack: harness.AttackSilent, Horizon: 20,
+	})
+}
+
+// BenchmarkT3Accuracy regenerates the headline accuracy comparison (one
+// long CNV-under-attack run; the full table is `syncsim -exp T3`).
+func BenchmarkT3Accuracy(b *testing.B) {
+	p := benchParams(7, bounds.Primitive)
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = harness.Run(harness.Spec{
+			Algo: harness.AlgoCNV, Params: p,
+			FaultyCount: p.F, Attack: harness.AttackBias, Bias: 3 * p.Dmax(),
+			Horizon: 120, Seed: int64(i + 1),
+		})
+	}
+	b.ReportMetric(last.EnvHi, "rate")
+	b.ReportMetric(last.EnvBoundHi, "rate_bound")
+}
+
+// BenchmarkT4AuthResilience regenerates the beyond-resilience rush attack.
+func BenchmarkT4AuthResilience(b *testing.B) {
+	p := benchParams(5, bounds.Auth)
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = harness.Run(harness.Spec{
+			Algo: harness.AlgoAuth, Params: p,
+			FaultyCount: p.F + 1, Attack: harness.AttackRush,
+			RushInterval: p.Period / 5, Horizon: 30, Seed: int64(i + 1),
+		})
+	}
+	b.ReportMetric(last.EnvHi, "rate")
+	b.ReportMetric(last.MinPeriod*1e3, "min_period_ms")
+}
+
+// BenchmarkT5PrimResilience regenerates the primitive-variant boundary.
+func BenchmarkT5PrimResilience(b *testing.B) {
+	p := benchParams(7, bounds.Primitive)
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = harness.Run(harness.Spec{
+			Algo: harness.AlgoPrim, Params: p,
+			FaultyCount: p.F + 1, Attack: harness.AttackRush,
+			RushInterval: p.Period / 5, Horizon: 30, Seed: int64(i + 1),
+		})
+	}
+	b.ReportMetric(last.EnvHi, "rate")
+}
+
+// BenchmarkT6Primitive runs the general broadcast primitive experiment.
+func BenchmarkT6Primitive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := harness.T6Primitive()
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkT7Messages measures message complexity at n=13.
+func BenchmarkT7Messages(b *testing.B) {
+	p := benchParams(13, bounds.Auth)
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = harness.Run(harness.Spec{
+			Algo: harness.AlgoAuth, Params: p,
+			FaultyCount: p.F, Attack: harness.AttackSilent,
+			Horizon: 20, Seed: int64(i + 1),
+		})
+	}
+	b.ReportMetric(last.MsgsPerRound, "msgs_per_round")
+}
+
+// BenchmarkF1Trace regenerates the sawtooth trace.
+func BenchmarkF1Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.F1Trace()
+	}
+}
+
+// BenchmarkF2SkewVsF runs the f-sweep cell at maximum faults.
+func BenchmarkF2SkewVsF(b *testing.B) {
+	p := benchParams(13, bounds.Auth)
+	runSpec(b, harness.Spec{
+		Algo: harness.AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: harness.AttackSilent, Horizon: 20,
+	})
+}
+
+// BenchmarkF3SkewVsDelay runs the selective-signing Theta(d) cell.
+func BenchmarkF3SkewVsDelay(b *testing.B) {
+	p := benchParams(7, bounds.Auth)
+	p.DMax = 0.05
+	p.DMin = 0.048
+	p = bounds.Params{
+		N: p.N, F: p.F, Variant: p.Variant, Rho: p.Rho,
+		DMin: p.DMin, DMax: p.DMax, Period: p.Period, InitialSkew: 0.002,
+	}.WithDefaults()
+	runSpec(b, harness.Spec{
+		Algo: harness.AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: harness.AttackSelective, Horizon: 20,
+	})
+}
+
+// BenchmarkF4Reintegration runs the late-joiner experiment.
+func BenchmarkF4Reintegration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.F4Reintegration()
+	}
+}
+
+// BenchmarkF5Envelope runs the long accuracy-envelope fit.
+func BenchmarkF5Envelope(b *testing.B) {
+	p := benchParams(7, bounds.Auth)
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = harness.Run(harness.Spec{
+			Algo: harness.AlgoAuth, Params: p,
+			FaultyCount: p.F, Attack: harness.AttackSilent,
+			Horizon: 200, Seed: int64(i + 1),
+		})
+	}
+	b.ReportMetric(last.EnvHi, "rate_hi")
+	b.ReportMetric(last.EnvLo, "rate_lo")
+}
+
+// BenchmarkF6SkewVsPeriod runs the P-sweep cell at P=10s.
+func BenchmarkF6SkewVsPeriod(b *testing.B) {
+	p := benchParams(7, bounds.Auth)
+	p.Period = 10
+	p.Rho = clock.Rho(1e-3)
+	runSpec(b, harness.Spec{
+		Algo: harness.AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: harness.AttackSilent, Horizon: 200,
+	})
+}
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkEngineEvents measures raw discrete-event throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := sim.New(1)
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n < b.N {
+			e.After(0.001, loop)
+		}
+	}
+	b.ResetTimer()
+	e.After(0.001, loop)
+	e.RunAll(0)
+}
+
+// BenchmarkNetworkBroadcast measures message fan-out cost (n=25).
+func BenchmarkNetworkBroadcast(b *testing.B) {
+	e := sim.New(1)
+	nt := network.New(e, 25, network.Fixed{D: 0.001})
+	for i := 0; i < 25; i++ {
+		nt.Register(i, func(node.ID, any) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nt.Broadcast(i%25, i)
+		e.RunAll(0)
+	}
+}
+
+// BenchmarkSignHMAC / BenchmarkSignEd25519 compare the signature schemes.
+func BenchmarkSignHMAC(b *testing.B) {
+	s := sig.NewHMAC(4, 1)
+	payload := []byte("optsync/st/round/0000000000000001")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sign(i%4, payload)
+	}
+}
+
+func BenchmarkSignEd25519(b *testing.B) {
+	s := sig.NewEd25519(4, 1)
+	payload := []byte("optsync/st/round/0000000000000001")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sign(i%4, payload)
+	}
+}
+
+func BenchmarkVerifyHMAC(b *testing.B) {
+	s := sig.NewHMAC(4, 1)
+	payload := []byte("optsync/st/round/0000000000000001")
+	sg := s.Sign(0, payload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Verify(0, payload, sg) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkVerifyEd25519(b *testing.B) {
+	s := sig.NewEd25519(4, 1)
+	payload := []byte("optsync/st/round/0000000000000001")
+	sg := s.Sign(0, payload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Verify(0, payload, sg) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+// BenchmarkProtocolRound measures end-to-end cost of one simulated
+// resynchronization round (n=25, authenticated).
+func BenchmarkProtocolRound(b *testing.B) {
+	p := benchParams(25, bounds.Auth)
+	spec := harness.Spec{
+		Algo: harness.AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: harness.AttackSilent,
+		Horizon: float64(b.N) + 2, Seed: 1,
+	}
+	b.ResetTimer()
+	res := harness.Run(spec)
+	if res.CompleteRounds == 0 {
+		b.Fatal("no rounds")
+	}
+	b.ReportMetric(float64(res.TotalMsgs)/float64(b.N), "msgs/round")
+}

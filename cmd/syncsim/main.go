@@ -1,0 +1,135 @@
+// Command syncsim runs the reproduction experiments for Srikanth & Toueg,
+// "Optimal Clock Synchronization" (PODC 1985).
+//
+// Usage:
+//
+//	syncsim -list             list experiments
+//	syncsim -exp T1           run one experiment and print its tables
+//	syncsim -exp all          run the full suite (default)
+//	syncsim -exp T1 -csv      emit CSV instead of aligned tables
+//
+// A custom single run is also available:
+//
+//	syncsim -run -algo st-auth -n 7 -f 3 -rho 1e-4 -dmax 0.01 \
+//	        -period 1 -horizon 30 -attack silent -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optsync/internal/clock"
+	"optsync/internal/core/bounds"
+	"optsync/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "syncsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("syncsim", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiments and exit")
+		exp    = fs.String("exp", "all", "experiment id (T1..T7, F1..F6, or 'all')")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		custom = fs.Bool("run", false, "run a single custom simulation instead of an experiment")
+
+		algo    = fs.String("algo", "st-auth", "algorithm: st-auth | st-primitive | cnv | ftm")
+		n       = fs.Int("n", 7, "number of processes")
+		f       = fs.Int("f", -1, "fault bound (-1 = maximum for the algorithm)")
+		faulty  = fs.Int("faulty", -1, "actual faulty count (-1 = same as -f)")
+		rho     = fs.Float64("rho", 1e-4, "hardware drift bound")
+		dmin    = fs.Float64("dmin", 0.002, "min message delay (s)")
+		dmax    = fs.Float64("dmax", 0.01, "max message delay (s)")
+		period  = fs.Float64("period", 1, "resynchronization period P (s)")
+		horizon = fs.Float64("horizon", 30, "simulated duration (s)")
+		attack  = fs.String("attack", "silent", "attack: none|silent|crash-mid|rush|bias|equivocate")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, s := range harness.Scenarios() {
+			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return nil
+	}
+
+	if *custom {
+		return runCustom(*algo, *n, *f, *faulty, *rho, *dmin, *dmax, *period, *horizon, *attack, *seed)
+	}
+
+	var scenarios []harness.Scenario
+	if *exp == "all" {
+		scenarios = harness.Scenarios()
+	} else {
+		s, ok := harness.FindScenario(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+		scenarios = []harness.Scenario{s}
+	}
+	for _, s := range scenarios {
+		for _, t := range s.Run() {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+	}
+	return nil
+}
+
+func runCustom(algo string, n, f, faultyCount int, rho, dmin, dmax, period, horizon float64, attack string, seed int64) error {
+	variant := bounds.Auth
+	if algo != string(harness.AlgoAuth) {
+		variant = bounds.Primitive
+	}
+	if f < 0 {
+		f = variant.MaxFaults(n)
+	}
+	if faultyCount < 0 {
+		faultyCount = f
+	}
+	p := bounds.Params{
+		N: n, F: f, Variant: variant,
+		Rho:  clock.Rho(rho),
+		DMin: dmin, DMax: dmax,
+		Period:      period,
+		InitialSkew: dmax / 2,
+	}.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	res := harness.Run(harness.Spec{
+		Algo: harness.Algorithm(algo), Params: p,
+		FaultyCount: faultyCount, Attack: harness.Attack(attack),
+		Horizon: horizon, Seed: seed,
+	})
+	t := harness.NewTable(
+		fmt.Sprintf("custom run: %s n=%d f=%d faulty=%d attack=%s", algo, n, f, faultyCount, attack),
+		"metric", "measured", "bound", "status")
+	t.AddRow("max skew (s)", harness.F(res.MaxSkew), harness.F(res.SkewBound), harness.FmtBool(res.WithinSkew))
+	t.AddRow("max spread (s)", harness.F(res.MaxSpread), harness.F(res.SpreadBound),
+		harness.FmtBool(res.MaxSpread <= res.SpreadBound+1e-9))
+	t.AddRow("min period (s)", harness.F(res.MinPeriod), harness.F(res.PminBound),
+		harness.FmtBool(res.MinPeriod >= res.PminBound-1e-9))
+	t.AddRow("max period (s)", harness.F(res.MaxPeriod), harness.F(res.PmaxBound),
+		harness.FmtBool(res.MaxPeriod <= res.PmaxBound+1e-9))
+	t.AddRow("rate lo", harness.F(res.EnvLo), harness.F(res.EnvBoundLo),
+		harness.FmtBool(res.EnvLo >= res.EnvBoundLo))
+	t.AddRow("rate hi", harness.F(res.EnvHi), harness.F(res.EnvBoundHi),
+		harness.FmtBool(res.EnvHi <= res.EnvBoundHi))
+	t.AddRow("complete rounds", fmt.Sprint(res.CompleteRounds), "-", "ok")
+	t.AddRow("msgs/round", harness.F(res.MsgsPerRound), fmt.Sprint(p.MessagesPerRound()), "ok")
+	fmt.Println(t.Render())
+	return nil
+}

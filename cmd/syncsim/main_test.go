@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestListExperiments(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"T1", "T7", "F1", "F7", "A1", "A3"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-exp", "T6"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "broadcast primitive") {
+		t.Fatalf("T6 output unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "forged_accepts") {
+		t.Fatal("T6 columns missing")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-exp", "T7", "-csv"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "algo,n,msgs_per_round,bound,ratio_to_n2\n") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Fatal("csv output contains table decoration")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-exp", "ZZ"}) }); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestCustomRun(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-run", "-algo", "st-auth", "-n", "5",
+			"-horizon", "10", "-attack", "silent", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"custom run", "max skew", "rate hi", "msgs/round"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("custom run output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Fatalf("healthy custom run reported a violation:\n%s", out)
+	}
+}
+
+func TestCustomRunPrimitiveDefaults(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-run", "-algo", "st-primitive", "-n", "7",
+			"-horizon", "10", "-attack", "silent"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "f=2") { // floor((7-1)/3) = 2 auto-derived
+		t.Fatalf("primitive default f wrong:\n%s", out)
+	}
+}
+
+func TestCustomRunInvalidParams(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run([]string{"-run", "-n", "3", "-f", "2"}) // 2f >= n
+	})
+	if err == nil {
+		t.Fatal("invalid resilience accepted")
+	}
+}

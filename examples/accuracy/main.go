@@ -1,0 +1,70 @@
+// Accuracy shoot-out: the paper's headline claim. Run the Srikanth-Toueg
+// algorithms and the two prior-art baselines (interactive convergence CNV,
+// fault-tolerant midpoint FTM) under the strongest accuracy attack each
+// admits, and compare the long-run rate of the synchronized clocks against
+// the hardware drift envelope.
+//
+//	go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+
+	"optsync/internal/clock"
+	"optsync/internal/core/bounds"
+	"optsync/internal/harness"
+)
+
+func main() {
+	p := bounds.Params{
+		N: 7, F: 2, Variant: bounds.Primitive, // f < n/3 so all four algorithms apply
+		Rho:  clock.Rho(1e-4),
+		DMin: 0.002, DMax: 0.010,
+		Period:      1.0,
+		InitialSkew: 0.005,
+	}.WithDefaults()
+	pAuth := p
+	pAuth.Variant = bounds.Auth
+	pAuth = pAuth.WithDefaults()
+
+	type entry struct {
+		algo   harness.Algorithm
+		params bounds.Params
+		attack harness.Attack
+		note   string
+	}
+	runs := []entry{
+		{harness.AlgoAuth, pAuth, harness.AttackEquivocate, "equivocating + stale evidence"},
+		{harness.AlgoPrim, p, harness.AttackSilent, "silent faults (max tolerated)"},
+		{harness.AlgoCNV, p, harness.AttackBias, "within-threshold biased reports"},
+		{harness.AlgoFTM, p, harness.AttackBias, "within-threshold biased reports"},
+	}
+
+	fmt.Printf("hardware drift bound rho = %g: honest clock rates within [%.6f, %.6f]\n\n",
+		float64(p.Rho), p.Rho.MinRate(), p.Rho.MaxRate())
+	fmt.Printf("%-14s %-32s %-10s %-22s %s\n", "algorithm", "attack", "rate", "allowed envelope", "verdict")
+	for _, r := range runs {
+		spec := harness.Spec{
+			Algo: r.algo, Params: r.params,
+			FaultyCount: r.params.F, Attack: r.attack,
+			Horizon: 120 * r.params.Period,
+			Seed:    23,
+		}
+		if r.attack == harness.AttackBias {
+			spec.Bias = 3 * r.params.Dmax()
+		}
+		res := harness.Run(spec)
+		verdict := "accuracy preserved"
+		if !res.WithinEnvelope {
+			verdict = "ACCURACY DESTROYED"
+		}
+		fmt.Printf("%-14s %-32s %-10.5f [%.5f, %.5f]     %s\n",
+			r.algo, r.note, res.EnvHi, res.EnvBoundLo, res.EnvBoundHi, verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("The ST algorithms hold the paper's provable envelope under every")
+	fmt.Println("within-resilience attack — optimal accuracy. CNV's egocentric mean")
+	fmt.Println("is dragged ~f*Bias/n per round; FTM leaks only the correct-spread")
+	fmt.Println("scale, but neither baseline can bound its rate by the hardware drift.")
+}

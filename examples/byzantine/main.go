@@ -1,0 +1,67 @@
+// Byzantine attack demonstration: the same rush attack run twice against
+// the authenticated algorithm — once within the resilience bound
+// (f = ceil(n/2)-1, harmless) and once one fault beyond it (the coalition
+// forges signature quorums and drives the cluster's clocks at 5x speed).
+//
+//	go run ./examples/byzantine
+package main
+
+import (
+	"fmt"
+
+	"optsync/internal/clock"
+	"optsync/internal/core/bounds"
+	"optsync/internal/harness"
+)
+
+func main() {
+	params := bounds.Params{
+		N: 5, F: 2, Variant: bounds.Auth,
+		Rho:  clock.Rho(1e-4),
+		DMin: 0.002, DMax: 0.010,
+		Period:      1.0,
+		InitialSkew: 0.005,
+	}.WithDefaults()
+
+	fmt.Println("Rush attack: colluding faulty nodes broadcast signed round")
+	fmt.Println("evidence every P/5 = 200ms, trying to drive resynchronization")
+	fmt.Println("at 5x the legitimate pace.")
+	fmt.Println()
+
+	for _, faulty := range []int{params.F, params.F + 1} {
+		res := harness.Run(harness.Spec{
+			Algo: harness.AlgoAuth, Params: params,
+			FaultyCount: faulty, Attack: harness.AttackRush,
+			RushInterval: params.Period / 5,
+			Horizon:      30 * params.Period,
+			Seed:         7,
+		})
+		label := "WITHIN resilience"
+		if faulty > params.F {
+			label = "BEYOND resilience"
+		}
+		fmt.Printf("=== %s: %d faulty of n=%d (tolerance %d) ===\n",
+			label, faulty, params.N, params.F)
+		fmt.Printf("  clock rate:        %.4f (bound %.4f) %s\n",
+			res.EnvHi, res.EnvBoundHi, verdict(res.EnvHi <= res.EnvBoundHi))
+		fmt.Printf("  min pulse period:  %.4fs (bound %.4fs) %s\n",
+			res.MinPeriod, res.PminBound, verdict(res.MinPeriod >= res.PminBound-1e-9))
+		fmt.Printf("  max skew:          %.4fs (bound %.4fs) %s\n",
+			res.MaxSkew, res.SkewBound, verdict(res.WithinSkew))
+		fmt.Println()
+	}
+
+	fmt.Println("With f+1 colluders the coalition alone assembles the f+1-signature")
+	fmt.Println("quorum: unforgeability is gone, rounds fire at the adversary's pace,")
+	fmt.Println("and accuracy (the paper's optimality claim) is destroyed. Agreement")
+	fmt.Println("survives — the relay step still spreads every forged round to all")
+	fmt.Println("correct nodes within one delay. This is exactly the paper's")
+	fmt.Println("resilience boundary: f = ceil(n/2)-1 is optimal with signatures.")
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "*** VIOLATED ***"
+}

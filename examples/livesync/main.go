@@ -1,0 +1,75 @@
+// Live synchronization: the same AuthProtocol that runs on the simulator
+// runs here in real time over goroutines and channels, with synthetic
+// per-node clock drift (1%!) and 20-50 ms message delays. Watch four nodes
+// pull their clocks together four times a second for three wall-clock
+// seconds.
+//
+//	go run ./examples/livesync
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"optsync/internal/clock"
+	"optsync/internal/core"
+	"optsync/internal/core/bounds"
+	"optsync/internal/node"
+	"optsync/internal/rt"
+)
+
+func main() {
+	params := bounds.Params{
+		N: 4, F: 1, Variant: bounds.Auth,
+		Rho:  clock.Rho(0.01), // 1% drift: ~10 ms divergence per second
+		DMin: 0.020, DMax: 0.050,
+		Period:      0.25,
+		InitialSkew: 0.02,
+	}.WithDefaults()
+	cfg := core.ConfigFromBounds(params)
+
+	cluster := rt.New(rt.Config{
+		N: params.N, F: params.F, Seed: 99,
+		Rho:       params.Rho,
+		MaxOffset: params.InitialSkew,
+		DelayMin:  20 * time.Millisecond,
+		DelayMax:  50 * time.Millisecond,
+		Protocols: func(i int) node.Protocol { return core.NewAuth(cfg) },
+	})
+	cluster.Start()
+	defer cluster.Stop()
+
+	ids := []node.ID{0, 1, 2, 3}
+	fmt.Printf("running %d nodes in real time; skew bound %.1f ms\n\n",
+		params.N, params.DmaxWithStart()*1e3)
+	fmt.Println("  t(ms)   skew(ms)   clocks")
+	start := time.Now()
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	maxSkew := 0.0
+	for i := 0; i < 15; i++ {
+		<-ticker.C
+		skew := cluster.Skew(ids)
+		if skew > maxSkew {
+			maxSkew = skew
+		}
+		fmt.Printf("%7.0f  %8.2f   [%.3f %.3f %.3f %.3f]\n",
+			time.Since(start).Seconds()*1e3, skew*1e3,
+			cluster.ReadLogical(0), cluster.ReadLogical(1),
+			cluster.ReadLogical(2), cluster.ReadLogical(3))
+	}
+
+	pulses := cluster.Pulses()
+	rounds := 0
+	for _, p := range pulses {
+		if p.Round > rounds {
+			rounds = p.Round
+		}
+	}
+	fmt.Printf("\n%d resynchronization rounds completed in 3 s of wall time\n", rounds)
+	fmt.Printf("max observed skew: %.2f ms (bound %.1f ms, plus sampling slack)\n",
+		maxSkew*1e3, params.DmaxWithStart()*1e3)
+	fmt.Println("\nWithout synchronization, 1% drift alone would separate these clocks")
+	fmt.Println("by ~30 ms per second, growing forever; the protocol repeatedly pulls")
+	fmt.Println("them back together and holds the skew under its bound.")
+}

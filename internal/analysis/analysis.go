@@ -1,0 +1,114 @@
+// Package analysis provides the small statistical toolkit used to evaluate
+// simulation runs: least-squares regression (for clock-envelope rates) and
+// summary statistics (for skew distributions).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fit is a least-squares line y = Slope*x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination in [0, 1].
+	R2 float64
+	// N is the number of points fitted.
+	N int
+}
+
+// LinearFit computes the ordinary least-squares fit of ys over xs. It
+// requires at least two distinct x values; otherwise it returns an error.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("analysis: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Fit{}, fmt.Errorf("analysis: need >= 2 points, got %d", n)
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("analysis: all x values identical")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx, N: n}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // perfectly flat data is perfectly explained
+	}
+	return fit, nil
+}
+
+// Summary describes a sample of observations.
+type Summary struct {
+	Count         int
+	Min, Max      float64
+	Mean, Std     float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes summary statistics; an empty input yields a zero
+// Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	var varSum float64
+	for _, v := range sorted {
+		d := v - mean
+		varSum += d * d
+	}
+	return Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  mean,
+		Std:   math.Sqrt(varSum / float64(len(sorted))),
+		P50:   Quantile(sorted, 0.50),
+		P95:   Quantile(sorted, 0.95),
+		P99:   Quantile(sorted, 0.99),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of sorted values using
+// linear interpolation. It panics on an empty slice or q outside [0, 1] —
+// both are caller bugs.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("analysis: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("analysis: quantile %v outside [0,1]", q))
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

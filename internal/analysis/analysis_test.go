@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x - 1
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2.5) > 1e-12 || math.Abs(fit.Intercept+1) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+	if fit.N != 5 {
+		t.Fatalf("N = %d", fit.N)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 1000; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, 3*x+5+rng.NormFloat64()*0.1)
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.01 {
+		t.Fatalf("slope = %v, want ~3", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitFlatData(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Fatalf("flat fit = %+v", fit)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LinearFit([]float64{5, 5, 5}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("vertical data accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.P50-2.5) > 1e-12 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.125, 15},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { Quantile(nil, 0.5) },
+		"q>1":   func() { Quantile([]float64{1}, 1.5) },
+		"q<0":   func() { Quantile([]float64{1}, -0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: summary invariants Min <= P50 <= P95 <= P99 <= Max and
+// Min <= Mean <= Max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Exclude non-finite and extreme values whose sums overflow:
+			// Summarize targets physical quantities, not the float edge.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LinearFit recovers slope/intercept of any exact line.
+func TestLinearFitRecoveryProperty(t *testing.T) {
+	f := func(rawSlope, rawIcpt int16, n uint8) bool {
+		slope := float64(rawSlope) / 100
+		icpt := float64(rawIcpt) / 100
+		count := 2 + int(n%50)
+		xs := make([]float64, count)
+		ys := make([]float64, count)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = slope*xs[i] + icpt
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-slope) < 1e-6 && math.Abs(fit.Intercept-icpt) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

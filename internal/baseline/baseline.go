@@ -1,0 +1,211 @@
+// Package baseline implements the prior clock synchronization algorithms
+// that Srikanth & Toueg's paper compares against, in the same runtime
+// framework, so the optimal-accuracy claim can be demonstrated
+// empirically:
+//
+//   - CNV: the interactive convergence algorithm of Lamport &
+//     Melliar-Smith (1985). Each process periodically collects everyone's
+//     clock readings and adopts the "egocentric mean": readings further
+//     than a threshold Delta from its own are replaced by its own value
+//     before averaging. Tolerates f < n/3, but a Byzantine process can
+//     bias every average by just under Delta/n per round, so the
+//     synchronized clocks' long-run rate deviates from the hardware rate
+//     by up to f*Delta/(n*P) — accuracy is NOT optimal, which experiment
+//     T3 shows.
+//
+//   - FTM: the fault-tolerant midpoint convergence function of Lundelius
+//     Welch & Lynch (1988). Offsets are sorted, the f lowest and f highest
+//     are discarded, and the midpoint of the remaining extremes is
+//     adopted. Byzantine readings inside the correct range can still bias
+//     the midpoint, but never past the correct extremes, so FTM degrades
+//     far more gracefully than CNV; its skew constant is O(u + rho*P),
+//     making it the natural contrast for experiment F3.
+//
+// Both algorithms estimate peer clock offsets the same way: a process
+// broadcasts its logical clock value at logical time k*P; a receiver
+// estimates the sender's clock as value + (dmin+dmax)/2 at the reception
+// instant and records the difference to its own clock. The reading error
+// is at most (dmax-dmin)/2 + drift terms, exactly the model of the papers.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"optsync/internal/node"
+)
+
+// ClockMessage carries the sender's logical clock value at send time for
+// resynchronization round Round.
+type ClockMessage struct {
+	Round int
+	Value float64
+}
+
+// Config parameterizes either baseline.
+type Config struct {
+	// Period is the logical time between resynchronizations.
+	Period float64
+	// Window is how long (logical time) after k*P a process collects
+	// readings before applying its adjustment. Must exceed
+	// (1+rho)*dmax + expected skew so all correct readings arrive.
+	Window float64
+	// DMin, DMax are the delay bounds used for midpoint compensation.
+	DMin, DMax float64
+	// F is the number of extreme readings to discard (FTM) / the fault
+	// bound (CNV averaging always spans all n slots).
+	F int
+}
+
+func (c Config) validate() {
+	if c.Period <= 0 || c.Window <= 0 || c.Window >= c.Period {
+		panic(fmt.Sprintf("baseline: invalid period/window %v/%v", c.Period, c.Window))
+	}
+	if c.DMax < c.DMin || c.DMin < 0 {
+		panic(fmt.Sprintf("baseline: invalid delays [%v, %v]", c.DMin, c.DMax))
+	}
+}
+
+// midDelay is the delay compensation added to received clock values.
+func (c Config) midDelay() float64 { return (c.DMin + c.DMax) / 2 }
+
+// Convergence maps collected peer offsets (self offset is always 0 and is
+// not in the map) to the adjustment to apply.
+type Convergence interface {
+	// Adjust returns the clock adjustment given offsets by sender. n is
+	// the cluster size.
+	Adjust(offsets map[node.ID]float64, self node.ID, n int) float64
+	// Name identifies the convergence function in reports.
+	Name() string
+}
+
+// Protocol is the shared round structure of both baselines: broadcast own
+// clock at k*P, collect until k*P+Window, adjust by the convergence
+// function, repeat.
+type Protocol struct {
+	cfg  Config
+	conv Convergence
+
+	round   int
+	offsets map[node.ID]float64
+	timer   node.Timer
+}
+
+var _ node.Protocol = (*Protocol)(nil)
+
+// New builds a baseline protocol around the given convergence function.
+func New(cfg Config, conv Convergence) *Protocol {
+	cfg.validate()
+	return &Protocol{cfg: cfg, conv: conv, offsets: make(map[node.ID]float64)}
+}
+
+// NewCNV builds interactive convergence with egocentric threshold delta.
+func NewCNV(cfg Config, delta float64) *Protocol {
+	return New(cfg, &CNV{Delta: delta})
+}
+
+// NewFTM builds the fault-tolerant midpoint baseline.
+func NewFTM(cfg Config) *Protocol {
+	return New(cfg, &FTM{F: cfg.F})
+}
+
+// Round returns the last completed resynchronization round.
+func (p *Protocol) Round() int { return p.round }
+
+// Start implements node.Protocol.
+func (p *Protocol) Start(env node.Env) {
+	p.armBroadcast(env)
+}
+
+func (p *Protocol) armBroadcast(env node.Env) {
+	env.Cancel(p.timer)
+	k := p.round + 1
+	p.timer = env.AtLogical(float64(k)*p.cfg.Period, func() {
+		p.broadcastAndCollect(env, k)
+	})
+}
+
+func (p *Protocol) broadcastAndCollect(env node.Env, k int) {
+	p.offsets = make(map[node.ID]float64)
+	env.Broadcast(ClockMessage{Round: k, Value: env.LogicalTime()})
+	p.timer = env.AtLogical(float64(k)*p.cfg.Period+p.cfg.Window, func() {
+		p.applyAdjustment(env, k)
+	})
+}
+
+func (p *Protocol) applyAdjustment(env node.Env, k int) {
+	p.round = k
+	adj := p.conv.Adjust(p.offsets, env.ID(), env.N())
+	env.SetLogical(env.LogicalTime() + adj)
+	env.Pulse(k)
+	p.armBroadcast(env)
+}
+
+// Deliver implements node.Protocol.
+func (p *Protocol) Deliver(env node.Env, from node.ID, msg node.Message) {
+	m, ok := msg.(ClockMessage)
+	if !ok {
+		return
+	}
+	if m.Round != p.round+1 || from == env.ID() {
+		return // stale, future-round, or own echo
+	}
+	if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+		return // Byzantine garbage
+	}
+	// Estimate of sender's clock minus own clock at this instant.
+	est := m.Value + p.cfg.midDelay()
+	p.offsets[from] = est - env.LogicalTime()
+}
+
+// CNV is Lamport & Melliar-Smith's egocentric mean.
+type CNV struct {
+	// Delta is the egocentric threshold: readings with |offset| > Delta
+	// are replaced by the process's own value (offset 0).
+	Delta float64
+}
+
+var _ Convergence = (*CNV)(nil)
+
+// Adjust implements Convergence.
+func (c *CNV) Adjust(offsets map[node.ID]float64, self node.ID, n int) float64 {
+	var sum float64
+	for _, o := range offsets {
+		if math.Abs(o) > c.Delta {
+			continue // egocentric: substitute own reading (0)
+		}
+		sum += o
+	}
+	// Missing senders and the process itself contribute 0 (own value).
+	return sum / float64(n)
+}
+
+// Name implements Convergence.
+func (c *CNV) Name() string { return "cnv" }
+
+// FTM is the fault-tolerant midpoint: discard the F lowest and F highest
+// readings, adopt the midpoint of the remaining extremes.
+type FTM struct {
+	F int
+}
+
+var _ Convergence = (*FTM)(nil)
+
+// Adjust implements Convergence.
+func (m *FTM) Adjust(offsets map[node.ID]float64, self node.ID, n int) float64 {
+	vals := make([]float64, 0, len(offsets)+1)
+	vals = append(vals, 0) // own clock
+	for _, o := range offsets {
+		vals = append(vals, o)
+	}
+	sort.Float64s(vals)
+	if len(vals) <= 2*m.F {
+		return 0 // too few readings to discard safely; hold
+	}
+	trimmed := vals[m.F : len(vals)-m.F]
+	return (trimmed[0] + trimmed[len(trimmed)-1]) / 2
+}
+
+// Name implements Convergence.
+func (m *FTM) Name() string { return "ftm" }

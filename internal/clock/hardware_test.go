@@ -1,0 +1,187 @@
+package clock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRhoRates(t *testing.T) {
+	r := Rho(0.001)
+	if got := r.MaxRate(); got != 1.001 {
+		t.Fatalf("MaxRate = %v, want 1.001", got)
+	}
+	if got := r.MinRate(); math.Abs(got-1/1.001) > 1e-15 {
+		t.Fatalf("MinRate = %v, want %v", got, 1/1.001)
+	}
+	if got := r.RelativeDrift(); math.Abs(got-(1.001-1/1.001)) > 1e-15 {
+		t.Fatalf("RelativeDrift = %v", got)
+	}
+}
+
+func TestConstantClockRead(t *testing.T) {
+	h := NewConstant(5, 1.5, Rho(0.5))
+	cases := []struct{ t, want float64 }{
+		{0, 5}, {1, 6.5}, {2, 8}, {10, 20},
+	}
+	for _, c := range cases {
+		if got := h.Read(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Read(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestConstantClockInvert(t *testing.T) {
+	h := NewConstant(5, 2, Rho(1))
+	if got := h.Invert(9); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Invert(9) = %v, want 2", got)
+	}
+	// Local values at or before the offset map to time 0.
+	if got := h.Invert(5); got != 0 {
+		t.Fatalf("Invert(5) = %v, want 0", got)
+	}
+	if got := h.Invert(-3); got != 0 {
+		t.Fatalf("Invert(-3) = %v, want 0", got)
+	}
+}
+
+func TestReadRejectsNegativeTime(t *testing.T) {
+	h := NewConstant(0, 1, Rho(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Read(-1) did not panic")
+		}
+	}()
+	h.Read(-1)
+}
+
+func TestScriptedSegments(t *testing.T) {
+	gen := &Scripted{
+		Durs:  []float64{1, 2, 1},
+		Rates: []float64{1.0, 0.5, 2.0},
+	}
+	h := NewHardware(0, Rho(1), gen, nil)
+	// H: [0,1)@1 -> 1; [1,3)@0.5 -> 2; [3,4)@2 -> 4; then rate 2 forever.
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {0.5, 0.5}, {1, 1}, {2, 1.5}, {3, 2}, {3.5, 3}, {4, 4}, {5, 6},
+	}
+	for _, c := range cases {
+		if got := h.Read(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Read(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Inversion across the non-uniform region.
+	for _, local := range []float64{0.25, 1.0, 1.75, 2.5, 3.5, 5.5} {
+		tt := h.Invert(local)
+		if got := h.Read(tt); math.Abs(got-local) > 1e-9 {
+			t.Fatalf("Read(Invert(%v)) = %v", local, got)
+		}
+	}
+}
+
+func TestGeneratorRateValidation(t *testing.T) {
+	gen := &Scripted{Durs: []float64{1}, Rates: []float64{3}} // outside rho=0.1
+	h := NewHardware(0, Rho(0.1), gen, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-envelope rate did not panic")
+		}
+	}()
+	h.Read(10)
+}
+
+func TestGeneratorDurationValidation(t *testing.T) {
+	gen := &Scripted{Durs: []float64{-1}, Rates: []float64{1}}
+	h := NewHardware(0, Rho(0.1), gen, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive duration did not panic")
+		}
+	}()
+	h.Read(10)
+}
+
+func TestExtremalAlternates(t *testing.T) {
+	rho := Rho(0.5)
+	gen := &Extremal{Rho: rho, HalfPeriod: 1, StartFast: true}
+	h := NewHardware(0, rho, gen, nil)
+	// First second at 1.5, second at 1/1.5.
+	if got := h.Read(1); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Read(1) = %v, want 1.5", got)
+	}
+	want := 1.5 + 1/1.5
+	if got := h.Read(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Read(2) = %v, want %v", got, want)
+	}
+}
+
+func TestRandomWalkStaysInEnvelope(t *testing.T) {
+	rho := Rho(0.01)
+	rng := rand.New(rand.NewSource(5))
+	h := NewHardware(0, rho, RandomWalk{Rho: rho, MinDur: 0.1, MaxDur: 2}, rng)
+	prevT, prevH := 0.0, h.Read(0)
+	for tt := 0.25; tt < 500; tt += 0.25 {
+		cur := h.Read(tt)
+		rate := (cur - prevH) / (tt - prevT)
+		if rate < rho.MinRate()-1e-9 || rate > rho.MaxRate()+1e-9 {
+			t.Fatalf("window rate %v outside envelope at t=%v", rate, tt)
+		}
+		prevT, prevH = tt, cur
+	}
+	if h.Segments() < 100 {
+		t.Fatalf("expected many segments, got %d", h.Segments())
+	}
+}
+
+// Property: Read is monotone non-decreasing (strictly increasing for
+// positive rates) and respects the global envelope between any two times.
+func TestReadMonotoneAndEnvelopeProperty(t *testing.T) {
+	rho := Rho(0.05)
+	f := func(seed int64, rawA, rawB uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHardware(3, rho, RandomWalk{Rho: rho, MinDur: 0.05, MaxDur: 1.5}, rng)
+		a, b := float64(rawA)/64, float64(rawB)/64
+		if a > b {
+			a, b = b, a
+		}
+		ha, hb := h.Read(a), h.Read(b)
+		if hb < ha {
+			return false
+		}
+		dt := b - a
+		dh := hb - ha
+		return dh >= dt*rho.MinRate()-1e-9 && dh <= dt*rho.MaxRate()+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Invert is a right inverse of Read wherever defined.
+func TestInvertRoundTripProperty(t *testing.T) {
+	rho := Rho(0.1)
+	f := func(seed int64, raw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHardware(1, rho, RandomWalk{Rho: rho, MinDur: 0.05, MaxDur: 1}, rng)
+		local := 1 + float64(raw)/32
+		tt := h.Invert(local)
+		return math.Abs(h.Read(tt)-local) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(19))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	h := NewConstant(0, 1, Rho(0.25))
+	lo, hi := h.RateBounds()
+	if hi != 1.25 || math.Abs(lo-0.8) > 1e-12 {
+		t.Fatalf("RateBounds = (%v, %v)", lo, hi)
+	}
+	if h.Offset() != 0 {
+		t.Fatalf("Offset = %v", h.Offset())
+	}
+}

@@ -1,0 +1,102 @@
+package clock
+
+// Adjustment records a discrete change of a logical clock's offset, as
+// performed at resynchronization.
+type Adjustment struct {
+	// RealTime is the virtual real time at which the adjustment was made.
+	RealTime float64
+	// LocalTime is the hardware clock reading at that instant.
+	LocalTime float64
+	// Old and New are the adjustment values before and after.
+	Old, New float64
+}
+
+// LogicalClock is the interface shared by the jump-adjusted Logical and
+// the amortizing SlewedLogical; the node runtime works against it so
+// protocols can run in either adjustment mode.
+type LogicalClock interface {
+	// Read returns C(t).
+	Read(t float64) float64
+	// SetAt requests that the clock read value at real time t (a jump, or
+	// the start of a slew) and returns the signed delta.
+	SetAt(t, value float64) float64
+	// WhenReads returns the earliest real time the clock will read value,
+	// assuming no further adjustments.
+	WhenReads(value float64) float64
+	// Hardware exposes the underlying hardware clock.
+	Hardware() *Hardware
+	// History returns the adjustment(-request) history.
+	History() []Adjustment
+	// Jumps returns the number of adjustments performed.
+	Jumps() int
+	// Adjustment returns the current adjustment target.
+	Adjustment() float64
+}
+
+// Logical is a logical clock C(t) = H(t) + A(t), where A is a piecewise
+// constant adjustment controlled by the synchronization protocol. The full
+// adjustment history is retained for analysis (envelope measurements need
+// the jump points).
+type Logical struct {
+	hw      *Hardware
+	adj     float64
+	history []Adjustment
+}
+
+var _ LogicalClock = (*Logical)(nil)
+
+// NewLogical wraps a hardware clock with a zero initial adjustment, so the
+// logical clock initially equals the hardware clock.
+func NewLogical(hw *Hardware) *Logical {
+	return &Logical{hw: hw}
+}
+
+// Hardware exposes the underlying hardware clock.
+func (l *Logical) Hardware() *Hardware { return l.hw }
+
+// Adjustment returns the current adjustment A.
+func (l *Logical) Adjustment() float64 { return l.adj }
+
+// Read returns C(t) = H(t) + A.
+func (l *Logical) Read(t float64) float64 { return l.hw.Read(t) + l.adj }
+
+// SetAt sets the logical clock to read value at real time t, recording the
+// jump. It returns the (signed) size of the jump in logical-time units.
+func (l *Logical) SetAt(t, value float64) float64 {
+	local := l.hw.Read(t)
+	old := l.adj
+	l.adj = value - local
+	l.history = append(l.history, Adjustment{
+		RealTime:  t,
+		LocalTime: local,
+		Old:       old,
+		New:       l.adj,
+	})
+	return l.adj - old
+}
+
+// AdvanceAt adds delta to the clock at real time t, recording the jump.
+func (l *Logical) AdvanceAt(t, delta float64) {
+	local := l.hw.Read(t)
+	old := l.adj
+	l.adj += delta
+	l.history = append(l.history, Adjustment{
+		RealTime:  t,
+		LocalTime: local,
+		Old:       old,
+		New:       l.adj,
+	})
+}
+
+// WhenReads returns the earliest real time at which the logical clock will
+// read value, assuming no further adjustments.
+func (l *Logical) WhenReads(value float64) float64 {
+	return l.hw.Invert(value - l.adj)
+}
+
+// History returns the adjustment history (not a copy; callers must not
+// mutate it).
+func (l *Logical) History() []Adjustment { return l.history }
+
+// Jumps returns the number of adjustments performed.
+func (l *Logical) Jumps() int { return len(l.history) }

@@ -1,0 +1,94 @@
+package clock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogicalTracksHardware(t *testing.T) {
+	h := NewConstant(2, 1, Rho(0))
+	l := NewLogical(h)
+	if got := l.Read(3); got != 5 {
+		t.Fatalf("Read(3) = %v, want 5", got)
+	}
+	if l.Adjustment() != 0 {
+		t.Fatalf("initial adjustment = %v", l.Adjustment())
+	}
+	if l.Hardware() != h {
+		t.Fatal("Hardware() mismatch")
+	}
+}
+
+func TestLogicalSetAt(t *testing.T) {
+	h := NewConstant(0, 1, Rho(0))
+	l := NewLogical(h)
+	jump := l.SetAt(10, 25) // clock read 10, now reads 25
+	if jump != 15 {
+		t.Fatalf("jump = %v, want 15", jump)
+	}
+	if got := l.Read(10); got != 25 {
+		t.Fatalf("Read(10) = %v, want 25", got)
+	}
+	if got := l.Read(12); got != 27 {
+		t.Fatalf("Read(12) = %v, want 27", got)
+	}
+	if l.Jumps() != 1 {
+		t.Fatalf("Jumps = %d", l.Jumps())
+	}
+	rec := l.History()[0]
+	if rec.RealTime != 10 || rec.LocalTime != 10 || rec.Old != 0 || rec.New != 15 {
+		t.Fatalf("history record = %+v", rec)
+	}
+}
+
+func TestLogicalAdvanceAt(t *testing.T) {
+	h := NewConstant(0, 2, Rho(1))
+	l := NewLogical(h)
+	l.AdvanceAt(1, -0.5)
+	if got := l.Read(1); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Read(1) = %v, want 1.5", got)
+	}
+	l.AdvanceAt(2, 0.25)
+	if got := l.Adjustment(); math.Abs(got+0.25) > 1e-12 {
+		t.Fatalf("Adjustment = %v, want -0.25", got)
+	}
+	if l.Jumps() != 2 {
+		t.Fatalf("Jumps = %d", l.Jumps())
+	}
+}
+
+func TestLogicalWhenReads(t *testing.T) {
+	h := NewConstant(0, 1, Rho(0))
+	l := NewLogical(h)
+	l.SetAt(5, 100) // adj = 95
+	// Clock reads 110 at real time 15.
+	if got := l.WhenReads(110); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("WhenReads(110) = %v, want 15", got)
+	}
+}
+
+// Property: after SetAt(t, v), Read(t) == v, for drifting clocks too.
+func TestSetAtProperty(t *testing.T) {
+	rho := Rho(0.02)
+	f := func(seed int64, rawT, rawV uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHardware(0, rho, RandomWalk{Rho: rho, MinDur: 0.1, MaxDur: 1}, rng)
+		l := NewLogical(h)
+		tt := float64(rawT) / 128
+		v := float64(rawV) / 8
+		l.SetAt(tt, v)
+		if math.Abs(l.Read(tt)-v) > 1e-9 {
+			return false
+		}
+		// WhenReads inverts correctly for future values.
+		target := v + 1
+		when := l.WhenReads(target)
+		return math.Abs(l.Read(when)-target) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

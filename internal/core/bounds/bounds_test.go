@@ -1,0 +1,297 @@
+package bounds
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optsync/internal/clock"
+)
+
+func sane() Params {
+	return Params{
+		N: 7, F: 3, Variant: Auth,
+		Rho:  clock.Rho(1e-4),
+		DMin: 0.001, DMax: 0.01,
+		Period:      10,
+		InitialSkew: 0.02,
+	}.WithDefaults()
+}
+
+func TestVariantString(t *testing.T) {
+	if Auth.String() != "auth" || Primitive.String() != "primitive" {
+		t.Fatalf("strings: %v %v", Auth, Primitive)
+	}
+	if got := Variant(9).String(); got != "Variant(9)" {
+		t.Fatalf("unknown variant string = %q", got)
+	}
+}
+
+func TestMaxFaults(t *testing.T) {
+	cases := []struct {
+		n          int
+		auth, prim int
+	}{
+		{3, 1, 0}, {4, 1, 1}, {5, 2, 1}, {6, 2, 1}, {7, 3, 2},
+		{9, 4, 2}, {10, 4, 3}, {13, 6, 4}, {31, 15, 10},
+	}
+	for _, c := range cases {
+		if got := Auth.MaxFaults(c.n); got != c.auth {
+			t.Errorf("Auth.MaxFaults(%d) = %d, want %d", c.n, got, c.auth)
+		}
+		if got := Primitive.MaxFaults(c.n); got != c.prim {
+			t.Errorf("Primitive.MaxFaults(%d) = %d, want %d", c.n, got, c.prim)
+		}
+	}
+}
+
+func TestMaxFaultsMatchesValidate(t *testing.T) {
+	for n := 2; n <= 40; n++ {
+		for _, v := range []Variant{Auth, Primitive} {
+			f := v.MaxFaults(n)
+			p := Params{N: n, F: f, Variant: v, DMax: 0.01, Period: 100}.WithDefaults()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("n=%d %v f=%d should validate: %v", n, v, f, err)
+			}
+			p.F = f + 1
+			if err := p.Validate(); !errors.Is(err, ErrResilience) {
+				t.Fatalf("n=%d %v f=%d should fail resilience, got %v", n, v, f+1, err)
+			}
+		}
+	}
+}
+
+func TestDefaultAlpha(t *testing.T) {
+	got := DefaultAlpha(clock.Rho(0.5), 2)
+	if got != 3 {
+		t.Fatalf("DefaultAlpha = %v, want 3", got)
+	}
+	p := Params{N: 3, F: 1, Variant: Auth, Rho: 0.5, DMax: 2, Period: 100}
+	if p.WithDefaults().Alpha != 3 {
+		t.Fatalf("WithDefaults did not fill Alpha")
+	}
+	p.Alpha = 1
+	if p.WithDefaults().Alpha != 1 {
+		t.Fatalf("WithDefaults overwrote explicit Alpha")
+	}
+	if p0 := (Params{N: 3, F: 0, DMax: 1, Period: 10}).WithDefaults(); p0.Variant != Auth {
+		t.Fatalf("WithDefaults variant = %v", p0.Variant)
+	}
+}
+
+func TestBetaBySpreadHops(t *testing.T) {
+	p := sane()
+	if p.Beta() != p.DMax {
+		t.Fatalf("auth beta = %v, want dmax", p.Beta())
+	}
+	p.Variant = Primitive
+	p.F = 2
+	if p.Beta() != 2*p.DMax {
+		t.Fatalf("primitive beta = %v, want 2*dmax", p.Beta())
+	}
+}
+
+func TestValidateRejectsBadDelays(t *testing.T) {
+	p := sane()
+	p.DMin, p.DMax = 0.5, 0.1
+	if err := p.Validate(); !errors.Is(err, ErrDelays) {
+		t.Fatalf("inverted delays: %v", err)
+	}
+	p = sane()
+	p.DMax = 0
+	if err := p.Validate(); !errors.Is(err, ErrDelays) {
+		t.Fatalf("zero dmax: %v", err)
+	}
+	p = sane()
+	p.DMin = -1
+	if err := p.Validate(); !errors.Is(err, ErrDelays) {
+		t.Fatalf("negative dmin: %v", err)
+	}
+}
+
+func TestValidateRejectsShortPeriod(t *testing.T) {
+	p := sane()
+	p.Period = 0.001 // shorter than alpha+Dmax
+	if err := p.Validate(); !errors.Is(err, ErrPeriod) {
+		t.Fatalf("short period: %v", err)
+	}
+}
+
+func TestValidateRejectsUnknownVariant(t *testing.T) {
+	p := sane()
+	p.Variant = Variant(42)
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown variant validated")
+	}
+}
+
+func TestBoundsMonotoneInDmax(t *testing.T) {
+	p := sane()
+	small := p
+	big := p
+	big.DMax = p.DMax * 10
+	big = Params{ // re-derive alpha for the new dmax
+		N: big.N, F: big.F, Variant: big.Variant, Rho: big.Rho,
+		DMin: big.DMin, DMax: big.DMax, Period: big.Period,
+	}.WithDefaults()
+	if big.Dmax() <= small.Dmax() {
+		t.Fatalf("Dmax not monotone in dmax: %v <= %v", big.Dmax(), small.Dmax())
+	}
+	if big.D0() <= small.D0() {
+		t.Fatalf("D0 not monotone in dmax")
+	}
+}
+
+func TestBoundsMonotoneInPeriod(t *testing.T) {
+	p := sane()
+	long := p
+	long.Period = p.Period * 10
+	// Skew bound grows with P (drift term), the paper's F6 claim.
+	if long.Dmax() <= p.Dmax() {
+		t.Fatalf("Dmax not monotone in P: %v <= %v", long.Dmax(), p.Dmax())
+	}
+	// Envelope slack shrinks with P (accuracy converges to hardware rate).
+	if long.EnvelopeSlack() >= p.EnvelopeSlack() {
+		t.Fatalf("EnvelopeSlack not shrinking in P")
+	}
+}
+
+func TestPminPmaxOrdering(t *testing.T) {
+	p := sane()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Pmin() <= 0 {
+		t.Fatalf("Pmin = %v", p.Pmin())
+	}
+	if p.Pmax() <= p.Pmin() {
+		t.Fatalf("Pmax %v <= Pmin %v", p.Pmax(), p.Pmin())
+	}
+	// Both converge to about the period for tiny rho and delays.
+	tiny := Params{N: 7, F: 3, Variant: Auth, Rho: 1e-9, DMin: 0, DMax: 1e-6, Period: 10}.WithDefaults()
+	if math.Abs(tiny.Pmin()-10) > 0.01 || math.Abs(tiny.Pmax()-10) > 0.01 {
+		t.Fatalf("tiny params: Pmin=%v Pmax=%v, want ~10", tiny.Pmin(), tiny.Pmax())
+	}
+}
+
+func TestEnvelopeRateBoundsBracketHardware(t *testing.T) {
+	p := sane()
+	lo, hi := p.EnvelopeRateBounds()
+	if lo >= p.Rho.MinRate() || hi <= p.Rho.MaxRate() {
+		t.Fatalf("envelope [%v, %v] does not bracket hardware rates", lo, hi)
+	}
+	if lo >= 1 || hi <= 1 {
+		t.Fatalf("envelope [%v, %v] does not contain 1", lo, hi)
+	}
+}
+
+func TestDmaxWithStartCoversInitialSkew(t *testing.T) {
+	p := sane()
+	p.InitialSkew = 5 // huge initial skew dominates
+	if got := p.DmaxWithStart(); got < 5 {
+		t.Fatalf("DmaxWithStart = %v, must cover initial skew 5", got)
+	}
+	p.InitialSkew = 0
+	if got := p.DmaxWithStart(); got != p.Dmax() {
+		t.Fatalf("DmaxWithStart = %v, want steady-state %v", got, p.Dmax())
+	}
+}
+
+func TestMessagesPerRound(t *testing.T) {
+	p := sane() // n=7 f=3 auth: (7-3)*7*2 = 56
+	if got := p.MessagesPerRound(); got != 56 {
+		t.Fatalf("auth MessagesPerRound = %d, want 56", got)
+	}
+	p.Variant = Primitive
+	p.F = 2 // (7-2)*7 = 35
+	if got := p.MessagesPerRound(); got != 35 {
+		t.Fatalf("primitive MessagesPerRound = %d, want 35", got)
+	}
+}
+
+func TestRateBoundsCarryCorrectionTerms(t *testing.T) {
+	p := sane()
+	// Fast direction: the alpha pump.
+	wantHi := p.Rho.MaxRate() * p.Period / (p.Period - p.Alpha)
+	if got := p.RateUpper(); math.Abs(got-wantHi) > 1e-12 {
+		t.Fatalf("RateUpper = %v, want %v", got, wantHi)
+	}
+	// Slow direction: acceptance lag.
+	wantLo := p.Rho.MinRate() * p.Period / (p.Period + p.Beta() + p.DMax)
+	if got := p.RateLower(); math.Abs(got-wantLo) > 1e-12 {
+		t.Fatalf("RateLower = %v, want %v", got, wantLo)
+	}
+	if p.RateLower() >= 1 || p.RateUpper() <= 1 {
+		t.Fatalf("rate bounds [%v, %v] do not straddle 1", p.RateLower(), p.RateUpper())
+	}
+	// Both converge to the hardware envelope as P grows.
+	long := p
+	long.Period = p.Period * 1000
+	if long.RateUpper() >= p.RateUpper() || long.RateLower() <= p.RateLower() {
+		t.Fatal("rate bounds not tightening with P")
+	}
+}
+
+func TestEnvelopeSlackOverShrinksWithSpan(t *testing.T) {
+	p := sane()
+	short := p.EnvelopeSlackOver(20)
+	long := p.EnvelopeSlackOver(2000)
+	if long >= short {
+		t.Fatalf("slack not shrinking: %v -> %v", short, long)
+	}
+	// Spans below Pmin clamp to Pmin.
+	if got := p.EnvelopeSlackOver(0.001); got != p.EnvelopeSlackOver(p.Pmin()) {
+		t.Fatalf("sub-Pmin span not clamped: %v", got)
+	}
+	lo, hi := p.EnvelopeRateBoundsOver(100)
+	if lo >= 1 || hi <= 1 {
+		t.Fatalf("span bounds [%v, %v] do not straddle 1", lo, hi)
+	}
+	lo2, hi2 := p.EnvelopeRateBounds()
+	if lo2 > lo || hi2 < hi {
+		t.Fatalf("per-period bounds [%v, %v] tighter than span bounds [%v, %v]", lo2, hi2, lo, hi)
+	}
+}
+
+func TestResyncWindowPositive(t *testing.T) {
+	p := sane()
+	if p.ResyncWindow() <= 0 || p.ResyncWindow() < p.Period-p.Alpha {
+		t.Fatalf("ResyncWindow = %v", p.ResyncWindow())
+	}
+}
+
+// Property: for any valid parameterization, the internal ordering of the
+// constants holds: 0 < D0 <= Dmax, beta > 0, Pmin < Period < Pmax + alpha.
+func TestConstantOrderingProperty(t *testing.T) {
+	f := func(rawN uint8, rawRho, rawD, rawP uint16, prim bool) bool {
+		n := 4 + int(rawN%28)
+		v := Auth
+		if prim {
+			v = Primitive
+		}
+		p := Params{
+			N: n, F: v.MaxFaults(n), Variant: v,
+			Rho:    clock.Rho(float64(rawRho%1000+1) * 1e-6),
+			DMin:   0,
+			DMax:   float64(rawD%100+1) * 1e-3,
+			Period: 20 + float64(rawP%1000)/10,
+		}.WithDefaults()
+		if err := p.Validate(); err != nil {
+			return true // invalid combos are out of scope
+		}
+		if p.D0() <= 0 || p.Dmax() < p.D0() || p.Beta() <= 0 {
+			return false
+		}
+		if p.Pmin() <= 0 || p.Pmax() <= p.Pmin() {
+			return false
+		}
+		lo, hi := p.EnvelopeRateBounds()
+		return lo < 1 && hi > 1
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

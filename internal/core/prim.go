@@ -1,0 +1,136 @@
+package core
+
+import (
+	"optsync/internal/node"
+)
+
+// ReadyMessage announces that the sender's clock reached Round*P (or that
+// the sender joined the round after seeing f+1 readies). It carries no
+// signature: the non-authenticated algorithm derives its guarantees purely
+// from counting distinct senders, which the authenticated channels of the
+// model make meaningful.
+type ReadyMessage struct {
+	Round int
+}
+
+// PrimitiveProtocol is the non-authenticated algorithm (paper Section 4),
+// the symmetric specialization of the Srikanth-Toueg broadcast primitive
+// for f < n/3:
+//
+//	when C_v = k*P:                     send ready(k) to all (if not yet)
+//	on f+1 distinct ready(k):           send ready(k) to all (if not yet)
+//	on 2f+1 distinct ready(k),
+//	k > last accepted:                  accept: C_v := k*P + alpha
+//
+// Unforgeability: 2f+1 distinct senders include f+1 correct ones, and the
+// first correct ready for a round is sent only when that process's clock
+// reads k*P (a correct join presupposes f+1 earlier readies, of which one
+// is correct and earlier — induction). Correctness: once f+1 correct
+// processes are ready, every correct process joins within one delay and the
+// 2f+1 quorum (n-f >= 2f+1) completes within another. Relay: if a correct
+// process accepts at t, then f+1 correct readies were sent by t, so every
+// correct process joins by t+dmax and accepts by t+2*dmax.
+type PrimitiveProtocol struct {
+	cfg Config
+
+	lastAccepted int
+	lastSent     int
+	readyFrom    map[int]map[node.ID]bool
+	sent         map[int]bool
+	timer        node.Timer
+
+	// OnAccept, if set, observes each acceptance.
+	OnAccept func(round int)
+}
+
+var _ node.Protocol = (*PrimitiveProtocol)(nil)
+
+// NewPrimitive constructs the protocol.
+func NewPrimitive(cfg Config) *PrimitiveProtocol {
+	cfg = cfg.withDefaults()
+	cfg.validate()
+	return &PrimitiveProtocol{
+		cfg:       cfg,
+		readyFrom: make(map[int]map[node.ID]bool),
+		sent:      make(map[int]bool),
+	}
+}
+
+// LastAccepted returns the highest accepted round (0 before the first).
+func (p *PrimitiveProtocol) LastAccepted() int { return p.lastAccepted }
+
+// Start implements node.Protocol.
+func (p *PrimitiveProtocol) Start(env node.Env) {
+	p.armTimer(env)
+}
+
+// Deliver implements node.Protocol.
+func (p *PrimitiveProtocol) Deliver(env node.Env, from node.ID, msg node.Message) {
+	rm, ok := msg.(ReadyMessage)
+	if !ok {
+		return
+	}
+	if rm.Round <= p.lastAccepted || rm.Round > p.lastAccepted+p.cfg.MaxRoundAhead {
+		return
+	}
+	set := p.readyFrom[rm.Round]
+	if set == nil {
+		set = make(map[node.ID]bool)
+		p.readyFrom[rm.Round] = set
+	}
+	set[from] = true // duplicate readies from one sender count once
+	if len(set) >= env.F()+1 {
+		p.sendReady(env, rm.Round) // join
+	}
+	if len(set) >= 2*env.F()+1 {
+		p.accept(env, rm.Round)
+	}
+}
+
+func (p *PrimitiveProtocol) armTimer(env node.Env) {
+	env.Cancel(p.timer)
+	next := p.lastSent + 1
+	if next <= p.lastAccepted {
+		next = p.lastAccepted + 1
+	}
+	p.timer = env.AtLogical(p.cfg.roundDue(next), func() {
+		p.sendReady(env, next)
+		if p.lastAccepted < next {
+			p.armTimer(env)
+		}
+	})
+}
+
+func (p *PrimitiveProtocol) sendReady(env node.Env, k int) {
+	if p.sent[k] || k <= p.lastAccepted {
+		return
+	}
+	p.sent[k] = true
+	if p.lastSent < k {
+		p.lastSent = k
+	}
+	env.Broadcast(ReadyMessage{Round: k})
+}
+
+func (p *PrimitiveProtocol) accept(env node.Env, k int) {
+	if k <= p.lastAccepted {
+		return
+	}
+	p.lastAccepted = k
+	env.SetLogical(p.cfg.roundTarget(k))
+	env.Pulse(k)
+	for r := range p.readyFrom {
+		if r <= k {
+			delete(p.readyFrom, r)
+		}
+	}
+	for r := range p.sent {
+		if r <= k {
+			delete(p.sent, r)
+		}
+	}
+	if p.OnAccept != nil {
+		p.OnAccept(k)
+	}
+	p.armTimer(env)
+}

@@ -1,0 +1,159 @@
+// Package stcast implements the Srikanth-Toueg broadcast primitive in its
+// general, designated-dealer form (paper Section 4).
+//
+// The primitive simulates the properties of authenticated broadcast using
+// only message counting, for n > 3f:
+//
+//	broadcast(p, tag): dealer p sends (init, p, tag) to all.
+//	on (init, p, tag) received directly from p:  send (echo, p, tag) to all
+//	on (echo, p, tag) from f+1 distinct senders: send (echo, p, tag) to all
+//	                                             (if not yet sent)
+//	on (echo, p, tag) from 2f+1 distinct senders: accept(p, tag)
+//
+// Guarantees (all proved in the paper, all asserted by this package's
+// tests):
+//
+//	Correctness:    if a correct dealer broadcasts (p, tag) at time t, every
+//	                correct process accepts (p, tag) by t + 2*dmax.
+//	Unforgeability: if a correct dealer never broadcasts (p, tag), no
+//	                correct process ever accepts it.
+//	Relay:          if a correct process accepts (p, tag) at time t, every
+//	                correct process accepts it by t + 2*dmax.
+//
+// The type is a mixin: a protocol embeds *Receiver, routes stcast.Message
+// deliveries to Deliver, and receives accepted broadcasts through the
+// OnAccept callback. The symmetric specialization used by the clock
+// synchronization algorithm is inlined in package core; this general form
+// is exercised by its own experiment (T6) and available for building other
+// protocols on top (e.g. simulated authenticated consensus).
+package stcast
+
+import (
+	"fmt"
+
+	"optsync/internal/node"
+)
+
+// Kind discriminates primitive messages.
+type Kind int
+
+const (
+	// KindInit is the dealer's initial transmission.
+	KindInit Kind = iota + 1
+	// KindEcho is a witness's confirmation.
+	KindEcho
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInit:
+		return "init"
+	case KindEcho:
+		return "echo"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Message is a primitive protocol message. Src names the original dealer;
+// for init messages it must equal the transport-level sender (receivers
+// enforce this — the channels are authenticated, so a faulty process
+// cannot initiate a broadcast in another process's name).
+type Message struct {
+	Kind Kind
+	Src  node.ID
+	Tag  string
+}
+
+type key struct {
+	src node.ID
+	tag string
+}
+
+// Receiver holds one process's primitive state across all broadcast
+// instances, keyed by (dealer, tag).
+type Receiver struct {
+	echoed   map[key]bool
+	echoes   map[key]map[node.ID]bool
+	accepted map[key]bool
+
+	// OnAccept is invoked exactly once per accepted (dealer, tag).
+	OnAccept func(env node.Env, src node.ID, tag string)
+}
+
+// NewReceiver returns an empty receiver.
+func NewReceiver(onAccept func(env node.Env, src node.ID, tag string)) *Receiver {
+	return &Receiver{
+		echoed:   make(map[key]bool),
+		echoes:   make(map[key]map[node.ID]bool),
+		accepted: make(map[key]bool),
+		OnAccept: onAccept,
+	}
+}
+
+// Broadcast initiates the primitive as dealer for tag.
+func (r *Receiver) Broadcast(env node.Env, tag string) {
+	env.Broadcast(Message{Kind: KindInit, Src: env.ID(), Tag: tag})
+}
+
+// Accepted reports whether (src, tag) has been accepted.
+func (r *Receiver) Accepted(src node.ID, tag string) bool {
+	return r.accepted[key{src, tag}]
+}
+
+// Echoed reports whether this process echoed (src, tag) (test hook).
+func (r *Receiver) Echoed(src node.ID, tag string) bool {
+	return r.echoed[key{src, tag}]
+}
+
+// Deliver processes a primitive message. It returns false if msg is not an
+// stcast.Message, so protocols can fall through to their own types.
+func (r *Receiver) Deliver(env node.Env, from node.ID, msg node.Message) bool {
+	m, ok := msg.(Message)
+	if !ok {
+		return false
+	}
+	k := key{m.Src, m.Tag}
+	switch m.Kind {
+	case KindInit:
+		// Authenticated channels: an init for Src counts only when it
+		// arrives from Src itself.
+		if from != m.Src {
+			return true
+		}
+		r.sendEcho(env, k)
+	case KindEcho:
+		set := r.echoes[k]
+		if set == nil {
+			set = make(map[node.ID]bool)
+			r.echoes[k] = set
+		}
+		set[from] = true
+		if len(set) >= env.F()+1 {
+			r.sendEcho(env, k)
+		}
+		if len(set) >= 2*env.F()+1 {
+			r.accept(env, k)
+		}
+	}
+	return true
+}
+
+func (r *Receiver) sendEcho(env node.Env, k key) {
+	if r.echoed[k] {
+		return
+	}
+	r.echoed[k] = true
+	env.Broadcast(Message{Kind: KindEcho, Src: k.src, Tag: k.tag})
+}
+
+func (r *Receiver) accept(env node.Env, k key) {
+	if r.accepted[k] {
+		return
+	}
+	r.accepted[k] = true
+	if r.OnAccept != nil {
+		r.OnAccept(env, k.src, k.tag)
+	}
+}

@@ -1,0 +1,285 @@
+package stcast
+
+import (
+	"testing"
+
+	"optsync/internal/network"
+	"optsync/internal/node"
+)
+
+// castProto is a minimal protocol hosting one Receiver; the dealer
+// broadcasts a single tag at boot.
+type castProto struct {
+	rx        *Receiver
+	deal      bool
+	tag       string
+	accepts   []string
+	acceptAt  []float64
+	acceptSrc []node.ID
+}
+
+func newCastProto(deal bool, tag string) *castProto {
+	p := &castProto{deal: deal, tag: tag}
+	p.rx = NewReceiver(func(env node.Env, src node.ID, tg string) {
+		p.accepts = append(p.accepts, tg)
+		p.acceptAt = append(p.acceptAt, env.RealTime())
+		p.acceptSrc = append(p.acceptSrc, src)
+	})
+	return p
+}
+
+func (p *castProto) Start(env node.Env) {
+	if p.deal {
+		p.rx.Broadcast(env, p.tag)
+	}
+}
+
+func (p *castProto) Deliver(env node.Env, from node.ID, msg node.Message) {
+	p.rx.Deliver(env, from, msg)
+}
+
+// silent is a faulty process that never participates.
+type silent struct{}
+
+func (silent) Start(node.Env)                          {}
+func (silent) Deliver(node.Env, node.ID, node.Message) {}
+
+// forger tries to make correct processes accept a broadcast the (correct)
+// dealer never made: it spams echo and spoofed init messages.
+type forger struct {
+	victim node.ID
+	tag    string
+	peers  []node.ID // co-conspirators, for coordinated echoes
+}
+
+func (f *forger) Start(env node.Env) {
+	// Spoofed init "from" the victim (transport reveals true sender).
+	env.Broadcast(Message{Kind: KindInit, Src: f.victim, Tag: f.tag})
+	// Echoes for the never-broadcast tag.
+	env.Broadcast(Message{Kind: KindEcho, Src: f.victim, Tag: f.tag})
+	// Repeat: duplicates from one sender must count once.
+	env.Broadcast(Message{Kind: KindEcho, Src: f.victim, Tag: f.tag})
+}
+
+func (f *forger) Deliver(node.Env, node.ID, node.Message) {}
+
+// partialDealer is a faulty dealer that sends init to only some processes.
+type partialDealer struct {
+	tag     string
+	targets []node.ID
+}
+
+func (d *partialDealer) Start(env node.Env) {
+	for _, to := range d.targets {
+		env.Send(to, Message{Kind: KindInit, Src: env.ID(), Tag: d.tag})
+	}
+}
+
+func (d *partialDealer) Deliver(node.Env, node.ID, node.Message) {}
+
+func runCluster(n, f int, protos map[int]node.Protocol, dmax float64, horizon float64) (*node.Cluster, map[int]*castProto) {
+	correct := make(map[int]*castProto)
+	cluster := node.NewCluster(node.Config{
+		N: n, F: f, Seed: 42,
+		Delay: network.Uniform{Min: dmax / 2, Max: dmax},
+		Protocols: func(i int) node.Protocol {
+			if p, ok := protos[i]; ok {
+				return p
+			}
+			cp := newCastProto(false, "")
+			correct[i] = cp
+			return cp
+		},
+	})
+	cluster.Start()
+	cluster.Run(horizon)
+	return cluster, correct
+}
+
+func TestCorrectDealerAllAccept(t *testing.T) {
+	const n, f, dmax = 4, 1, 0.01
+	dealer := newCastProto(true, "m1")
+	_, correct := runCluster(n, f, map[int]node.Protocol{0: dealer}, dmax, 1)
+	correct[0] = dealer
+	for i, p := range correct {
+		if len(p.accepts) != 1 || p.accepts[0] != "m1" {
+			t.Fatalf("node %d accepts = %v, want [m1]", i, p.accepts)
+		}
+		if p.acceptSrc[0] != 0 {
+			t.Fatalf("node %d accepted src %d, want 0", i, p.acceptSrc[0])
+		}
+		// Correctness: accept within 2*dmax of the broadcast (t=0).
+		if p.acceptAt[0] > 2*dmax+1e-9 {
+			t.Fatalf("node %d accepted at %v > 2*dmax", i, p.acceptAt[0])
+		}
+	}
+}
+
+func TestCorrectnessWithSilentFaults(t *testing.T) {
+	// n=7, f=2: two faulty processes stay silent; accept must still happen
+	// (quorums 2f+1=5 <= n-f=5).
+	dealer := newCastProto(true, "m")
+	protos := map[int]node.Protocol{0: dealer, 5: silent{}, 6: silent{}}
+	_, correct := runCluster(7, 2, protos, 0.01, 1)
+	correct[0] = dealer
+	for i, p := range correct {
+		if len(p.accepts) != 1 {
+			t.Fatalf("node %d accepts = %v, want 1 accept", i, p.accepts)
+		}
+	}
+}
+
+func TestUnforgeability(t *testing.T) {
+	// n=4, f=1: the faulty process tries to forge a broadcast by the
+	// correct (and silent-as-dealer) node 1. No correct process may accept.
+	protos := map[int]node.Protocol{
+		3: &forger{victim: 1, tag: "forged"},
+	}
+	_, correct := runCluster(4, 1, protos, 0.01, 1)
+	for i, p := range correct {
+		if len(p.accepts) != 0 {
+			t.Fatalf("node %d accepted forged broadcast: %v", i, p.accepts)
+		}
+		if p.rx.Echoed(1, "forged") {
+			t.Fatalf("node %d echoed a forged broadcast", i)
+		}
+	}
+}
+
+func TestUnforgeabilityColludingForgers(t *testing.T) {
+	// n=7, f=2: two colluding forgers echo a never-broadcast message.
+	// f echoes < f+1, so no correct process joins and none accepts.
+	protos := map[int]node.Protocol{
+		5: &forger{victim: 0, tag: "x"},
+		6: &forger{victim: 0, tag: "x"},
+	}
+	_, correct := runCluster(7, 2, protos, 0.01, 1)
+	for i, p := range correct {
+		if len(p.accepts) != 0 {
+			t.Fatalf("node %d accepted forged broadcast", i)
+		}
+	}
+}
+
+func TestRelayPartialDealer(t *testing.T) {
+	// n=4, f=1: faulty dealer sends init to a single correct process.
+	// Either nobody accepts, or — if anyone does — all correct processes
+	// accept within 2*dmax of the first (relay property). With one init
+	// the lone echo stays below f+1=2, so here nobody accepts.
+	protos := map[int]node.Protocol{
+		3: &partialDealer{tag: "p", targets: []node.ID{0}},
+	}
+	_, correct := runCluster(4, 1, protos, 0.01, 1)
+	accepted := 0
+	for _, p := range correct {
+		accepted += len(p.accepts)
+	}
+	if accepted != 0 {
+		t.Fatalf("single-target partial dealer caused %d accepts", accepted)
+	}
+}
+
+func TestRelayPartialDealerMajority(t *testing.T) {
+	// n=7, f=2: faulty dealer inits only 3 of 5 correct processes. Their 3
+	// echoes reach everyone (>= f+1 = 3), all 5 correct processes echo,
+	// quorum 2f+1 = 5 is met: ALL correct processes must accept, within
+	// 2*dmax of the first acceptance.
+	const dmax = 0.01
+	protos := map[int]node.Protocol{
+		6: &partialDealer{tag: "p", targets: []node.ID{0, 1, 2}},
+	}
+	_, correct := runCluster(7, 2, protos, dmax, 1)
+	var times []float64
+	for i, p := range correct {
+		if len(p.accepts) != 1 {
+			t.Fatalf("node %d accepts = %v, want exactly 1 (relay)", i, p.accepts)
+		}
+		times = append(times, p.acceptAt[i%1])
+	}
+	lo, hi := times[0], times[0]
+	for _, tt := range times {
+		if tt < lo {
+			lo = tt
+		}
+		if tt > hi {
+			hi = tt
+		}
+	}
+	if hi-lo > 2*dmax+1e-9 {
+		t.Fatalf("acceptance spread %v > 2*dmax", hi-lo)
+	}
+}
+
+func TestAcceptExactlyOnce(t *testing.T) {
+	// The dealer broadcasts the same tag twice; accept fires once.
+	dealer := newCastProto(true, "dup")
+	protos := map[int]node.Protocol{0: dealer}
+	cluster, correct := runCluster(4, 1, protos, 0.01, 0.5)
+	// Re-broadcast the same tag.
+	dealer.rx.Broadcast(cluster.Nodes[0], "dup")
+	cluster.Run(1)
+	correct[0] = dealer
+	for i, p := range correct {
+		if len(p.accepts) != 1 {
+			t.Fatalf("node %d accepted %d times, want 1", i, len(p.accepts))
+		}
+	}
+}
+
+func TestDistinctTagsIndependent(t *testing.T) {
+	// Two dealers, two tags: both accepted independently by everyone.
+	d0 := newCastProto(true, "a")
+	d1 := newCastProto(true, "b")
+	protos := map[int]node.Protocol{0: d0, 1: d1}
+	_, correct := runCluster(4, 1, protos, 0.01, 1)
+	correct[0] = d0
+	correct[1] = d1
+	for i, p := range correct {
+		if len(p.accepts) != 2 {
+			t.Fatalf("node %d accepts = %v, want both tags", i, p.accepts)
+		}
+		if !p.rx.Accepted(0, "a") || !p.rx.Accepted(1, "b") {
+			t.Fatalf("node %d Accepted() bookkeeping wrong", i)
+		}
+		if p.rx.Accepted(0, "b") {
+			t.Fatalf("node %d accepted tag under wrong dealer", i)
+		}
+	}
+}
+
+func TestDeliverIgnoresForeignMessages(t *testing.T) {
+	rx := NewReceiver(nil)
+	c := node.NewCluster(node.Config{
+		N: 1, F: 0, Seed: 1,
+		Protocols: func(int) node.Protocol { return newCastProto(false, "") },
+	})
+	c.Start()
+	c.Run(0)
+	if rx.Deliver(c.Nodes[0], 0, "not an stcast message") {
+		t.Fatal("foreign message reported as consumed")
+	}
+	if !rx.Deliver(c.Nodes[0], 0, Message{Kind: KindEcho, Src: 0, Tag: "t"}) {
+		t.Fatal("stcast message not consumed")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInit.String() != "init" || KindEcho.String() != "echo" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown Kind string wrong")
+	}
+}
+
+func TestNilOnAcceptSafe(t *testing.T) {
+	dealer := newCastProto(true, "t")
+	dealer.rx.OnAccept = nil
+	protos := map[int]node.Protocol{0: dealer}
+	_, correct := runCluster(4, 1, protos, 0.01, 1)
+	for i, p := range correct {
+		if !p.rx.Accepted(0, "t") {
+			t.Fatalf("node %d did not accept", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optsync/internal/clock"
+	"optsync/internal/core/bounds"
+)
+
+// Property: for ANY within-resilience combination of cluster size, drift,
+// delays, attack, and seed, the authenticated algorithm keeps agreement
+// within the analytic bound and never loses liveness. This is the
+// randomized sweep backing the paper's main theorem.
+func TestAuthAgreementFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	attacks := []Attack{AttackSilent, AttackCrashMid, AttackEquivocate, AttackRush, AttackSelective}
+	f := func(rawN, rawRho, rawD, rawAttack uint8, seed int64) bool {
+		n := 3 + int(rawN%9) // 3..11
+		p := bounds.Params{
+			N: n, F: bounds.Auth.MaxFaults(n), Variant: bounds.Auth,
+			Rho:    clock.Rho(float64(rawRho%200+1) * 1e-5), // 1e-5 .. 2e-3
+			DMax:   float64(rawD%40+1) * 1e-3,               // 1 .. 40 ms
+			Period: 1.0,
+		}
+		p.DMin = p.DMax / 5
+		p.InitialSkew = p.DMax / 2
+		p = p.WithDefaults()
+		if p.Validate() != nil {
+			return true // out-of-model combination
+		}
+		attack := attacks[int(rawAttack)%len(attacks)]
+		res := Run(Spec{
+			Algo: AlgoAuth, Params: p,
+			FaultyCount: p.F, Attack: attack,
+			Horizon: 12, Seed: seed,
+		})
+		if !res.WithinSkew {
+			t.Logf("n=%d f=%d rho=%v dmax=%v attack=%s seed=%d: skew %v > %v",
+				n, p.F, float64(p.Rho), p.DMax, attack, seed, res.MaxSkew, res.SkewBound)
+			return false
+		}
+		if res.CompleteRounds < 8 {
+			t.Logf("n=%d attack=%s seed=%d: only %d rounds", n, attack, seed, res.CompleteRounds)
+			return false
+		}
+		return res.MaxSpread <= res.SpreadBound+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(67))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: same for the primitive-based algorithm with its attack set.
+func TestPrimitiveAgreementFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	attacks := []Attack{AttackSilent, AttackCrashMid, AttackRush}
+	f := func(rawN, rawRho, rawAttack uint8, seed int64) bool {
+		n := 4 + int(rawN%10) // 4..13
+		p := bounds.Params{
+			N: n, F: bounds.Primitive.MaxFaults(n), Variant: bounds.Primitive,
+			Rho:  clock.Rho(float64(rawRho%200+1) * 1e-5),
+			DMin: 0.002, DMax: 0.01,
+			Period: 1.0, InitialSkew: 0.005,
+		}.WithDefaults()
+		if p.Validate() != nil {
+			return true
+		}
+		attack := attacks[int(rawAttack)%len(attacks)]
+		res := Run(Spec{
+			Algo: AlgoPrim, Params: p,
+			FaultyCount: p.F, Attack: attack,
+			Horizon: 12, Seed: seed,
+		})
+		return res.WithinSkew && res.CompleteRounds >= 8 &&
+			res.MaxSpread <= res.SpreadBound+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package lockstep turns the pulse synchronization protocol into a
+// synchronous round simulator — the application the paper (and the
+// literature around it) motivates clock synchronization with: once clocks
+// agree within S and pulses are at least S + dmax of real time apart,
+// every message sent at a correct process's pulse k arrives before any
+// correct process's pulse k+1, so the pulses delimit lock-step rounds and
+// any synchronous algorithm can run on top, Byzantine faults included.
+//
+// The synchronizer wraps the authenticated ST protocol: synchronization
+// traffic (RoundMessage/AwakeMessage) and application traffic (Envelope)
+// share the channel and are demultiplexed here. Applications implement the
+// App interface; at each pulse they receive everything sent at the
+// previous pulse and emit messages for the next round.
+package lockstep
+
+import (
+	"fmt"
+
+	"optsync/internal/core"
+	"optsync/internal/core/bounds"
+	"optsync/internal/node"
+)
+
+// AppMessage is an opaque application payload.
+type AppMessage any
+
+// Outgoing is one application message with its destination; Broadcast
+// sends to all processes.
+type Outgoing struct {
+	To        node.ID
+	Broadcast bool
+	Payload   AppMessage
+}
+
+// Incoming is a received application message.
+type Incoming struct {
+	From    node.ID
+	Payload AppMessage
+}
+
+// App is a synchronous round-based algorithm.
+type App interface {
+	// FirstRound runs at the process's first pulse and returns the
+	// messages for round 1.
+	FirstRound(env node.Env) []Outgoing
+	// Round runs at pulse k+1 with all round-k messages received from
+	// distinct processes; it returns the messages for round k+1.
+	// Duplicate messages from one sender within a round are dropped
+	// (authenticated channels let us attribute senders).
+	Round(env node.Env, round int, in []Incoming) []Outgoing
+}
+
+// Envelope is the wire format for application traffic.
+type Envelope struct {
+	Round   int
+	Payload AppMessage
+}
+
+// Protocol combines the synchronizer with an application.
+type Protocol struct {
+	sync *core.AuthProtocol
+	app  App
+
+	started  bool
+	curRound int
+	// inbox[k] holds round-k messages, at most one per sender.
+	inbox map[int]map[node.ID]AppMessage
+	order map[int][]node.ID // deterministic delivery order
+}
+
+var _ node.Protocol = (*Protocol)(nil)
+
+// MinPeriod returns the smallest pulse period that makes the lock-step
+// guarantee hold for the given deployment: pulses must be at least
+// skew + dmax of real time apart.
+func MinPeriod(p bounds.Params) float64 {
+	return p.DmaxWithStart() + p.DMax
+}
+
+// New builds a lock-step protocol over the authenticated synchronizer.
+// The caller must ensure cfg's period satisfies MinPeriod (checked against
+// params by NewChecked).
+func New(cfg core.Config, app App) *Protocol {
+	return &Protocol{
+		sync:  core.NewAuth(cfg),
+		app:   app,
+		inbox: make(map[int]map[node.ID]AppMessage),
+		order: make(map[int][]node.ID),
+	}
+}
+
+// NewChecked is New plus a validation that the parameterization delivers
+// the lock-step guarantee.
+func NewChecked(p bounds.Params, app App) (*Protocol, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Pmin() < MinPeriod(p) {
+		return nil, fmt.Errorf("lockstep: Pmin %v < required %v (skew + dmax)",
+			p.Pmin(), MinPeriod(p))
+	}
+	return New(core.ConfigFromBounds(p), app), nil
+}
+
+// Rounds returns the highest completed application round.
+func (p *Protocol) Rounds() int { return p.curRound }
+
+// Start implements node.Protocol.
+func (p *Protocol) Start(env node.Env) {
+	p.sync.OnAccept = func(k int) { p.onPulse(env, k) }
+	p.sync.Start(env)
+}
+
+// Deliver implements node.Protocol.
+func (p *Protocol) Deliver(env node.Env, from node.ID, msg node.Message) {
+	if e, ok := msg.(Envelope); ok {
+		set := p.inbox[e.Round]
+		if set == nil {
+			set = make(map[node.ID]AppMessage)
+			p.inbox[e.Round] = set
+		}
+		if _, dup := set[from]; dup {
+			return // one message per sender per round
+		}
+		set[from] = e.Payload
+		p.order[e.Round] = append(p.order[e.Round], from)
+		return
+	}
+	p.sync.Deliver(env, from, msg)
+}
+
+// onPulse runs at each accepted synchronization round.
+func (p *Protocol) onPulse(env node.Env, k int) {
+	var out []Outgoing
+	if !p.started {
+		p.started = true
+		p.curRound = k
+		out = p.app.FirstRound(env)
+	} else {
+		in := p.collect(p.curRound)
+		p.curRound = k
+		out = p.app.Round(env, k, in)
+	}
+	for _, o := range out {
+		e := Envelope{Round: k, Payload: o.Payload}
+		if o.Broadcast {
+			env.Broadcast(e)
+		} else {
+			env.Send(o.To, e)
+		}
+	}
+	// Old rounds can no longer legally deliver; drop their buffers.
+	for r := range p.inbox {
+		if r < k {
+			delete(p.inbox, r)
+			delete(p.order, r)
+		}
+	}
+}
+
+// collect drains round r's inbox in arrival order.
+func (p *Protocol) collect(r int) []Incoming {
+	set := p.inbox[r]
+	var in []Incoming
+	for _, from := range p.order[r] {
+		in = append(in, Incoming{From: from, Payload: set[from]})
+	}
+	delete(p.inbox, r)
+	delete(p.order, r)
+	return in
+}

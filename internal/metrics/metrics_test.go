@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"optsync/internal/node"
+)
+
+type idleProto struct{}
+
+func (idleProto) Start(node.Env)                          {}
+func (idleProto) Deliver(node.Env, node.ID, node.Message) {}
+
+func testCluster(n int) *node.Cluster {
+	c := node.NewCluster(node.Config{
+		N: n, F: 0, Seed: 1,
+		Protocols: func(int) node.Protocol { return idleProto{} },
+	})
+	c.Start()
+	return c
+}
+
+func TestSkewSamplerRecordsSeries(t *testing.T) {
+	c := testCluster(2)
+	s := NewSkewSampler(c, []node.ID{0, 1}, 0.5)
+	c.Nodes[1].SetLogical(0.3) // static offset of 0.3 between perfect clocks
+	c.Run(2.6)
+	if len(s.Series) != 5 {
+		t.Fatalf("samples = %d, want 5", len(s.Series))
+	}
+	for _, smp := range s.Series {
+		if math.Abs(smp.Skew-0.3) > 1e-12 {
+			t.Fatalf("sample %+v, want skew 0.3", smp)
+		}
+	}
+	if math.Abs(s.Max()-0.3) > 1e-12 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if got := s.Skews(); len(got) != 5 || math.Abs(got[0]-0.3) > 1e-12 {
+		t.Fatalf("Skews = %v", got)
+	}
+}
+
+func TestSkewSamplerStop(t *testing.T) {
+	c := testCluster(2)
+	s := NewSkewSampler(c, []node.ID{0, 1}, 0.5)
+	c.Run(1.1)
+	s.Stop()
+	c.Run(5)
+	if len(s.Series) != 2 {
+		t.Fatalf("samples after stop = %d, want 2", len(s.Series))
+	}
+}
+
+func TestSkewSamplerEmptyMax(t *testing.T) {
+	c := testCluster(1)
+	s := NewSkewSampler(c, []node.ID{0}, 1)
+	if s.Max() != 0 {
+		t.Fatalf("Max with no samples = %v", s.Max())
+	}
+}
+
+func pulses() []node.PulseRecord {
+	return []node.PulseRecord{
+		{Node: 0, Round: 1, Real: 1.00, Logical: 1.1},
+		{Node: 1, Round: 1, Real: 1.02, Logical: 1.1},
+		{Node: 0, Round: 2, Real: 2.00, Logical: 2.1},
+		{Node: 1, Round: 2, Real: 2.05, Logical: 2.1},
+		{Node: 2, Round: 2, Real: 2.50, Logical: 2.1}, // faulty fake
+	}
+}
+
+func TestPulseReportGrouping(t *testing.T) {
+	rep := NewPulseReport(pulses(), []node.ID{0, 1})
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+	r1 := rep.Rounds[0]
+	if r1.Round != 1 || r1.Count != 2 || math.Abs(r1.Spread-0.02) > 1e-12 {
+		t.Fatalf("round 1 = %+v", r1)
+	}
+	r2 := rep.Rounds[1]
+	// Faulty node 2's record must be excluded.
+	if r2.Count != 2 || math.Abs(r2.Spread-0.05) > 1e-12 {
+		t.Fatalf("round 2 = %+v", r2)
+	}
+	if got := rep.MaxSpread(2); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("MaxSpread = %v", got)
+	}
+	if got := rep.CompleteRounds(2); got != 2 {
+		t.Fatalf("CompleteRounds = %d", got)
+	}
+	if got := rep.CompleteRounds(3); got != 0 {
+		t.Fatalf("CompleteRounds(3) = %d", got)
+	}
+}
+
+func TestPulseReportPeriods(t *testing.T) {
+	rep := NewPulseReport(pulses(), []node.ID{0, 1})
+	got := rep.Periods()
+	if len(got) != 2 {
+		t.Fatalf("periods = %v", got)
+	}
+	want := map[float64]bool{1.0: true, 1.03: true}
+	for _, p := range got {
+		matched := false
+		for w := range want {
+			if math.Abs(p-w) < 1e-9 {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Fatalf("unexpected period %v", p)
+		}
+	}
+}
+
+func TestMaxSpreadIgnoresIncompleteRounds(t *testing.T) {
+	ps := []node.PulseRecord{
+		{Node: 0, Round: 1, Real: 1.0},
+		{Node: 1, Round: 1, Real: 1.1},
+		{Node: 0, Round: 2, Real: 9.0}, // node 1 hasn't accepted round 2 yet
+	}
+	rep := NewPulseReport(ps, []node.ID{0, 1})
+	if got := rep.MaxSpread(2); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MaxSpread = %v, want 0.1", got)
+	}
+}
+
+func TestEnvelopeRatesPerfectClock(t *testing.T) {
+	// Pulses exactly at real time k (rate 1 clock), value k*P with P=1.
+	var ps []node.PulseRecord
+	for k := 1; k <= 10; k++ {
+		ps = append(ps, node.PulseRecord{Node: 0, Round: k, Real: float64(k), Logical: float64(k)})
+		ps = append(ps, node.PulseRecord{Node: 1, Round: k, Real: float64(k) * 1.01, Logical: float64(k)})
+	}
+	lo, hi, err := EnvelopeRates(ps, []node.ID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-1/1.01) > 1e-9 {
+		t.Fatalf("lo = %v, want %v", lo, 1/1.01)
+	}
+	if math.Abs(hi-1) > 1e-9 {
+		t.Fatalf("hi = %v, want 1", hi)
+	}
+}
+
+func TestEnvelopeRatesErrors(t *testing.T) {
+	if _, _, err := EnvelopeRates(nil, []node.ID{0}); err == nil {
+		t.Fatal("no data accepted")
+	}
+	ps := []node.PulseRecord{{Node: 0, Round: 1, Real: 1}}
+	if _, _, err := EnvelopeRates(ps, []node.ID{0}); err == nil {
+		t.Fatal("single point accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package network simulates the fully connected message-passing network of
+// the model: every pair of processes is joined by a reliable, authenticated
+// channel whose delay is chosen by the adversary within [dmin, dmax].
+//
+// Delays are produced by pluggable policies; adversarial policies may treat
+// links with a faulty endpoint specially (e.g. deliver instantly to
+// co-conspirators) and may drop messages on such links — the model maps
+// link failures to node failures, so links between two correct processes
+// are always reliable and within bounds, which the Net enforces.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optsync/internal/sim"
+)
+
+// NodeID identifies a process (0..n-1).
+type NodeID = int
+
+// Handler receives a delivered message.
+type Handler func(from NodeID, msg any)
+
+// Policy decides the delay of each message. Implementations must be
+// deterministic given rng.
+type Policy interface {
+	// Delay returns the delivery delay in seconds for a message sent at
+	// virtual time now. A negative return drops the message.
+	Delay(from, to NodeID, now sim.Time, rng *rand.Rand) float64
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	// BySender counts messages sent per node.
+	BySender []uint64
+}
+
+// Observer is notified of every send (for tracing / message-complexity
+// experiments). deliverAt < 0 means the message was dropped.
+type Observer func(from, to NodeID, msg any, sentAt, deliverAt sim.Time)
+
+// Net is the simulated network.
+type Net struct {
+	engine   *sim.Engine
+	n        int
+	policy   Policy
+	handlers []Handler
+	stats    Stats
+	observer Observer
+}
+
+// New creates a network of n endpoints over the engine with the given delay
+// policy.
+func New(engine *sim.Engine, n int, policy Policy) *Net {
+	if policy == nil {
+		panic("network: nil policy")
+	}
+	return &Net{
+		engine:   engine,
+		n:        n,
+		policy:   policy,
+		handlers: make([]Handler, n),
+		stats:    Stats{BySender: make([]uint64, n)},
+	}
+}
+
+// N returns the number of endpoints.
+func (nt *Net) N() int { return nt.n }
+
+// Register installs the delivery handler for id. It must be called before
+// any message addressed to id is delivered; re-registering replaces the
+// handler (used when a node rejoins).
+func (nt *Net) Register(id NodeID, h Handler) {
+	nt.checkID(id)
+	nt.handlers[id] = h
+}
+
+// SetObserver installs a trace observer (nil to remove).
+func (nt *Net) SetObserver(o Observer) { nt.observer = o }
+
+// Stats returns a copy of the traffic counters.
+func (nt *Net) Stats() Stats {
+	s := nt.stats
+	s.BySender = append([]uint64(nil), nt.stats.BySender...)
+	return s
+}
+
+// ResetStats zeroes the traffic counters (used by per-phase measurements).
+func (nt *Net) ResetStats() {
+	nt.stats = Stats{BySender: make([]uint64, nt.n)}
+}
+
+// Send transmits msg from -> to. Delivery is scheduled according to the
+// policy; a handler that is nil at delivery time silently drops the message
+// (the destination is offline).
+func (nt *Net) Send(from, to NodeID, msg any) {
+	nt.checkID(from)
+	nt.checkID(to)
+	now := nt.engine.Now()
+	nt.stats.Sent++
+	nt.stats.BySender[from]++
+	d := nt.policy.Delay(from, to, now, nt.engine.Rand())
+	if d < 0 {
+		nt.stats.Dropped++
+		if nt.observer != nil {
+			nt.observer(from, to, msg, now, -1)
+		}
+		return
+	}
+	deliverAt := now + d
+	if nt.observer != nil {
+		nt.observer(from, to, msg, now, deliverAt)
+	}
+	nt.engine.MustAt(deliverAt, func() {
+		h := nt.handlers[to]
+		if h == nil {
+			nt.stats.Dropped++
+			return
+		}
+		nt.stats.Delivered++
+		h(from, msg)
+	})
+}
+
+// Broadcast sends msg from -> every endpoint, including the sender itself
+// ("sends to all" in the paper includes the sender; self-delivery obeys the
+// same delay bounds, which is the conservative reading).
+func (nt *Net) Broadcast(from NodeID, msg any) {
+	for to := 0; to < nt.n; to++ {
+		nt.Send(from, to, msg)
+	}
+}
+
+func (nt *Net) checkID(id NodeID) {
+	if id < 0 || id >= nt.n {
+		panic(fmt.Sprintf("network: node id %d out of range [0,%d)", id, nt.n))
+	}
+}

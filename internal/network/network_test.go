@@ -1,0 +1,234 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optsync/internal/sim"
+)
+
+func TestSendDeliversAfterFixedDelay(t *testing.T) {
+	e := sim.New(1)
+	nt := New(e, 2, Fixed{D: 0.5})
+	var gotFrom NodeID = -1
+	var gotMsg any
+	var at sim.Time
+	nt.Register(1, func(from NodeID, msg any) {
+		gotFrom, gotMsg, at = from, msg, e.Now()
+	})
+	nt.Send(0, 1, "hello")
+	e.RunAll(0)
+	if gotFrom != 0 || gotMsg != "hello" || at != 0.5 {
+		t.Fatalf("delivery = (%v, %v, %v)", gotFrom, gotMsg, at)
+	}
+}
+
+func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
+	e := sim.New(1)
+	nt := New(e, 4, Fixed{D: 0.1})
+	got := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		nt.Register(i, func(from NodeID, msg any) { got[i]++ })
+	}
+	nt.Broadcast(2, "m")
+	e.RunAll(0)
+	for i, c := range got {
+		if c != 1 {
+			t.Fatalf("node %d received %d copies", i, c)
+		}
+	}
+}
+
+func TestUnregisteredDestinationDrops(t *testing.T) {
+	e := sim.New(1)
+	nt := New(e, 2, Fixed{D: 0.1})
+	nt.Send(0, 1, "m")
+	e.RunAll(0)
+	s := nt.Stats()
+	if s.Sent != 1 || s.Delivered != 0 || s.Dropped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	e := sim.New(1)
+	nt := New(e, 3, Fixed{D: 0})
+	for i := 0; i < 3; i++ {
+		nt.Register(i, func(NodeID, any) {})
+	}
+	nt.Broadcast(0, "a")
+	nt.Send(1, 2, "b")
+	e.RunAll(0)
+	s := nt.Stats()
+	if s.Sent != 4 || s.Delivered != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BySender[0] != 3 || s.BySender[1] != 1 || s.BySender[2] != 0 {
+		t.Fatalf("BySender = %v", s.BySender)
+	}
+	nt.ResetStats()
+	if s := nt.Stats(); s.Sent != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestDropPolicy(t *testing.T) {
+	e := sim.New(1)
+	nt := New(e, 2, Drop{})
+	delivered := false
+	nt.Register(1, func(NodeID, any) { delivered = true })
+	nt.Send(0, 1, "m")
+	e.RunAll(0)
+	if delivered {
+		t.Fatal("Drop policy delivered a message")
+	}
+	if s := nt.Stats(); s.Dropped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUniformPolicyRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := Uniform{Min: 0.2, Max: 0.7}
+	for i := 0; i < 1000; i++ {
+		d := u.Delay(0, 1, 0, rng)
+		if d < 0.2 || d > 0.7 {
+			t.Fatalf("delay %v outside [0.2, 0.7]", d)
+		}
+	}
+}
+
+func TestUniformPolicyInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range did not panic")
+		}
+	}()
+	Uniform{Min: 1, Max: 0}.Delay(0, 1, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestFaultyAwareRouting(t *testing.T) {
+	faulty := map[NodeID]bool{2: true}
+	p := FaultyAware{
+		Honest:   Fixed{D: 1.0},
+		Faulty:   Fixed{D: 0.0},
+		IsFaulty: func(id NodeID) bool { return faulty[id] },
+	}
+	rng := rand.New(rand.NewSource(1))
+	if d := p.Delay(0, 1, 0, rng); d != 1.0 {
+		t.Fatalf("honest link delay = %v", d)
+	}
+	if d := p.Delay(0, 2, 0, rng); d != 0.0 {
+		t.Fatalf("to-faulty link delay = %v", d)
+	}
+	if d := p.Delay(2, 1, 0, rng); d != 0.0 {
+		t.Fatalf("from-faulty link delay = %v", d)
+	}
+}
+
+func TestSpreadPolicy(t *testing.T) {
+	p := Spread{Min: 0.1, Max: 0.9, Slow: map[NodeID]bool{1: true}}
+	rng := rand.New(rand.NewSource(1))
+	if d := p.Delay(0, 1, 0, rng); d != 0.9 {
+		t.Fatalf("slow target delay = %v", d)
+	}
+	if d := p.Delay(0, 2, 0, rng); d != 0.1 {
+		t.Fatalf("fast target delay = %v", d)
+	}
+}
+
+func TestPerLinkPolicy(t *testing.T) {
+	p := PerLink{Fn: func(from, to NodeID, _ sim.Time, _ *rand.Rand) float64 {
+		return float64(from*10 + to)
+	}}
+	if d := p.Delay(1, 2, 0, nil); d != 12 {
+		t.Fatalf("delay = %v", d)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	e := sim.New(1)
+	nt := New(e, 2, Fixed{D: 0.25})
+	nt.Register(1, func(NodeID, any) {})
+	var seen int
+	var lastDeliver sim.Time
+	nt.SetObserver(func(from, to NodeID, msg any, sentAt, deliverAt sim.Time) {
+		seen++
+		lastDeliver = deliverAt
+	})
+	nt.Send(0, 1, "m")
+	if seen != 1 || lastDeliver != 0.25 {
+		t.Fatalf("observer saw %d sends, deliverAt=%v", seen, lastDeliver)
+	}
+	// Dropped messages are observed with deliverAt < 0.
+	nt2 := New(e, 2, Drop{})
+	var droppedAt sim.Time = 99
+	nt2.SetObserver(func(_, _ NodeID, _ any, _, deliverAt sim.Time) { droppedAt = deliverAt })
+	nt2.Send(0, 1, "m")
+	if droppedAt >= 0 {
+		t.Fatalf("dropped message observed with deliverAt=%v", droppedAt)
+	}
+}
+
+func TestOutOfRangeIDsPanic(t *testing.T) {
+	e := sim.New(1)
+	nt := New(e, 2, Fixed{})
+	for _, fn := range []func(){
+		func() { nt.Send(-1, 0, "m") },
+		func() { nt.Send(0, 7, "m") },
+		func() { nt.Register(9, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range id did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: with a Uniform policy, messages between registered endpoints
+// are always delivered within [Min, Max] of the send time, in order
+// consistency with the engine (delivery time >= send time).
+func TestDeliveryWithinBoundsProperty(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		e := sim.New(seed)
+		nt := New(e, 3, Uniform{Min: 0.1, Max: 0.4})
+		type rec struct{ sent, got sim.Time }
+		var recs []rec
+		pendingSent := map[int]sim.Time{}
+		seq := 0
+		for i := 0; i < 3; i++ {
+			nt.Register(i, func(_ NodeID, msg any) {
+				id := msg.(int)
+				recs = append(recs, rec{pendingSent[id], e.Now()})
+			})
+		}
+		for _, r := range raw {
+			from, to := int(r%3), int((r/3)%3)
+			pendingSent[seq] = e.Now()
+			nt.Send(from, to, seq)
+			seq++
+			e.Run(e.Now() + float64(r%7)/100)
+		}
+		e.RunAll(0)
+		if len(recs) != len(raw) {
+			return false
+		}
+		for _, r := range recs {
+			d := r.got - r.sent
+			if d < 0.1-1e-12 || d > 0.4+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

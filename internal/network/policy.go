@@ -1,0 +1,99 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optsync/internal/sim"
+)
+
+// Fixed delivers every message after exactly D seconds.
+type Fixed struct {
+	D float64
+}
+
+var _ Policy = Fixed{}
+
+// Delay implements Policy.
+func (f Fixed) Delay(_, _ NodeID, _ sim.Time, _ *rand.Rand) float64 { return f.D }
+
+// Uniform draws delays uniformly from [Min, Max]. This is the standard
+// benign model: delay within (0, tdel].
+type Uniform struct {
+	Min, Max float64
+}
+
+var _ Policy = Uniform{}
+
+// Delay implements Policy.
+func (u Uniform) Delay(_, _ NodeID, _ sim.Time, rng *rand.Rand) float64 {
+	if u.Max < u.Min {
+		panic(fmt.Sprintf("network: Uniform{%v, %v} inverted", u.Min, u.Max))
+	}
+	return u.Min + rng.Float64()*(u.Max-u.Min)
+}
+
+// PerLink delegates to an arbitrary function of the link; use for scripted
+// adversarial schedules.
+type PerLink struct {
+	Fn func(from, to NodeID, now sim.Time, rng *rand.Rand) float64
+}
+
+var _ Policy = PerLink{}
+
+// Delay implements Policy.
+func (p PerLink) Delay(from, to NodeID, now sim.Time, rng *rand.Rand) float64 {
+	return p.Fn(from, to, now, rng)
+}
+
+// FaultyAware routes links touching a faulty endpoint to a separate policy.
+// The model requires correct-to-correct links to respect [dmin, dmax], but
+// says nothing about links with a faulty endpoint: the adversary may rush
+// (deliver arbitrarily fast) or withhold (drop) there.
+type FaultyAware struct {
+	// Honest applies to links whose two endpoints are correct.
+	Honest Policy
+	// Faulty applies to links with at least one faulty endpoint.
+	Faulty Policy
+	// IsFaulty reports whether a node is faulty.
+	IsFaulty func(NodeID) bool
+}
+
+var _ Policy = FaultyAware{}
+
+// Delay implements Policy.
+func (f FaultyAware) Delay(from, to NodeID, now sim.Time, rng *rand.Rand) float64 {
+	if f.IsFaulty(from) || f.IsFaulty(to) {
+		return f.Faulty.Delay(from, to, now, rng)
+	}
+	return f.Honest.Delay(from, to, now, rng)
+}
+
+// Spread is the adversarial policy that maximizes acceptance spread among
+// correct nodes: messages to nodes in Slow get the maximum delay, messages
+// to everyone else the minimum. This realizes the worst case of the
+// agreement proofs (some processes learn of a round as early as possible,
+// others as late as possible).
+type Spread struct {
+	Min, Max float64
+	Slow     map[NodeID]bool
+}
+
+var _ Policy = Spread{}
+
+// Delay implements Policy.
+func (s Spread) Delay(_, to NodeID, _ sim.Time, _ *rand.Rand) float64 {
+	if s.Slow[to] {
+		return s.Max
+	}
+	return s.Min
+}
+
+// Drop unconditionally drops everything; used as the Faulty arm of
+// FaultyAware to model crashed or silenced nodes.
+type Drop struct{}
+
+var _ Policy = Drop{}
+
+// Delay implements Policy.
+func (Drop) Delay(_, _ NodeID, _ sim.Time, _ *rand.Rand) float64 { return -1 }

@@ -1,0 +1,355 @@
+// Package node provides the process runtime: it binds a protocol
+// implementation to a hardware clock, the network, and a signature scheme,
+// and exposes the environment interface protocols are written against.
+//
+// Correct protocols observe time exclusively through their logical clock
+// (LogicalTime, AtLogical); real time exists in the interface only for
+// Byzantine protocol implementations, which per the model are controlled by
+// an omniscient adversary.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optsync/internal/clock"
+	"optsync/internal/network"
+	"optsync/internal/sig"
+	"optsync/internal/sim"
+)
+
+// ID identifies a process.
+type ID = network.NodeID
+
+// Message is a protocol message; concrete protocols define their own types.
+type Message = any
+
+// Timer is an opaque handle to a cancellable scheduled callback. The
+// simulation runtime backs it with a *sim.Event; the real-time runtime
+// (internal/rt) with a *time.Timer. Protocols only store it and hand it
+// back to Env.Cancel.
+type Timer any
+
+// Env is the world as seen by a protocol instance.
+type Env interface {
+	// ID returns this process's identity.
+	ID() ID
+	// N returns the total number of processes.
+	N() int
+	// F returns the resilience parameter (max faults tolerated).
+	F() int
+
+	// LogicalTime returns the current logical clock reading C = H + A.
+	LogicalTime() float64
+	// HardwareTime returns the current hardware clock reading H.
+	HardwareTime() float64
+	// SetLogical sets the logical clock to read value now (a resync jump).
+	SetLogical(value float64)
+	// AtLogical schedules fn for the instant the logical clock reads
+	// value (immediately if it already does). The timer assumes no
+	// further adjustments: after any SetLogical, protocols must cancel
+	// and re-arm pending logical timers.
+	AtLogical(value float64, fn func()) Timer
+	// Cancel cancels a pending timer (nil-safe).
+	Cancel(Timer)
+
+	// Send transmits a message to one process.
+	Send(to ID, msg Message)
+	// Broadcast transmits a message to all processes (including self).
+	Broadcast(msg Message)
+
+	// Sign signs payload with this process's key.
+	Sign(payload []byte) sig.Signature
+	// Verify checks signer's signature over payload.
+	Verify(signer ID, payload []byte, s sig.Signature) bool
+
+	// Pulse reports that this process accepted resynchronization round
+	// r (used by the metrics pipeline; semantically "clock hit kP+alpha").
+	Pulse(round int)
+
+	// Rand returns this process's deterministic randomness source.
+	Rand() *rand.Rand
+
+	// RealTime returns true real time. Correct protocols MUST NOT call
+	// this (processes cannot observe real time); it exists for Byzantine
+	// implementations and assertions in tests.
+	RealTime() float64
+}
+
+// Protocol is a process's program.
+type Protocol interface {
+	// Start runs when the process boots.
+	Start(Env)
+	// Deliver runs when a message arrives.
+	Deliver(Env, ID, Message)
+}
+
+// PulseRecord logs one accepted resynchronization round at one node.
+type PulseRecord struct {
+	Node    ID
+	Round   int
+	Real    float64
+	Logical float64
+}
+
+// Node is one simulated process.
+type Node struct {
+	id      ID
+	cluster *Cluster
+	logical clock.LogicalClock
+	proto   Protocol
+	rng     *rand.Rand
+	started bool
+	faulty  bool
+}
+
+var _ Env = (*Node)(nil)
+
+// ID implements Env.
+func (nd *Node) ID() ID { return nd.id }
+
+// N implements Env.
+func (nd *Node) N() int { return len(nd.cluster.Nodes) }
+
+// F implements Env.
+func (nd *Node) F() int { return nd.cluster.cfg.F }
+
+// Faulty reports whether the node was configured as faulty.
+func (nd *Node) Faulty() bool { return nd.faulty }
+
+// Started reports whether the node has booted.
+func (nd *Node) Started() bool { return nd.started }
+
+// Clock exposes the logical clock (for metrics; protocols use the Env
+// methods).
+func (nd *Node) Clock() clock.LogicalClock { return nd.logical }
+
+// Protocol returns the protocol instance bound to this node.
+func (nd *Node) Protocol() Protocol { return nd.proto }
+
+// LogicalTime implements Env.
+func (nd *Node) LogicalTime() float64 {
+	return nd.logical.Read(nd.cluster.Engine.Now())
+}
+
+// HardwareTime implements Env.
+func (nd *Node) HardwareTime() float64 {
+	return nd.logical.Hardware().Read(nd.cluster.Engine.Now())
+}
+
+// SetLogical implements Env.
+func (nd *Node) SetLogical(value float64) {
+	nd.logical.SetAt(nd.cluster.Engine.Now(), value)
+}
+
+// AtLogical implements Env.
+func (nd *Node) AtLogical(value float64, fn func()) Timer {
+	t := nd.logical.WhenReads(value)
+	now := nd.cluster.Engine.Now()
+	if t < now {
+		t = now
+	}
+	return nd.cluster.Engine.MustAt(t, fn)
+}
+
+// Cancel implements Env.
+func (nd *Node) Cancel(t Timer) {
+	if t == nil {
+		return
+	}
+	ev, ok := t.(*sim.Event)
+	if !ok {
+		panic("node: Cancel called with a foreign timer handle")
+	}
+	nd.cluster.Engine.Cancel(ev)
+}
+
+// Send implements Env.
+func (nd *Node) Send(to ID, msg Message) {
+	nd.cluster.Net.Send(nd.id, to, msg)
+}
+
+// Broadcast implements Env.
+func (nd *Node) Broadcast(msg Message) {
+	nd.cluster.Net.Broadcast(nd.id, msg)
+}
+
+// Sign implements Env.
+func (nd *Node) Sign(payload []byte) sig.Signature {
+	return nd.cluster.cfg.Scheme.Sign(nd.id, payload)
+}
+
+// Verify implements Env.
+func (nd *Node) Verify(signer ID, payload []byte, s sig.Signature) bool {
+	return nd.cluster.cfg.Scheme.Verify(signer, payload, s)
+}
+
+// Pulse implements Env.
+func (nd *Node) Pulse(round int) {
+	now := nd.cluster.Engine.Now()
+	rec := PulseRecord{
+		Node:    nd.id,
+		Round:   round,
+		Real:    now,
+		Logical: nd.logical.Read(now),
+	}
+	nd.cluster.Pulses = append(nd.cluster.Pulses, rec)
+	if nd.cluster.OnPulse != nil {
+		nd.cluster.OnPulse(rec)
+	}
+}
+
+// Rand implements Env.
+func (nd *Node) Rand() *rand.Rand { return nd.rng }
+
+// RealTime implements Env.
+func (nd *Node) RealTime() float64 { return nd.cluster.Engine.Now() }
+
+// Config assembles a cluster.
+type Config struct {
+	// N is the number of processes; F the resilience parameter exposed to
+	// protocols (the thresholds f+1, 2f+1 derive from it).
+	N, F int
+	// Seed drives all randomness (clocks, delays, keys).
+	Seed int64
+	// Rho is the hardware drift bound.
+	Rho clock.Rho
+	// Delay is the network delay policy.
+	Delay network.Policy
+	// Scheme is the signature scheme; nil selects HMAC (fast default).
+	Scheme sig.Scheme
+	// Clocks builds node i's hardware clock. nil defaults to perfect
+	// clocks (offset 0, rate 1).
+	Clocks func(i int, rng *rand.Rand) *clock.Hardware
+	// Protocols builds node i's program.
+	Protocols func(i int) Protocol
+	// Faulty marks nodes as Byzantine (affects bookkeeping only; their
+	// behaviour is whatever protocol Protocols returns for them).
+	Faulty map[int]bool
+	// StartAt optionally delays a node's boot to the given virtual time
+	// (used for reintegration experiments). Zero means boot at time 0.
+	StartAt map[int]float64
+	// SlewRate, when positive, amortizes clock adjustments instead of
+	// jumping: the adjustment moves toward its target at SlewRate logical
+	// units per local time unit, keeping logical clocks continuous and
+	// strictly monotone (the paper's amortization remark). Must be < 1.
+	SlewRate float64
+}
+
+// Cluster wires N nodes to an engine and network.
+type Cluster struct {
+	Engine *sim.Engine
+	Net    *network.Net
+	Nodes  []*Node
+	Pulses []PulseRecord
+	// OnPulse, if set, observes every pulse as it happens.
+	OnPulse func(PulseRecord)
+
+	cfg Config
+}
+
+// NewCluster builds the cluster; call Start then Engine.Run.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("node: invalid N=%d", cfg.N))
+	}
+	if cfg.Protocols == nil {
+		panic("node: Config.Protocols is required")
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = sig.NewHMAC(cfg.N, cfg.Seed)
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = network.Fixed{D: 0.001}
+	}
+	engine := sim.New(cfg.Seed)
+	c := &Cluster{
+		Engine: engine,
+		Net:    network.New(engine, cfg.N, cfg.Delay),
+		cfg:    cfg,
+	}
+	for i := 0; i < cfg.N; i++ {
+		var hw *clock.Hardware
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(0x9E3779B97F4A7C15*uint64(i+1))))
+		if cfg.Clocks != nil {
+			hw = cfg.Clocks(i, rng)
+		} else {
+			hw = clock.NewConstant(0, 1, cfg.Rho)
+		}
+		var logical clock.LogicalClock
+		if cfg.SlewRate > 0 {
+			logical = clock.NewSlewed(hw, cfg.SlewRate)
+		} else {
+			logical = clock.NewLogical(hw)
+		}
+		nd := &Node{
+			id:      i,
+			cluster: c,
+			logical: logical,
+			proto:   cfg.Protocols(i),
+			rng:     rng,
+			faulty:  cfg.Faulty[i],
+		}
+		c.Nodes = append(c.Nodes, nd)
+	}
+	return c
+}
+
+// Start boots every node at its configured start time and registers
+// delivery handlers. A node delivers messages only once booted.
+func (c *Cluster) Start() {
+	for _, nd := range c.Nodes {
+		nd := nd
+		c.Net.Register(nd.id, func(from ID, msg Message) {
+			if !nd.started {
+				return // offline: pre-boot traffic is lost
+			}
+			nd.proto.Deliver(nd, from, msg)
+		})
+		at := c.cfg.StartAt[nd.id]
+		c.Engine.MustAt(at, func() {
+			nd.started = true
+			nd.proto.Start(nd)
+		})
+	}
+}
+
+// Run starts the cluster (if not already) and runs until the horizon.
+func (c *Cluster) Run(until float64) {
+	c.Engine.Run(until)
+}
+
+// CorrectIDs returns the IDs of non-faulty nodes that have booted by now.
+func (c *Cluster) CorrectIDs() []ID {
+	var out []ID
+	for _, nd := range c.Nodes {
+		if !nd.faulty && nd.started {
+			out = append(out, nd.id)
+		}
+	}
+	return out
+}
+
+// ReadLogical returns node id's logical clock at the current instant.
+func (c *Cluster) ReadLogical(id ID) float64 {
+	return c.Nodes[id].logical.Read(c.Engine.Now())
+}
+
+// Skew returns the max pairwise difference of the logical clocks of the
+// given nodes at the current virtual time.
+func (c *Cluster) Skew(ids []ID) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	lo, hi := c.ReadLogical(ids[0]), c.ReadLogical(ids[0])
+	for _, id := range ids[1:] {
+		v := c.ReadLogical(id)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,301 @@
+package node
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"optsync/internal/clock"
+	"optsync/internal/network"
+)
+
+// echoProto broadcasts one message at boot and counts deliveries.
+type echoProto struct {
+	started   bool
+	delivered []ID
+	payloads  []Message
+}
+
+func (p *echoProto) Start(env Env) {
+	p.started = true
+	env.Broadcast("hi")
+}
+
+func (p *echoProto) Deliver(_ Env, from ID, msg Message) {
+	p.delivered = append(p.delivered, from)
+	p.payloads = append(p.payloads, msg)
+}
+
+func newEchoCluster(n int) (*Cluster, []*echoProto) {
+	protos := make([]*echoProto, n)
+	c := NewCluster(Config{
+		N:     n,
+		F:     (n - 1) / 3,
+		Seed:  1,
+		Rho:   clock.Rho(0.001),
+		Delay: network.Fixed{D: 0.01},
+		Protocols: func(i int) Protocol {
+			protos[i] = &echoProto{}
+			return protos[i]
+		},
+	})
+	return c, protos
+}
+
+func TestClusterBootAndBroadcast(t *testing.T) {
+	c, protos := newEchoCluster(3)
+	c.Start()
+	c.Run(1)
+	for i, p := range protos {
+		if !p.started {
+			t.Fatalf("node %d not started", i)
+		}
+		if len(p.delivered) != 3 {
+			t.Fatalf("node %d delivered %d messages, want 3", i, len(p.delivered))
+		}
+	}
+}
+
+func TestLogicalTimeAndSetLogical(t *testing.T) {
+	c := NewCluster(Config{
+		N: 1, F: 0, Seed: 1,
+		Protocols: func(i int) Protocol { return protoFunc{} },
+	})
+	c.Start()
+	c.Run(5)
+	nd := c.Nodes[0]
+	if got := nd.LogicalTime(); got != 5 {
+		t.Fatalf("LogicalTime = %v, want 5 (perfect default clock)", got)
+	}
+	nd.SetLogical(100)
+	if got := nd.LogicalTime(); got != 100 {
+		t.Fatalf("LogicalTime after SetLogical = %v", got)
+	}
+	if got := c.ReadLogical(0); got != 100 {
+		t.Fatalf("ReadLogical = %v", got)
+	}
+	if nd.HardwareTime() != 5 {
+		t.Fatalf("HardwareTime = %v, want 5", nd.HardwareTime())
+	}
+	if nd.RealTime() != 5 {
+		t.Fatalf("RealTime = %v, want 5", nd.RealTime())
+	}
+}
+
+type protoFunc struct{}
+
+func (protoFunc) Start(Env)                {}
+func (protoFunc) Deliver(Env, ID, Message) {}
+
+func TestAtLogicalFiresAtValue(t *testing.T) {
+	c := NewCluster(Config{
+		N: 1, F: 0, Seed: 1,
+		Rho:       clock.Rho(0.5),
+		Protocols: func(int) Protocol { return protoFunc{} },
+	})
+	c.Start()
+	c.Run(0)
+	nd := c.Nodes[0]
+	var fired float64 = -1
+	nd.AtLogical(2.5, func() { fired = c.Engine.Now() })
+	c.Run(10)
+	if fired != 2.5 {
+		t.Fatalf("timer fired at %v, want 2.5", fired)
+	}
+	// Past values fire immediately (not in the past).
+	fired = -1
+	nd.AtLogical(1.0, func() { fired = c.Engine.Now() })
+	c.Run(20)
+	if fired != 10 {
+		t.Fatalf("past-value timer fired at %v, want now=10", fired)
+	}
+}
+
+func TestAtLogicalWithDriftingClock(t *testing.T) {
+	rho := clock.Rho(1)
+	c2 := NewCluster(Config{
+		N: 1, F: 0, Seed: 1, Rho: rho,
+		Clocks: func(int, *rand.Rand) *clock.Hardware {
+			return clock.NewConstant(0, 2, rho)
+		},
+		Protocols: func(int) Protocol { return protoFunc{} },
+	})
+	c2.Start()
+	var fired float64 = -1
+	c2.Nodes[0].AtLogical(4, func() { fired = c2.Engine.Now() })
+	c2.Run(10)
+	if math.Abs(fired-2) > 1e-12 {
+		t.Fatalf("rate-2 clock timer fired at %v, want 2", fired)
+	}
+}
+
+func TestCancelTimer(t *testing.T) {
+	c, _ := newEchoCluster(1)
+	c.Start()
+	c.Run(0)
+	fired := false
+	tm := c.Nodes[0].AtLogical(0.5, func() { fired = true })
+	c.Nodes[0].Cancel(tm)
+	c.Nodes[0].Cancel(nil) // nil-safe
+	c.Run(2)
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestDelayedStartDropsEarlyTraffic(t *testing.T) {
+	protos := make([]*echoProto, 2)
+	c := NewCluster(Config{
+		N: 2, F: 0, Seed: 1,
+		Delay: network.Fixed{D: 0.01},
+		Protocols: func(i int) Protocol {
+			protos[i] = &echoProto{}
+			return protos[i]
+		},
+		StartAt: map[int]float64{1: 5.0},
+	})
+	c.Start()
+	c.Run(10)
+	// Node 1 boots at t=5; node 0's boot broadcast (delivered t=0.01) is lost.
+	// Node 1's own boot broadcast at t=5 reaches both.
+	if len(protos[0].delivered) != 2 { // own echo + node1's echo
+		t.Fatalf("node 0 delivered %d, want 2", len(protos[0].delivered))
+	}
+	if len(protos[1].delivered) != 1 { // only its own echo
+		t.Fatalf("node 1 delivered %d, want 1", len(protos[1].delivered))
+	}
+}
+
+func TestPulseRecording(t *testing.T) {
+	c, _ := newEchoCluster(2)
+	c.Start()
+	c.Run(1)
+	var observed []PulseRecord
+	c.OnPulse = func(r PulseRecord) { observed = append(observed, r) }
+	c.Nodes[0].Pulse(3)
+	c.Nodes[1].Pulse(3)
+	if len(c.Pulses) != 2 || len(observed) != 2 {
+		t.Fatalf("pulses = %d observed = %d", len(c.Pulses), len(observed))
+	}
+	r := c.Pulses[0]
+	if r.Node != 0 || r.Round != 3 || r.Real != 1 {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestSignVerifyThroughEnv(t *testing.T) {
+	c, _ := newEchoCluster(3)
+	c.Start()
+	c.Run(0)
+	payload := []byte("round 1")
+	s := c.Nodes[0].Sign(payload)
+	if !c.Nodes[1].Verify(0, payload, s) {
+		t.Fatal("peer failed to verify signature")
+	}
+	if c.Nodes[1].Verify(2, payload, s) {
+		t.Fatal("signature verified for wrong signer")
+	}
+}
+
+func TestSkewComputation(t *testing.T) {
+	c, _ := newEchoCluster(3)
+	c.Start()
+	c.Run(1)
+	c.Nodes[0].SetLogical(10)
+	c.Nodes[1].SetLogical(12)
+	c.Nodes[2].SetLogical(11)
+	if got := c.Skew([]ID{0, 1, 2}); got != 2 {
+		t.Fatalf("Skew = %v, want 2", got)
+	}
+	if got := c.Skew(nil); got != 0 {
+		t.Fatalf("Skew(nil) = %v", got)
+	}
+}
+
+func TestCorrectIDsExcludesFaultyAndUnbooted(t *testing.T) {
+	c := NewCluster(Config{
+		N: 4, F: 1, Seed: 1,
+		Protocols: func(int) Protocol { return protoFunc{} },
+		Faulty:    map[int]bool{2: true},
+		StartAt:   map[int]float64{3: 100},
+	})
+	c.Start()
+	c.Run(1)
+	ids := c.CorrectIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("CorrectIDs = %v", ids)
+	}
+	if !c.Nodes[2].Faulty() || c.Nodes[2].Started() == false {
+		t.Fatalf("node 2 flags wrong")
+	}
+	if c.Nodes[3].Started() {
+		t.Fatal("node 3 should not have started")
+	}
+}
+
+func TestEnvAccessors(t *testing.T) {
+	c, _ := newEchoCluster(3)
+	c.Start()
+	c.Run(0.5)
+	nd := c.Nodes[1]
+	if nd.ID() != 1 || nd.N() != 3 || nd.F() != 0 {
+		t.Fatalf("accessors: id=%d n=%d f=%d", nd.ID(), nd.N(), nd.F())
+	}
+	if nd.Clock() == nil || nd.Protocol() == nil || nd.Rand() == nil {
+		t.Fatal("nil accessor")
+	}
+	// Direct send delivers.
+	got := false
+	c.Net.Register(2, func(from ID, msg Message) { got = from == 1 && msg == "direct" })
+	nd.Send(2, "direct")
+	c.Run(1)
+	if !got {
+		t.Fatal("Send did not deliver")
+	}
+}
+
+func TestCancelForeignHandlePanics(t *testing.T) {
+	c, _ := newEchoCluster(1)
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign timer handle accepted")
+		}
+	}()
+	c.Nodes[0].Cancel("not a timer")
+}
+
+func TestClusterSlewRateOption(t *testing.T) {
+	c := NewCluster(Config{
+		N: 1, F: 0, Seed: 1,
+		SlewRate:  0.1,
+		Protocols: func(int) Protocol { return protoFunc{} },
+	})
+	c.Start()
+	c.Run(1)
+	nd := c.Nodes[0]
+	nd.SetLogical(2) // +1: slews over 10 local units
+	if got := nd.LogicalTime(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("slewed clock jumped: %v", got)
+	}
+	c.Run(12)
+	if got := nd.LogicalTime(); math.Abs(got-13) > 1e-9 {
+		t.Fatalf("slew did not complete: %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero N":       {N: 0, Protocols: func(int) Protocol { return protoFunc{} }},
+		"nil protocol": {N: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: NewCluster did not panic", name)
+				}
+			}()
+			NewCluster(cfg)
+		}()
+	}
+}

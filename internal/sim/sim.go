@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual "real time" clock (float64 seconds) and a
+// priority queue of events. Events scheduled for the same instant are
+// executed in scheduling order (FIFO), which together with a seeded random
+// source makes every simulation fully reproducible.
+//
+// The engine is single-threaded by design: distributed-system "concurrency"
+// is modelled by event interleaving, not goroutines, so simulations are
+// deterministic and race-free.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Time is virtual real time in seconds since the start of the simulation.
+type Time = float64
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so that callers can cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// At returns the virtual time at which the event is (or was) scheduled.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// ErrPastTime is returned when scheduling an event before the current
+// virtual time.
+var ErrPastTime = errors.New("sim: schedule time is in the past")
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now       Time
+	seq       uint64
+	queue     eventQueue
+	rng       *rand.Rand
+	processed uint64
+	// Trap, if non-nil, is invoked with every panic message raised via
+	// Fatalf; by default Fatalf panics.
+	Trap func(format string, args ...any)
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		// Deliberately *not* crypto-random: reproducibility is the point.
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All randomness in
+// a simulation must come from this source (or sources derived from it) to
+// preserve reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at virtual time t. Scheduling at the current time
+// is allowed (the event runs after all previously scheduled events for that
+// time). Scheduling in the past returns ErrPastTime.
+func (e *Engine) At(t Time, fn func()) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, e.now)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("sim: invalid event time %v", t)
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// MustAt is At for callers that have already validated t; it panics on error.
+func (e *Engine) MustAt(t Time, fn func()) *Event {
+	ev, err := e.At(t, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// After schedules fn to run d seconds of virtual time from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.MustAt(e.now+d, fn)
+}
+
+// Cancel removes a pending event so that it never fires. Canceling a fired
+// or already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step executes the single next event, advancing virtual time to it.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is
+// strictly after until. Virtual time is advanced to until at the end, so
+// subsequent scheduling is relative to the horizon.
+func (e *Engine) Run(until Time) {
+	for e.queue.Len() > 0 && e.queue[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty or limit events were
+// processed. It returns the number of events processed by this call. A
+// limit of 0 means no limit.
+func (e *Engine) RunAll(limit uint64) uint64 {
+	var count uint64
+	for e.queue.Len() > 0 {
+		if limit > 0 && count >= limit {
+			break
+		}
+		e.Step()
+		count++
+	}
+	return count
+}
+
+// Fatalf reports a fatal simulation error. By default it panics; tests can
+// install a Trap to capture it.
+func (e *Engine) Fatalf(format string, args ...any) {
+	if e.Trap != nil {
+		e.Trap(format, args...)
+		return
+	}
+	panic(fmt.Sprintf("sim: "+format, args...))
+}
+
+// eventQueue is a binary heap ordered by (time, sequence).
+type eventQueue []*Event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.MustAt(3, func() { got = append(got, 3) })
+	e.MustAt(1, func() { got = append(got, 1) })
+	e.MustAt(2, func() { got = append(got, 2) })
+	e.RunAll(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOForTies(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustAt(5, func() { got = append(got, i) })
+	}
+	e.RunAll(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineRejectsPast(t *testing.T) {
+	e := New(1)
+	e.MustAt(10, func() {})
+	e.Step()
+	if _, err := e.At(5, func() {}); err == nil {
+		t.Fatal("expected error scheduling in the past")
+	}
+	if _, err := e.At(math.NaN(), func() {}); err == nil {
+		t.Fatal("expected error scheduling at NaN")
+	}
+	if _, err := e.At(math.Inf(1), func() {}); err == nil {
+		t.Fatal("expected error scheduling at +Inf")
+	}
+}
+
+func TestEngineSameTimeAllowed(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.MustAt(10, func() {
+		// Scheduling at the current instant must be legal and run later.
+		e.MustAt(e.Now(), func() { ran = true })
+	})
+	e.RunAll(0)
+	if !ran {
+		t.Fatal("event scheduled at current time did not run")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New(1)
+	ran := false
+	ev := e.MustAt(1, func() { ran = true })
+	e.Cancel(ev)
+	e.RunAll(0)
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	if ev.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+	// Double cancel and nil cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := New(1)
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.MustAt(Time(i), func() { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		e.Cancel(evs[i])
+	}
+	e.RunAll(0)
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("canceled event %d ran", v)
+		}
+	}
+	if len(got) != 13 {
+		t.Fatalf("got %d events, want 13", len(got))
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New(1)
+	var got []Time
+	for _, tt := range []Time{1, 2, 3, 4, 5} {
+		tt := tt
+		e.MustAt(tt, func() { got = append(got, tt) })
+	}
+	e.Run(3)
+	if len(got) != 3 {
+		t.Fatalf("processed %d events by t=3, want 3", len(got))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+	e.Run(10)
+	if len(got) != 5 {
+		t.Fatalf("processed %d events total, want 5", len(got))
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want horizon 10", e.Now())
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := New(1)
+	var at Time
+	e.MustAt(5, func() {
+		e.After(2.5, func() { at = e.Now() })
+	})
+	e.RunAll(0)
+	if at != 7.5 {
+		t.Fatalf("After fired at %v, want 7.5", at)
+	}
+	// Negative delays clamp to "now".
+	fired := false
+	e.After(-1, func() { fired = true })
+	e.RunAll(0)
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := New(seed)
+		var got []Time
+		var schedule func()
+		n := 0
+		schedule = func() {
+			if n >= 100 {
+				return
+			}
+			n++
+			d := e.Rand().Float64()
+			e.After(d, func() {
+				got = append(got, e.Now())
+				schedule()
+			})
+		}
+		schedule()
+		e.RunAll(0)
+		return got
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestEngineProcessedAndPending(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 5; i++ {
+		e.MustAt(Time(i), func() {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", e.Pending())
+	}
+	e.RunAll(2)
+	if e.Processed() != 2 {
+		t.Fatalf("Processed() = %d, want 2", e.Processed())
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", e.Pending())
+	}
+}
+
+func TestEngineFatalfTrap(t *testing.T) {
+	e := New(1)
+	var captured string
+	e.Trap = func(format string, args ...any) { captured = format }
+	e.Fatalf("boom %d", 7)
+	if captured != "boom %d" {
+		t.Fatalf("Trap not invoked, captured=%q", captured)
+	}
+	e.Trap = nil
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fatalf without Trap did not panic")
+		}
+	}()
+	e.Fatalf("boom")
+}
+
+// Property: for any batch of event times, execution order is the sorted
+// order of times (stable for equal times).
+func TestEngineHeapProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New(7)
+		times := make([]Time, len(raw))
+		for i, r := range raw {
+			times[i] = Time(r) / 16
+		}
+		var got []Time
+		for _, tt := range times {
+			tt := tt
+			e.MustAt(tt, func() { got = append(got, tt) })
+		}
+		e.RunAll(0)
+		want := append([]Time(nil), times...)
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset removes exactly that subset.
+func TestEngineCancelProperty(t *testing.T) {
+	f := func(raw []uint16, mask []bool) bool {
+		e := New(3)
+		type item struct {
+			ev       *Event
+			canceled bool
+		}
+		items := make([]item, len(raw))
+		ran := make(map[int]bool)
+		for i, r := range raw {
+			i := i
+			items[i].ev = e.MustAt(Time(r), func() { ran[i] = true })
+		}
+		for i := range items {
+			if i < len(mask) && mask[i] {
+				e.Cancel(items[i].ev)
+				items[i].canceled = true
+			}
+		}
+		e.RunAll(0)
+		for i := range items {
+			if items[i].canceled == ran[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
