@@ -1,7 +1,8 @@
 // Package optsync's root benchmark suite: one benchmark per experiment
 // table/figure (T1-T7, F1-F6 in EXPERIMENTS.md), each driving the same
-// harness code as the CLI, plus microbenchmarks of the substrates
-// (event engine, signatures, broadcast primitive).
+// public API as the CLI, plus batch-throughput benchmarks and
+// microbenchmarks of the substrates (event engine, signatures, broadcast
+// primitive).
 //
 // Run everything:
 //
@@ -9,11 +10,12 @@
 package optsync
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"optsync/internal/clock"
 	"optsync/internal/core/bounds"
-	"optsync/internal/harness"
 	"optsync/internal/network"
 	"optsync/internal/node"
 	"optsync/internal/sig"
@@ -30,14 +32,34 @@ func benchParams(n int, v bounds.Variant) bounds.Params {
 	}.WithDefaults()
 }
 
+// mustRun executes one spec through the public runner.
+func mustRun(b *testing.B, spec Spec) Result {
+	b.Helper()
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// scenarioTables regenerates one experiment of the reproduction suite.
+func scenarioTables(b *testing.B, id string) []*Table {
+	b.Helper()
+	s, ok := FindScenario(id)
+	if !ok {
+		b.Fatalf("scenario %s missing", id)
+	}
+	return s.Run()
+}
+
 // runSpec executes one harness run per iteration and reports the key
 // reproduction metrics alongside the timing.
-func runSpec(b *testing.B, spec harness.Spec) {
+func runSpec(b *testing.B, spec Spec) {
 	b.Helper()
-	var last harness.Result
+	var last Result
 	for i := 0; i < b.N; i++ {
 		spec.Seed = int64(i + 1)
-		last = harness.Run(spec)
+		last = mustRun(b, spec)
 	}
 	b.ReportMetric(last.MaxSkew*1e3, "skew_ms")
 	b.ReportMetric(last.SkewBound*1e3, "bound_ms")
@@ -48,18 +70,18 @@ func runSpec(b *testing.B, spec harness.Spec) {
 // at optimal resilience with silent faults.
 func BenchmarkT1AuthAgreement(b *testing.B) {
 	p := benchParams(7, bounds.Auth)
-	runSpec(b, harness.Spec{
-		Algo: harness.AlgoAuth, Params: p,
-		FaultyCount: p.F, Attack: harness.AttackSilent, Horizon: 20,
+	runSpec(b, Spec{
+		Algo: AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: AttackSilent, Horizon: 20,
 	})
 }
 
 // BenchmarkT2PrimitiveAgreement regenerates a T2 cell.
 func BenchmarkT2PrimitiveAgreement(b *testing.B) {
 	p := benchParams(7, bounds.Primitive)
-	runSpec(b, harness.Spec{
-		Algo: harness.AlgoPrim, Params: p,
-		FaultyCount: p.F, Attack: harness.AttackSilent, Horizon: 20,
+	runSpec(b, Spec{
+		Algo: AlgoPrim, Params: p,
+		FaultyCount: p.F, Attack: AttackSilent, Horizon: 20,
 	})
 }
 
@@ -67,11 +89,11 @@ func BenchmarkT2PrimitiveAgreement(b *testing.B) {
 // long CNV-under-attack run; the full table is `syncsim -exp T3`).
 func BenchmarkT3Accuracy(b *testing.B) {
 	p := benchParams(7, bounds.Primitive)
-	var last harness.Result
+	var last Result
 	for i := 0; i < b.N; i++ {
-		last = harness.Run(harness.Spec{
-			Algo: harness.AlgoCNV, Params: p,
-			FaultyCount: p.F, Attack: harness.AttackBias, Bias: 3 * p.Dmax(),
+		last = mustRun(b, Spec{
+			Algo: AlgoCNV, Params: p,
+			FaultyCount: p.F, Attack: AttackBias, Bias: 3 * p.Dmax(),
 			Horizon: 120, Seed: int64(i + 1),
 		})
 	}
@@ -82,11 +104,11 @@ func BenchmarkT3Accuracy(b *testing.B) {
 // BenchmarkT4AuthResilience regenerates the beyond-resilience rush attack.
 func BenchmarkT4AuthResilience(b *testing.B) {
 	p := benchParams(5, bounds.Auth)
-	var last harness.Result
+	var last Result
 	for i := 0; i < b.N; i++ {
-		last = harness.Run(harness.Spec{
-			Algo: harness.AlgoAuth, Params: p,
-			FaultyCount: p.F + 1, Attack: harness.AttackRush,
+		last = mustRun(b, Spec{
+			Algo: AlgoAuth, Params: p,
+			FaultyCount: p.F + 1, Attack: AttackRush,
 			RushInterval: p.Period / 5, Horizon: 30, Seed: int64(i + 1),
 		})
 	}
@@ -97,11 +119,11 @@ func BenchmarkT4AuthResilience(b *testing.B) {
 // BenchmarkT5PrimResilience regenerates the primitive-variant boundary.
 func BenchmarkT5PrimResilience(b *testing.B) {
 	p := benchParams(7, bounds.Primitive)
-	var last harness.Result
+	var last Result
 	for i := 0; i < b.N; i++ {
-		last = harness.Run(harness.Spec{
-			Algo: harness.AlgoPrim, Params: p,
-			FaultyCount: p.F + 1, Attack: harness.AttackRush,
+		last = mustRun(b, Spec{
+			Algo: AlgoPrim, Params: p,
+			FaultyCount: p.F + 1, Attack: AttackRush,
 			RushInterval: p.Period / 5, Horizon: 30, Seed: int64(i + 1),
 		})
 	}
@@ -111,7 +133,7 @@ func BenchmarkT5PrimResilience(b *testing.B) {
 // BenchmarkT6Primitive runs the general broadcast primitive experiment.
 func BenchmarkT6Primitive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tables := harness.T6Primitive()
+		tables := scenarioTables(b, "T6")
 		if len(tables) == 0 {
 			b.Fatal("no tables")
 		}
@@ -121,11 +143,11 @@ func BenchmarkT6Primitive(b *testing.B) {
 // BenchmarkT7Messages measures message complexity at n=13.
 func BenchmarkT7Messages(b *testing.B) {
 	p := benchParams(13, bounds.Auth)
-	var last harness.Result
+	var last Result
 	for i := 0; i < b.N; i++ {
-		last = harness.Run(harness.Spec{
-			Algo: harness.AlgoAuth, Params: p,
-			FaultyCount: p.F, Attack: harness.AttackSilent,
+		last = mustRun(b, Spec{
+			Algo: AlgoAuth, Params: p,
+			FaultyCount: p.F, Attack: AttackSilent,
 			Horizon: 20, Seed: int64(i + 1),
 		})
 	}
@@ -135,16 +157,16 @@ func BenchmarkT7Messages(b *testing.B) {
 // BenchmarkF1Trace regenerates the sawtooth trace.
 func BenchmarkF1Trace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.F1Trace()
+		scenarioTables(b, "F1")
 	}
 }
 
 // BenchmarkF2SkewVsF runs the f-sweep cell at maximum faults.
 func BenchmarkF2SkewVsF(b *testing.B) {
 	p := benchParams(13, bounds.Auth)
-	runSpec(b, harness.Spec{
-		Algo: harness.AlgoAuth, Params: p,
-		FaultyCount: p.F, Attack: harness.AttackSilent, Horizon: 20,
+	runSpec(b, Spec{
+		Algo: AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: AttackSilent, Horizon: 20,
 	})
 }
 
@@ -157,27 +179,27 @@ func BenchmarkF3SkewVsDelay(b *testing.B) {
 		N: p.N, F: p.F, Variant: p.Variant, Rho: p.Rho,
 		DMin: p.DMin, DMax: p.DMax, Period: p.Period, InitialSkew: 0.002,
 	}.WithDefaults()
-	runSpec(b, harness.Spec{
-		Algo: harness.AlgoAuth, Params: p,
-		FaultyCount: p.F, Attack: harness.AttackSelective, Horizon: 20,
+	runSpec(b, Spec{
+		Algo: AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: AttackSelective, Horizon: 20,
 	})
 }
 
 // BenchmarkF4Reintegration runs the late-joiner experiment.
 func BenchmarkF4Reintegration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.F4Reintegration()
+		scenarioTables(b, "F4")
 	}
 }
 
 // BenchmarkF5Envelope runs the long accuracy-envelope fit.
 func BenchmarkF5Envelope(b *testing.B) {
 	p := benchParams(7, bounds.Auth)
-	var last harness.Result
+	var last Result
 	for i := 0; i < b.N; i++ {
-		last = harness.Run(harness.Spec{
-			Algo: harness.AlgoAuth, Params: p,
-			FaultyCount: p.F, Attack: harness.AttackSilent,
+		last = mustRun(b, Spec{
+			Algo: AlgoAuth, Params: p,
+			FaultyCount: p.F, Attack: AttackSilent,
 			Horizon: 200, Seed: int64(i + 1),
 		})
 	}
@@ -190,9 +212,9 @@ func BenchmarkF6SkewVsPeriod(b *testing.B) {
 	p := benchParams(7, bounds.Auth)
 	p.Period = 10
 	p.Rho = clock.Rho(1e-3)
-	runSpec(b, harness.Spec{
-		Algo: harness.AlgoAuth, Params: p,
-		FaultyCount: p.F, Attack: harness.AttackSilent, Horizon: 200,
+	runSpec(b, Spec{
+		Algo: AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: AttackSilent, Horizon: 200,
 	})
 }
 
@@ -275,15 +297,47 @@ func BenchmarkVerifyEd25519(b *testing.B) {
 // resynchronization round (n=25, authenticated).
 func BenchmarkProtocolRound(b *testing.B) {
 	p := benchParams(25, bounds.Auth)
-	spec := harness.Spec{
-		Algo: harness.AlgoAuth, Params: p,
-		FaultyCount: p.F, Attack: harness.AttackSilent,
+	spec := Spec{
+		Algo: AlgoAuth, Params: p,
+		FaultyCount: p.F, Attack: AttackSilent,
 		Horizon: float64(b.N) + 2, Seed: 1,
 	}
 	b.ResetTimer()
-	res := harness.Run(spec)
+	res := mustRun(b, spec)
 	if res.CompleteRounds == 0 {
 		b.Fatal("no rounds")
 	}
 	b.ReportMetric(float64(res.TotalMsgs)/float64(b.N), "msgs/round")
 }
+
+// --- Batch throughput ---
+
+// batchSpecs is a T1-style slate of independent runs.
+func batchSpecs(k int) []Spec {
+	p := benchParams(7, bounds.Auth)
+	specs := make([]Spec, k)
+	for i := range specs {
+		specs[i] = Spec{
+			Algo: AlgoAuth, Params: p,
+			FaultyCount: p.F, Attack: AttackSilent,
+			Horizon: 20, Seed: int64(i + 1),
+		}
+	}
+	return specs
+}
+
+func benchBatch(b *testing.B, workers int) {
+	specs := batchSpecs(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBatch(context.Background(), specs, WithWorkers(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunBatchSerial vs BenchmarkRunBatchParallel measure the
+// worker-pool speedup on a 16-run slate (near-linear on a multi-core
+// host: runs share nothing).
+func BenchmarkRunBatchSerial(b *testing.B)   { benchBatch(b, 1) }
+func BenchmarkRunBatchParallel(b *testing.B) { benchBatch(b, runtime.GOMAXPROCS(0)) }

@@ -1,5 +1,6 @@
 // Command syncsim runs the reproduction experiments for Srikanth & Toueg,
-// "Optimal Clock Synchronization" (PODC 1985).
+// "Optimal Clock Synchronization" (PODC 1985), through the public optsync
+// API.
 //
 // Usage:
 //
@@ -7,21 +8,24 @@
 //	syncsim -exp T1           run one experiment and print its tables
 //	syncsim -exp all          run the full suite (default)
 //	syncsim -exp T1 -csv      emit CSV instead of aligned tables
+//	syncsim -exp T1 -json     emit JSON instead of aligned tables
+//	syncsim -exp all -workers 8   fan experiment runs out over 8 workers
 //
 // A custom single run is also available:
 //
 //	syncsim -run -algo st-auth -n 7 -f 3 -rho 1e-4 -dmax 0.01 \
-//	        -period 1 -horizon 30 -attack silent -seed 1
+//	        -period 1 -horizon 30 -attack silent -seed 1 -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"optsync/internal/clock"
-	"optsync/internal/core/bounds"
-	"optsync/internal/harness"
+	"optsync"
 )
 
 func main() {
@@ -31,15 +35,35 @@ func main() {
 	}
 }
 
+// algoUsage and attackUsage derive the flag help from the registry, so
+// protocols and attacks registered by linked-in packages show up too.
+func algoUsage() string {
+	names := make([]string, 0, 8)
+	for _, a := range optsync.Protocols() {
+		names = append(names, string(a))
+	}
+	return "algorithm: " + strings.Join(names, " | ")
+}
+
+func attackUsage() string {
+	names := make([]string, 0, 8)
+	for _, a := range optsync.Attacks() {
+		names = append(names, string(a))
+	}
+	return "attack: " + strings.Join(names, "|")
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("syncsim", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list experiments and exit")
-		exp    = fs.String("exp", "all", "experiment id (T1..T7, F1..F6, or 'all')")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		custom = fs.Bool("run", false, "run a single custom simulation instead of an experiment")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		exp     = fs.String("exp", "all", "experiment id (T1..T8, F1..F7, A1..A3, or 'all')")
+		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = fs.Bool("json", false, "emit JSON instead of aligned tables")
+		workers = fs.Int("workers", 0, "worker pool size for experiment batches (0 = all cores)")
+		custom  = fs.Bool("run", false, "run a single custom simulation instead of an experiment")
 
-		algo    = fs.String("algo", "st-auth", "algorithm: st-auth | st-primitive | cnv | ftm")
+		algo    = fs.String("algo", "st-auth", algoUsage())
 		n       = fs.Int("n", 7, "number of processes")
 		f       = fs.Int("f", -1, "fault bound (-1 = maximum for the algorithm)")
 		faulty  = fs.Int("faulty", -1, "actual faulty count (-1 = same as -f)")
@@ -48,39 +72,55 @@ func run(args []string) error {
 		dmax    = fs.Float64("dmax", 0.01, "max message delay (s)")
 		period  = fs.Float64("period", 1, "resynchronization period P (s)")
 		horizon = fs.Float64("horizon", 30, "simulated duration (s)")
-		attack  = fs.String("attack", "silent", "attack: none|silent|crash-mid|rush|bias|equivocate")
+		attack  = fs.String("attack", "silent", attackUsage())
 		seed    = fs.Int64("seed", 1, "simulation seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *csvOut && *jsonOut {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
+	optsync.SetDefaultWorkers(*workers)
 
 	if *list {
-		for _, s := range harness.Scenarios() {
+		for _, s := range optsync.Scenarios() {
 			fmt.Printf("%-4s %s\n", s.ID, s.Title)
 		}
 		return nil
 	}
 
 	if *custom {
-		return runCustom(*algo, *n, *f, *faulty, *rho, *dmin, *dmax, *period, *horizon, *attack, *seed)
+		return runCustom(customSpec{
+			algo: *algo, n: *n, f: *f, faulty: *faulty,
+			rho: *rho, dmin: *dmin, dmax: *dmax,
+			period: *period, horizon: *horizon,
+			attack: *attack, seed: *seed,
+			jsonOut: *jsonOut, csvOut: *csvOut,
+		})
 	}
 
-	var scenarios []harness.Scenario
+	var scenarios []optsync.Scenario
 	if *exp == "all" {
-		scenarios = harness.Scenarios()
+		scenarios = optsync.Scenarios()
 	} else {
-		s, ok := harness.FindScenario(*exp)
+		s, ok := optsync.FindScenario(*exp)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
 		}
-		scenarios = []harness.Scenario{s}
+		scenarios = []optsync.Scenario{s}
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, s := range scenarios {
 		for _, t := range s.Run() {
-			if *csv {
+			switch {
+			case *jsonOut:
+				if err := enc.Encode(t); err != nil {
+					return err
+				}
+			case *csvOut:
 				fmt.Print(t.CSV())
-			} else {
+			default:
 				fmt.Println(t.Render())
 			}
 		}
@@ -88,48 +128,75 @@ func run(args []string) error {
 	return nil
 }
 
-func runCustom(algo string, n, f, faultyCount int, rho, dmin, dmax, period, horizon float64, attack string, seed int64) error {
-	variant := bounds.Auth
-	if algo != string(harness.AlgoAuth) {
-		variant = bounds.Primitive
+type customSpec struct {
+	algo            string
+	n, f, faulty    int
+	rho             float64
+	dmin, dmax      float64
+	period, horizon float64
+	attack          string
+	seed            int64
+	jsonOut, csvOut bool
+}
+
+func runCustom(c customSpec) error {
+	variant := optsync.Auth
+	if c.algo != string(optsync.AlgoAuth) {
+		variant = optsync.Primitive
 	}
-	if f < 0 {
-		f = variant.MaxFaults(n)
+	if c.f < 0 {
+		c.f = variant.MaxFaults(c.n)
 	}
-	if faultyCount < 0 {
-		faultyCount = f
+	if c.faulty < 0 {
+		c.faulty = c.f
 	}
-	p := bounds.Params{
-		N: n, F: f, Variant: variant,
-		Rho:  clock.Rho(rho),
-		DMin: dmin, DMax: dmax,
-		Period:      period,
-		InitialSkew: dmax / 2,
+	p := optsync.Params{
+		N: c.n, F: c.f, Variant: variant,
+		Rho:  optsync.Rho(c.rho),
+		DMin: c.dmin, DMax: c.dmax,
+		Period:      c.period,
+		InitialSkew: c.dmax / 2,
 	}.WithDefaults()
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	res := harness.Run(harness.Spec{
-		Algo: harness.Algorithm(algo), Params: p,
-		FaultyCount: faultyCount, Attack: harness.Attack(attack),
-		Horizon: horizon, Seed: seed,
-	})
-	t := harness.NewTable(
-		fmt.Sprintf("custom run: %s n=%d f=%d faulty=%d attack=%s", algo, n, f, faultyCount, attack),
+	spec := optsync.Spec{
+		Algo: optsync.Algorithm(c.algo), Params: p,
+		FaultyCount: c.faulty, Attack: optsync.Attack(c.attack),
+		Horizon: c.horizon, Seed: c.seed,
+	}
+
+	// Machine-readable modes stream through the structured sinks.
+	if c.jsonOut || c.csvOut {
+		var sink optsync.Sink = optsync.NewJSONSink(os.Stdout)
+		if c.csvOut {
+			sink = optsync.NewCSVSink(os.Stdout)
+		}
+		_, err := optsync.Run(context.Background(), spec, optsync.WithSink(sink))
+		return err
+	}
+
+	res, err := optsync.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	t := optsync.NewTable(
+		fmt.Sprintf("custom run: %s n=%d f=%d faulty=%d attack=%s",
+			c.algo, c.n, c.f, c.faulty, c.attack),
 		"metric", "measured", "bound", "status")
-	t.AddRow("max skew (s)", harness.F(res.MaxSkew), harness.F(res.SkewBound), harness.FmtBool(res.WithinSkew))
-	t.AddRow("max spread (s)", harness.F(res.MaxSpread), harness.F(res.SpreadBound),
-		harness.FmtBool(res.MaxSpread <= res.SpreadBound+1e-9))
-	t.AddRow("min period (s)", harness.F(res.MinPeriod), harness.F(res.PminBound),
-		harness.FmtBool(res.MinPeriod >= res.PminBound-1e-9))
-	t.AddRow("max period (s)", harness.F(res.MaxPeriod), harness.F(res.PmaxBound),
-		harness.FmtBool(res.MaxPeriod <= res.PmaxBound+1e-9))
-	t.AddRow("rate lo", harness.F(res.EnvLo), harness.F(res.EnvBoundLo),
-		harness.FmtBool(res.EnvLo >= res.EnvBoundLo))
-	t.AddRow("rate hi", harness.F(res.EnvHi), harness.F(res.EnvBoundHi),
-		harness.FmtBool(res.EnvHi <= res.EnvBoundHi))
+	t.AddRow("max skew (s)", optsync.F(res.MaxSkew), optsync.F(res.SkewBound), optsync.FmtBool(res.WithinSkew))
+	t.AddRow("max spread (s)", optsync.F(res.MaxSpread), optsync.F(res.SpreadBound),
+		optsync.FmtBool(res.MaxSpread <= res.SpreadBound+1e-9))
+	t.AddRow("min period (s)", optsync.F(res.MinPeriod), optsync.F(res.PminBound),
+		optsync.FmtBool(res.MinPeriod >= res.PminBound-1e-9))
+	t.AddRow("max period (s)", optsync.F(res.MaxPeriod), optsync.F(res.PmaxBound),
+		optsync.FmtBool(res.MaxPeriod <= res.PmaxBound+1e-9))
+	t.AddRow("rate lo", optsync.F(res.EnvLo), optsync.F(res.EnvBoundLo),
+		optsync.FmtBool(res.EnvLo >= res.EnvBoundLo))
+	t.AddRow("rate hi", optsync.F(res.EnvHi), optsync.F(res.EnvBoundHi),
+		optsync.FmtBool(res.EnvHi <= res.EnvBoundHi))
 	t.AddRow("complete rounds", fmt.Sprint(res.CompleteRounds), "-", "ok")
-	t.AddRow("msgs/round", harness.F(res.MsgsPerRound), fmt.Sprint(p.MessagesPerRound()), "ok")
+	t.AddRow("msgs/round", optsync.F(res.MsgsPerRound), fmt.Sprint(p.MessagesPerRound()), "ok")
 	fmt.Println(t.Render())
 	return nil
 }

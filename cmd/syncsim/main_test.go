@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -117,5 +118,85 @@ func TestCustomRunInvalidParams(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("invalid resilience accepted")
+	}
+}
+
+func TestAttackHelpListsAllRegistered(t *testing.T) {
+	usage := attackUsage()
+	for _, want := range []string{"none", "silent", "crash-mid", "rush",
+		"bias", "equivocate", "selective"} {
+		if !strings.Contains(usage, want) {
+			t.Fatalf("attack help missing %q: %s", want, usage)
+		}
+	}
+	if !strings.Contains(algoUsage(), "st-primitive") {
+		t.Fatalf("algo help malformed: %s", algoUsage())
+	}
+}
+
+func TestCustomRunJSON(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-run", "-algo", "st-auth", "-n", "5",
+			"-horizon", "10", "-attack", "silent", "-seed", "3", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("custom -json output not JSON: %v\n%s", err, out)
+	}
+	if rec["algo"] != "st-auth" || rec["within_skew"] != true {
+		t.Fatalf("json record malformed: %v", rec)
+	}
+}
+
+func TestExperimentJSON(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-exp", "T7", "-json"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl struct {
+		Title   string
+		Columns []string
+		Rows    [][]string
+	}
+	if err := json.Unmarshal([]byte(out), &tbl); err != nil {
+		t.Fatalf("-exp -json output not JSON: %v\n%s", err, out)
+	}
+	if !strings.Contains(tbl.Title, "message complexity") || len(tbl.Rows) == 0 {
+		t.Fatalf("T7 JSON table malformed: %+v", tbl)
+	}
+}
+
+func TestWorkersFlagDeterminism(t *testing.T) {
+	serial, err := capture(t, func() error { return run([]string{"-exp", "T7", "-csv", "-workers", "1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := capture(t, func() error { return run([]string{"-exp", "T7", "-csv", "-workers", "8"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("experiment output depends on -workers:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+func TestCSVAndJSONMutuallyExclusive(t *testing.T) {
+	if err := run([]string{"-exp", "T7", "-csv", "-json"}); err == nil {
+		t.Fatal("-csv -json accepted together")
+	}
+}
+
+func TestCustomRunUnknownAttackErrors(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run([]string{"-run", "-attack", "definitely-not-registered", "-horizon", "5"})
+	})
+	if err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+	if !strings.Contains(err.Error(), "definitely-not-registered") {
+		t.Fatalf("error does not name the attack: %v", err)
 	}
 }

@@ -4,62 +4,72 @@
 // admits, and compare the long-run rate of the synchronized clocks against
 // the hardware drift envelope.
 //
+// The four long runs are independent, so they go through RunBatch and
+// execute in parallel — one worker per core.
+//
 //	go run ./examples/accuracy
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"optsync/internal/clock"
-	"optsync/internal/core/bounds"
-	"optsync/internal/harness"
+	"optsync"
 )
 
 func main() {
-	p := bounds.Params{
-		N: 7, F: 2, Variant: bounds.Primitive, // f < n/3 so all four algorithms apply
-		Rho:  clock.Rho(1e-4),
+	p := optsync.Params{
+		N: 7, F: 2, Variant: optsync.Primitive, // f < n/3 so all four algorithms apply
+		Rho:  optsync.Rho(1e-4),
 		DMin: 0.002, DMax: 0.010,
 		Period:      1.0,
 		InitialSkew: 0.005,
 	}.WithDefaults()
 	pAuth := p
-	pAuth.Variant = bounds.Auth
+	pAuth.Variant = optsync.Auth
 	pAuth = pAuth.WithDefaults()
 
 	type entry struct {
-		algo   harness.Algorithm
-		params bounds.Params
-		attack harness.Attack
+		algo   optsync.Algorithm
+		params optsync.Params
+		attack optsync.Attack
 		note   string
 	}
 	runs := []entry{
-		{harness.AlgoAuth, pAuth, harness.AttackEquivocate, "equivocating + stale evidence"},
-		{harness.AlgoPrim, p, harness.AttackSilent, "silent faults (max tolerated)"},
-		{harness.AlgoCNV, p, harness.AttackBias, "within-threshold biased reports"},
-		{harness.AlgoFTM, p, harness.AttackBias, "within-threshold biased reports"},
+		{optsync.AlgoAuth, pAuth, optsync.AttackEquivocate, "equivocating + stale evidence"},
+		{optsync.AlgoPrim, p, optsync.AttackSilent, "silent faults (max tolerated)"},
+		{optsync.AlgoCNV, p, optsync.AttackBias, "within-threshold biased reports"},
+		{optsync.AlgoFTM, p, optsync.AttackBias, "within-threshold biased reports"},
 	}
 
-	fmt.Printf("hardware drift bound rho = %g: honest clock rates within [%.6f, %.6f]\n\n",
-		float64(p.Rho), p.Rho.MinRate(), p.Rho.MaxRate())
-	fmt.Printf("%-14s %-32s %-10s %-22s %s\n", "algorithm", "attack", "rate", "allowed envelope", "verdict")
-	for _, r := range runs {
-		spec := harness.Spec{
+	specs := make([]optsync.Spec, len(runs))
+	for i, r := range runs {
+		specs[i] = optsync.Spec{
 			Algo: r.algo, Params: r.params,
 			FaultyCount: r.params.F, Attack: r.attack,
 			Horizon: 120 * r.params.Period,
 			Seed:    23,
 		}
-		if r.attack == harness.AttackBias {
-			spec.Bias = 3 * r.params.Dmax()
+		if r.attack == optsync.AttackBias {
+			specs[i].Bias = 3 * r.params.Dmax()
 		}
-		res := harness.Run(spec)
+	}
+
+	results, err := optsync.RunBatch(context.Background(), specs)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("hardware drift bound rho = %g: honest clock rates within [%.6f, %.6f]\n\n",
+		float64(p.Rho), p.Rho.MinRate(), p.Rho.MaxRate())
+	fmt.Printf("%-14s %-32s %-10s %-22s %s\n", "algorithm", "attack", "rate", "allowed envelope", "verdict")
+	for i, res := range results {
 		verdict := "accuracy preserved"
 		if !res.WithinEnvelope {
 			verdict = "ACCURACY DESTROYED"
 		}
 		fmt.Printf("%-14s %-32s %-10.5f [%.5f, %.5f]     %s\n",
-			r.algo, r.note, res.EnvHi, res.EnvBoundLo, res.EnvBoundHi, verdict)
+			runs[i].algo, runs[i].note, res.EnvHi, res.EnvBoundLo, res.EnvBoundHi, verdict)
 	}
 
 	fmt.Println()

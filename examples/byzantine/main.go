@@ -2,22 +2,22 @@
 // the authenticated algorithm — once within the resilience bound
 // (f = ceil(n/2)-1, harmless) and once one fault beyond it (the coalition
 // forges signature quorums and drives the cluster's clocks at 5x speed).
+// Both runs go through the public optsync API.
 //
 //	go run ./examples/byzantine
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"optsync/internal/clock"
-	"optsync/internal/core/bounds"
-	"optsync/internal/harness"
+	"optsync"
 )
 
 func main() {
-	params := bounds.Params{
-		N: 5, F: 2, Variant: bounds.Auth,
-		Rho:  clock.Rho(1e-4),
+	params := optsync.Params{
+		N: 5, F: 2, Variant: optsync.Auth,
+		Rho:  optsync.Rho(1e-4),
 		DMin: 0.002, DMax: 0.010,
 		Period:      1.0,
 		InitialSkew: 0.005,
@@ -29,13 +29,16 @@ func main() {
 	fmt.Println()
 
 	for _, faulty := range []int{params.F, params.F + 1} {
-		res := harness.Run(harness.Spec{
-			Algo: harness.AlgoAuth, Params: params,
-			FaultyCount: faulty, Attack: harness.AttackRush,
+		res, err := optsync.Run(context.Background(), optsync.Spec{
+			Algo: optsync.AlgoAuth, Params: params,
+			FaultyCount: faulty, Attack: optsync.AttackRush,
 			RushInterval: params.Period / 5,
 			Horizon:      30 * params.Period,
 			Seed:         7,
 		})
+		if err != nil {
+			panic(err)
+		}
 		label := "WITHIN resilience"
 		if faulty > params.F {
 			label = "BEYOND resilience"

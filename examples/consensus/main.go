@@ -4,6 +4,11 @@
 // scenarios: an honest dealer (everyone decides its value) and an
 // equivocating Byzantine dealer (everyone decides the same default).
 //
+// This example deliberately stays on the low-level cluster API beneath
+// the public optsync package: it wires an application protocol (lockstep
+// Dolev-Strong) next to the clock-sync protocol on the same nodes, which
+// is finer-grained composition than a measurement Spec describes.
+//
 //	go run ./examples/consensus
 package main
 

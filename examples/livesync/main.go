@@ -4,6 +4,10 @@
 // pull their clocks together four times a second for three wall-clock
 // seconds.
 //
+// This example deliberately stays on the low-level rt substrate beneath
+// the public optsync package: it runs in wall-clock time over goroutines,
+// not in the deterministic simulator the Spec/Run API drives.
+//
 //	go run ./examples/livesync
 package main
 

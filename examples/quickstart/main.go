@@ -1,29 +1,25 @@
 // Quickstart: synchronize 5 drifting clocks with the authenticated
 // Srikanth-Toueg algorithm while 2 of them are Byzantine-silent, and watch
-// the skew stay under the analytic bound.
+// the skew stay under the analytic bound — all through the public optsync
+// API: describe the run as a Spec, execute it with Run, read the Result.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
-	"optsync/internal/adversary"
-	"optsync/internal/clock"
-	"optsync/internal/core"
-	"optsync/internal/core/bounds"
-	"optsync/internal/network"
-	"optsync/internal/node"
+	"optsync"
 )
 
 func main() {
 	// 1. Describe the deployment: 5 processes, up to 2 Byzantine
 	//    (optimal for the authenticated algorithm: f = ceil(n/2)-1),
 	//    quartz-grade drift, LAN-grade delays, one resync per second.
-	params := bounds.Params{
-		N: 5, F: 2, Variant: bounds.Auth,
-		Rho:  clock.Rho(1e-4),    // rates within [1/1.0001, 1.0001]
+	params := optsync.Params{
+		N: 5, F: 2, Variant: optsync.Auth,
+		Rho:  optsync.Rho(1e-4),  // rates within [1/1.0001, 1.0001]
 		DMin: 0.002, DMax: 0.010, // delays within [2ms, 10ms]
 		Period:      1.0,
 		InitialSkew: 0.005,
@@ -32,48 +28,33 @@ func main() {
 		panic(err)
 	}
 
-	// 2. Build the cluster: drifting hardware clocks, a lossless network
-	//    with adversary-chosen delays, HMAC signatures, and the protocol.
-	cfg := core.ConfigFromBounds(params)
-	cluster := node.NewCluster(node.Config{
-		N: params.N, F: params.F, Seed: 42,
-		Rho:   params.Rho,
-		Delay: network.Uniform{Min: params.DMin, Max: params.DMax},
-		Clocks: func(i int, rng *rand.Rand) *clock.Hardware {
-			offset := rng.Float64() * params.InitialSkew
-			return clock.NewHardware(offset, params.Rho,
-				clock.RandomWalk{Rho: params.Rho, MinDur: 0.2, MaxDur: 1}, rng)
-		},
-		Protocols: func(i int) node.Protocol {
-			if i >= 3 {
-				return adversary.Silent{} // nodes 3, 4 are faulty
-			}
-			return core.NewAuth(cfg)
-		},
-		Faulty: map[int]bool{3: true, 4: true},
-	})
+	// 2. Describe the experiment: the algorithm and the attack are
+	//    registry names — the same strings a third-party extension would
+	//    register under. The two highest-id nodes are silent from boot.
+	spec := optsync.Spec{
+		Algo: optsync.AlgoAuth, Params: params,
+		FaultyCount: 2, Attack: optsync.AttackSilent,
+		Horizon: 20, SampleEvery: 1.0,
+		Seed: 42,
+	}
 
-	// 3. Run 20 simulated seconds, sampling the skew among correct nodes.
-	cluster.Start()
-	correct := []node.ID{0, 1, 2}
+	// 3. Run it. WithKeepSeries retains the skew trace for printing.
+	res, err := optsync.Run(context.Background(), spec, optsync.WithKeepSeries())
+	if err != nil {
+		panic(err)
+	}
+
 	fmt.Printf("Dmax bound: %.4fs   acceptance-spread bound: %.4fs\n\n",
 		params.DmaxWithStart(), params.Beta())
-	fmt.Println("  t(s)   skew(s)    logical clocks")
-	maxSkew := 0.0
-	for t := 1.0; t <= 20; t++ {
-		cluster.Run(t)
-		skew := cluster.Skew(correct)
-		if skew > maxSkew {
-			maxSkew = skew
-		}
-		fmt.Printf("%6.1f  %.6f   [%.4f %.4f %.4f]\n", t, skew,
-			cluster.ReadLogical(0), cluster.ReadLogical(1), cluster.ReadLogical(2))
+	fmt.Println("  t(s)   skew(s)")
+	for _, s := range res.Series {
+		fmt.Printf("%6.1f  %.6f\n", s.T, s.Skew)
 	}
 
 	fmt.Printf("\nmax skew %.6fs vs bound %.6fs — %s\n",
-		maxSkew, params.DmaxWithStart(), verdict(maxSkew <= params.DmaxWithStart()))
+		res.MaxSkew, res.SkewBound, verdict(res.WithinSkew))
 	fmt.Printf("rounds accepted: %d pulses across %d correct nodes\n",
-		len(cluster.Pulses), len(correct))
+		res.PulseCount, params.N-spec.FaultyCount)
 }
 
 func verdict(ok bool) string {

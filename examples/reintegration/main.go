@@ -3,24 +3,24 @@
 // accepting the first resynchronization round it observes — synchronized
 // within one period, as the paper's integration section promises.
 //
+// The late boot and the wrong clock are ordinary Spec fields (StartAt,
+// ClockOffset), so the whole experiment is one public-API Run; the pulse
+// log and skew series retained by WithKeepSeries tell the story.
+//
 //	go run ./examples/reintegration
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
-	"optsync/internal/clock"
-	"optsync/internal/core"
-	"optsync/internal/core/bounds"
-	"optsync/internal/network"
-	"optsync/internal/node"
+	"optsync"
 )
 
 func main() {
-	params := bounds.Params{
-		N: 5, F: 2, Variant: bounds.Auth,
-		Rho:  clock.Rho(1e-4),
+	params := optsync.Params{
+		N: 5, F: 2, Variant: optsync.Auth,
+		Rho:  optsync.Rho(1e-4),
 		DMin: 0.002, DMax: 0.010,
 		Period:      1.0,
 		InitialSkew: 0.005,
@@ -30,52 +30,41 @@ func main() {
 		joiner = 4
 		joinAt = 12.4
 	)
-	cfg := core.ConfigFromBounds(params)
-	cluster := node.NewCluster(node.Config{
-		N: params.N, F: params.F, Seed: 11,
-		Rho:   params.Rho,
-		Delay: network.Uniform{Min: params.DMin, Max: params.DMax},
-		Clocks: func(i int, rng *rand.Rand) *clock.Hardware {
-			offset := rng.Float64() * params.InitialSkew
-			if i == joiner {
-				offset = 17.0 // fresh from repair: clock 17 s wrong
-			}
-			return clock.NewHardware(offset, params.Rho,
-				clock.RandomWalk{Rho: params.Rho, MinDur: 0.2, MaxDur: 1}, rng)
-		},
-		Protocols: func(i int) node.Protocol { return core.NewAuth(cfg) },
-		StartAt:   map[int]float64{joiner: joinAt},
-	})
-
-	cluster.Start()
-	everyone := []node.ID{0, 1, 2, 3, 4}
-	established := []node.ID{0, 1, 2, 3}
+	res, err := optsync.Run(context.Background(), optsync.Spec{
+		Algo: optsync.AlgoAuth, Params: params,
+		Attack:  optsync.AttackNone,
+		Horizon: 20, SampleEvery: 1.0,
+		Seed:        11,
+		StartAt:     map[int]float64{joiner: joinAt},
+		ClockOffset: map[int]float64{joiner: 17.0}, // fresh from repair
+	}, optsync.WithKeepSeries())
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("node %d boots at t=%.1fs with its clock %.0fs off\n\n", joiner, joinAt, 17.0)
-	fmt.Println("  t(s)   skew(established)  skew(incl. joiner)  joiner clock")
-	for t := 1.0; t <= 20; t++ {
-		cluster.Run(t)
-		joinerClock := "offline"
-		skewAll := "-"
-		if t >= joinAt {
-			joinerClock = fmt.Sprintf("%.4f", cluster.ReadLogical(joiner))
-			skewAll = fmt.Sprintf("%.6f", cluster.Skew(everyone))
+	fmt.Println("  t(s)   skew over booted nodes (s)")
+	for _, s := range res.Series {
+		marker := ""
+		if s.T >= joinAt && s.T < joinAt+1 {
+			marker = "   <- joiner boots"
 		}
-		fmt.Printf("%6.1f  %.6f           %-18s  %s\n",
-			t, cluster.Skew(established), skewAll, joinerClock)
+		fmt.Printf("%6.1f  %.6f%s\n", s.T, s.Skew, marker)
 	}
 
 	var firstPulse float64 = -1
-	for _, rec := range cluster.Pulses {
+	for _, rec := range res.Pulses {
 		if rec.Node == joiner {
 			firstPulse = rec.Real
 			break
 		}
 	}
+	bound := params.Pmax() + params.Beta()
 	fmt.Printf("\njoiner's first accepted round: t=%.3fs (%.3fs after boot)\n",
 		firstPulse, firstPulse-joinAt)
-	fmt.Printf("paper bound: one period ~ %.3fs — %v\n",
-		params.Pmax()+params.Beta(), firstPulse-joinAt <= params.Pmax()+params.Beta())
-	fmt.Printf("final skew including joiner: %.6fs (Dmax %.6fs)\n",
-		cluster.Skew(everyone), params.DmaxWithStart())
+	fmt.Printf("paper bound: one period ~ %.3fs — %v\n", bound, firstPulse-joinAt <= bound)
+	if n := len(res.Series); n > 0 {
+		fmt.Printf("final skew including joiner: %.6fs (Dmax %.6fs)\n",
+			res.Series[n-1].Skew, params.DmaxWithStart())
+	}
 }

@@ -20,16 +20,19 @@ func A1RelayAblation() []*Table {
 	t := NewTable("A1 (ablation): the relay step under selective signing",
 		"relay", "max_spread_s", "beta_s", "max_skew_s", "Dmax_s")
 	p := defaultParams(5, bounds.Auth)
+	var specs []Spec
 	for _, disable := range []bool{false, true} {
-		res := Run(Spec{
+		specs = append(specs, Spec{
 			Algo: AlgoAuth, Params: p,
 			FaultyCount: p.F, Attack: AttackSelective,
 			DisableRelay: disable,
 			Horizon:      20 * p.Period,
 			Seed:         71,
 		})
+	}
+	for _, res := range runAll(specs) {
 		mode := "on"
-		if disable {
+		if res.Spec.DisableRelay {
 			mode = "OFF"
 		}
 		t.AddRow(mode, F(res.MaxSpread), F(res.SpreadBound), F(res.MaxSkew), F(res.SkewBound))
@@ -46,17 +49,21 @@ func A2AlphaAblation() []*Table {
 		"alpha_s", "rate_hi", "rate_bound_hi", "max_skew_s", "backward_jumps")
 	base := defaultParams(5, bounds.Auth)
 	def := bounds.DefaultAlpha(base.Rho, base.DMax)
+	var specs []Spec
 	for _, alpha := range []float64{1e-9, def / 2, def, 3 * def} {
 		p := base
 		p.Alpha = alpha
-		res := Run(Spec{
+		specs = append(specs, Spec{
 			Algo: AlgoAuth, Params: p,
 			FaultyCount: p.F, Attack: AttackSilent,
 			Horizon: 60 * p.Period,
 			Seed:    72,
 		})
-		back := countBackwardJumps(p, 72)
-		t.AddRow(F(alpha), F(res.EnvHi), F(res.EnvBoundHi), F(res.MaxSkew), fmt.Sprint(back))
+	}
+	for _, res := range runAll(specs) {
+		back := countBackwardJumps(res.Spec.Params, 72)
+		t.AddRow(F(res.Spec.Params.Alpha), F(res.EnvHi), F(res.EnvBoundHi),
+			F(res.MaxSkew), fmt.Sprint(back))
 	}
 	t.AddNote("alpha ~ (1+rho)*dmax (the paper's choice) balances forward rate error against backward jumps")
 	return []*Table{t}
@@ -71,7 +78,7 @@ func countBackwardJumps(p bounds.Params, seed int64) int {
 		Horizon: 60 * p.Period, Seed: seed,
 	}
 	spec = spec.withDefaults()
-	cluster := buildCluster(spec)
+	cluster := mustCluster(spec)
 	cluster.Start()
 	cluster.Run(spec.Horizon)
 	count := 0
@@ -100,7 +107,7 @@ func A3SlewAblation() []*Table {
 			Seed: 73,
 		}
 		run := spec.withDefaults()
-		cluster := buildCluster(run)
+		cluster := mustCluster(run)
 		cluster.Start()
 		correct := correctIDs(p.N, run.FaultyCount)
 		maxSkew := 0.0
@@ -150,6 +157,7 @@ func A3SlewAblation() []*Table {
 func T8Scale() []*Table {
 	t := NewTable("T8: large-cluster scale-out at optimal resilience",
 		"algo", "n", "f", "max_skew_s", "Dmax_bound_s", "within", "msgs_per_round", "pulses")
+	var specs []Spec
 	for _, tc := range []struct {
 		algo Algorithm
 		ns   []int
@@ -163,16 +171,19 @@ func T8Scale() []*Table {
 		}
 		for _, n := range tc.ns {
 			p := defaultParams(n, variant)
-			res := Run(Spec{
+			specs = append(specs, Spec{
 				Algo: tc.algo, Params: p,
 				FaultyCount: p.F, Attack: AttackSilent,
 				Horizon: 15 * p.Period,
 				Seed:    int64(n) * 13,
 			})
-			t.AddRow(string(tc.algo), fmt.Sprint(n), fmt.Sprint(p.F),
-				F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew),
-				F(res.MsgsPerRound), fmt.Sprint(res.PulseCount))
 		}
+	}
+	for _, res := range runAll(specs) {
+		t.AddRow(string(res.Spec.Algo), fmt.Sprint(res.Spec.Params.N),
+			fmt.Sprint(res.Spec.Params.F),
+			F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew),
+			F(res.MsgsPerRound), fmt.Sprint(res.PulseCount))
 	}
 	t.AddNote("bounds are independent of n; measured skew shrinks with n (order-statistic concentration)")
 	return []*Table{t}
@@ -195,7 +206,7 @@ func F7ColdStart() []*Table {
 			Seed:      seed,
 		}
 		run := spec.withDefaults()
-		cluster := buildCluster(run)
+		cluster := mustCluster(run)
 		cluster.Start()
 		cluster.Run(run.Horizon)
 		correct := correctIDs(p.N, run.FaultyCount)

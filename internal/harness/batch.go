@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// defaultWorkers is the worker count used when a batch is started with
+// workers <= 0 and by the scenario table generators. 0 means GOMAXPROCS.
+// It is set once at program start (CLI flag); batches themselves never
+// mutate it.
+var defaultWorkers int
+
+// SetWorkers sets the default worker-pool size for RunBatch and for the
+// scenario/ablation table generators. n <= 0 restores the GOMAXPROCS
+// default.
+func SetWorkers(n int) { defaultWorkers = n }
+
+// Workers returns the effective default worker-pool size.
+func Workers() int {
+	if defaultWorkers > 0 {
+		return defaultWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunBatch executes independent specs concurrently on a bounded pool of
+// workers goroutines (Workers() if workers <= 0) and returns the results
+// in input order. Each run is single-threaded and deterministic in its
+// spec, so the result slice is byte-identical for any worker count.
+//
+// onResult, if non-nil, is invoked serially (under the batch lock) as
+// each run finishes, with the spec's index; completion order is not input
+// order. The first error — a malformed spec or ctx cancellation — stops
+// the dispatch of further runs and is returned alongside the partial
+// results (unfinished entries are zero).
+func RunBatch(ctx context.Context, specs []Spec, workers int, onResult func(index int, res Result)) ([]Result, error) {
+	results := make([]Result, len(specs))
+	if len(specs) == 0 {
+		return results, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range specs {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := RunContext(ctx, specs[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				results[i] = res
+				if onResult != nil {
+					onResult(i, res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return results, firstErr
+}
+
+// runAll is the scenario generators' batch entry point: it fans the specs
+// out over the default worker pool and panics on the malformed-spec
+// errors that, for the built-in tables, cannot happen.
+func runAll(specs []Spec) []Result {
+	results, err := RunBatch(context.Background(), specs, 0, nil)
+	if err != nil {
+		panic(err.Error())
+	}
+	return results
+}

@@ -9,13 +9,11 @@
 package harness
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 
 	"optsync/internal/adversary"
-	"optsync/internal/baseline"
 	"optsync/internal/clock"
-	"optsync/internal/core"
 	"optsync/internal/core/bounds"
 	"optsync/internal/metrics"
 	"optsync/internal/network"
@@ -99,6 +97,16 @@ type Spec struct {
 	ColdStart bool
 	// DisableRelay ablates the relay-on-accept step (auth algorithm).
 	DisableRelay bool
+	// StartAt optionally delays individual nodes' boot to the given
+	// virtual time (reintegration experiments); absent nodes boot at 0.
+	// Skew is then sampled over booted nodes only, and MaxSkew includes
+	// each joiner's integration window — read Series/Pulses for
+	// integration analyses rather than WithinSkew.
+	StartAt map[int]float64
+	// ClockOffset optionally pins individual correct nodes' initial
+	// hardware clock offset, overriding the random draw (late joiners
+	// fresh from repair, adversarially placed clocks).
+	ClockOffset map[int]float64
 }
 
 func (s Spec) withDefaults() Spec {
@@ -160,21 +168,67 @@ type Result struct {
 	TotalMsgs    uint64
 	MsgsPerRound float64
 
-	// Series, if Spec.KeepSeries.
+	// Series and Pulses, if Spec.KeepSeries.
 	Series []metrics.Sample
+	Pulses []node.PulseRecord
 }
 
-// Run executes the spec and returns measurements.
+// Run executes the spec and returns measurements. It panics on a
+// malformed spec (unknown algorithm or attack, attack/algorithm
+// mismatch); library callers wanting errors instead use RunContext.
 func Run(spec Spec) Result {
+	res, err := RunContext(context.Background(), spec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// runChunks splits a run's horizon into this many context-check slices so
+// long simulations notice cancellation without measurable overhead.
+const runChunks = 8
+
+// RunContext executes the spec and returns measurements. The protocol and
+// the faulty-node behaviour are resolved through the registry, so any
+// algorithm or attack registered by any package is reachable from a Spec.
+// Cancelling ctx aborts the simulation between event-processing chunks
+// and returns ctx.Err(). Results are deterministic in the spec alone.
+func RunContext(ctx context.Context, spec Spec) (Result, error) {
 	spec = spec.withDefaults()
 	p := spec.Params
 
-	cluster := buildCluster(spec)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	cluster, err := buildCluster(spec)
+	if err != nil {
+		return Result{}, err
+	}
 	cluster.Start()
 
 	correct := correctIDs(p.N, spec.FaultyCount)
-	sampler := metrics.NewSkewSampler(cluster, correct, spec.SampleEvery)
-	cluster.Run(spec.Horizon)
+	var sampler *metrics.SkewSampler
+	if len(spec.StartAt) > 0 {
+		// Staggered boots: sample only nodes that have booted by each
+		// tick — an offline joiner's clock is not yet comparable. Note
+		// that MaxSkew still covers a joiner's integration window (boot
+		// until its first accepted round), so WithinSkew is about the
+		// whole run, not just steady state; integration experiments read
+		// Series/Pulses.
+		sampler = metrics.NewBootedSkewSampler(cluster, spec.SampleEvery)
+	} else {
+		sampler = metrics.NewSkewSampler(cluster, correct, spec.SampleEvery)
+	}
+	for i := 1; i <= runChunks; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		until := spec.Horizon * float64(i) / runChunks
+		if i == runChunks {
+			until = spec.Horizon // exact horizon, no float drift
+		}
+		cluster.Run(until)
+	}
 	sampler.Stop()
 
 	rep := metrics.NewPulseReport(cluster.Pulses, correct)
@@ -221,30 +275,30 @@ func Run(spec Spec) Result {
 	}
 	if spec.KeepSeries {
 		res.Series = sampler.Series
+		res.Pulses = cluster.Pulses
 	}
-	return res
+	return res, nil
 }
 
 // envelopeBounds returns the admissible long-run clock rate interval for
-// the algorithm under test. The ST algorithms carry the paper's alpha/P
-// and (beta+dmax)/P correction terms (provably unavoidable); the averaging
-// baselines make no alpha jump, so their honest rates must stay within the
-// plain hardware envelope plus regression slack over the measurement span
-// — which is exactly why a sustained bias attack on CNV is a visible
+// the algorithm under test. Protocols registered with WithEnvelope (the
+// ST algorithms carry the paper's alpha/P and (beta+dmax)/P correction
+// terms, provably unavoidable) supply their own bounds; every other
+// protocol — the averaging baselines make no alpha jump — is held to the
+// plain hardware envelope plus regression slack over the measurement span,
+// which is exactly why a sustained bias attack on CNV is a visible
 // accuracy violation.
 func envelopeBounds(spec Spec, span float64) (lo, hi float64) {
-	p := spec.Params
-	switch spec.Algo {
-	case AlgoAuth, AlgoPrim:
-		return p.EnvelopeRateBoundsOver(span)
-	default:
-		if min := p.Pmin(); span < min {
-			span = min
-		}
-		eps := p.DMax + p.InitialSkew // per-round phase noise amplitude
-		s := 4 * eps / span
-		return p.Rho.MinRate() - s, p.Rho.MaxRate() + s
+	if env := protocolEnvelope(spec.Algo); env != nil {
+		return env(spec, span)
 	}
+	p := spec.Params
+	if min := p.Pmin(); span < min {
+		span = min
+	}
+	eps := p.DMax + p.InitialSkew // per-round phase noise amplitude
+	s := 4 * eps / span
+	return p.Rho.MinRate() - s, p.Rho.MaxRate() + s
 }
 
 func correctIDs(n, faulty int) []node.ID {
@@ -255,9 +309,21 @@ func correctIDs(n, faulty int) []node.ID {
 	return ids
 }
 
-// buildCluster wires protocols, clocks, delays, and attacks.
-func buildCluster(spec Spec) *node.Cluster {
+// buildCluster wires protocols, clocks, delays, and attacks. Both the
+// correct-node protocol and the faulty-node behaviour are resolved through
+// the registry; there is no hard-wired algorithm or attack list here.
+func buildCluster(spec Spec) (*node.Cluster, error) {
 	p := spec.Params
+
+	// Validate both names up front so a misspelled spec fails loudly even
+	// when no faulty node would have exercised the attack builder.
+	if _, err := lookupProtocol(spec.Algo); err != nil {
+		return nil, err
+	}
+	if _, err := lookupAttack(spec.Attack); err != nil {
+		return nil, err
+	}
+
 	faulty := make(map[int]bool, spec.FaultyCount)
 	for i := p.N - spec.FaultyCount; i < p.N; i++ {
 		faulty[i] = true
@@ -265,6 +331,25 @@ func buildCluster(spec Spec) *node.Cluster {
 
 	coalition := adversary.NewCollusion()
 	rushRounds := int(spec.Horizon/spec.RushInterval) + 1
+	leader := p.N - spec.FaultyCount // the lowest faulty id leads coalitions
+
+	protos := make([]node.Protocol, p.N)
+	for i := 0; i < p.N; i++ {
+		var err error
+		if faulty[i] {
+			protos[i], err = newAttack(spec, AttackEnv{
+				ID:         i,
+				Leader:     i == leader,
+				Coalition:  coalition,
+				RushRounds: rushRounds,
+			})
+		} else {
+			protos[i], err = NewProtocol(spec)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	var delay network.Policy = network.Uniform{Min: p.DMin, Max: p.DMax}
 	if spec.SpreadDelays {
@@ -280,104 +365,36 @@ func buildCluster(spec Spec) *node.Cluster {
 		Rho:      p.Rho,
 		Delay:    delay,
 		SlewRate: spec.SlewRate,
+		StartAt:  spec.StartAt,
 		Clocks: func(i int, rng *rand.Rand) *clock.Hardware {
 			if faulty[i] {
 				// Faulty nodes get perfect clocks: the adversary can
 				// schedule on real time.
 				return clock.NewConstant(0, 1, p.Rho)
 			}
+			// Draw before applying any pinned offset so the per-node rng
+			// stream stays aligned with and without overrides.
 			offset := rng.Float64() * p.InitialSkew
 			if spec.ColdStart {
 				offset = rng.Float64() * 100 * p.Period
 			}
+			if pinned, ok := spec.ClockOffset[i]; ok {
+				offset = pinned
+			}
 			return clock.NewHardware(offset, p.Rho,
 				clock.RandomWalk{Rho: p.Rho, MinDur: p.Period / 7, MaxDur: p.Period}, rng)
 		},
-		Protocols: func(i int) node.Protocol {
-			if faulty[i] {
-				return faultyProtocol(spec, i, coalition, rushRounds)
-			}
-			return correctProtocol(spec)
-		},
-		Faulty: faulty,
-	})
+		Protocols: func(i int) node.Protocol { return protos[i] },
+		Faulty:    faulty,
+	}), nil
 }
 
-func correctProtocol(spec Spec) node.Protocol {
-	p := spec.Params
-	coreCfg := core.ConfigFromBounds(p)
-	coreCfg.ColdStart = spec.ColdStart
-	coreCfg.DisableRelay = spec.DisableRelay
-	switch spec.Algo {
-	case AlgoAuth:
-		return core.NewAuth(coreCfg)
-	case AlgoPrim:
-		return core.NewPrimitive(coreCfg)
-	case AlgoCNV:
-		return baseline.NewCNV(baselineConfig(spec), spec.CNVDelta)
-	case AlgoFTM:
-		return baseline.NewFTM(baselineConfig(spec))
-	default:
-		panic(fmt.Sprintf("harness: unknown algorithm %q", spec.Algo))
+// mustCluster is buildCluster for internal callers with known-good specs
+// (scenario generators that introspect cluster state directly).
+func mustCluster(spec Spec) *node.Cluster {
+	cluster, err := buildCluster(spec)
+	if err != nil {
+		panic(err.Error())
 	}
-}
-
-func baselineConfig(spec Spec) baseline.Config {
-	p := spec.Params
-	return baseline.Config{
-		Period: p.Period,
-		Window: spec.Window,
-		DMin:   p.DMin, DMax: p.DMax,
-		F: p.F,
-	}
-}
-
-func faultyProtocol(spec Spec, id int, coalition *adversary.Collusion, rushRounds int) node.Protocol {
-	p := spec.Params
-	switch spec.Attack {
-	case AttackSilent:
-		return adversary.Silent{}
-	case AttackCrashMid:
-		return &adversary.CrashAt{Inner: correctProtocol(spec), At: spec.Horizon / 2}
-	case AttackRush:
-		if spec.Algo == AlgoPrim {
-			return &adversary.PrimRush{Interval: spec.RushInterval, Rounds: rushRounds}
-		}
-		// The lowest faulty id is the coalition leader.
-		return &adversary.AuthRush{
-			Coalition: coalition,
-			Leader:    id == p.N-spec.FaultyCount,
-			Interval:  spec.RushInterval,
-			Rounds:    rushRounds,
-		}
-	case AttackBias:
-		inner, ok := correctProtocol(spec).(*baseline.Protocol)
-		if !ok {
-			panic(fmt.Sprintf("harness: bias attack targets baselines, not %q", spec.Algo))
-		}
-		return &adversary.BiasedReporter{Inner: inner, Bias: spec.Bias}
-	case AttackEquivocate:
-		return &adversary.Equivocator{
-			Cfg:     core.ConfigFromBounds(p),
-			TargetA: 0, TargetB: 1,
-			Rounds: int(spec.Horizon/p.Period) + 1,
-		}
-	case AttackSelective:
-		if spec.Algo != AlgoAuth {
-			panic(fmt.Sprintf("harness: selective attack targets the auth algorithm, not %q", spec.Algo))
-		}
-		targets := make(map[node.ID]bool)
-		correct := p.N - spec.FaultyCount
-		for i := 0; i < correct/2; i++ {
-			targets[i] = true
-		}
-		return &adversary.SelectiveSigner{
-			Cfg:     core.ConfigFromBounds(p),
-			Targets: targets,
-			Rounds:  int(spec.Horizon/p.Period) + 1,
-			Lead:    p.Period / 4,
-		}
-	default:
-		panic(fmt.Sprintf("harness: unknown attack %q", spec.Attack))
-	}
+	return cluster
 }

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"optsync/internal/adversary"
+	"optsync/internal/node"
+)
+
+// ProtocolBuilder constructs the protocol a *correct* process runs under
+// the given spec. Builders must be pure: every call returns a fresh
+// protocol instance and consumes no shared mutable state, so that
+// independent runs can execute concurrently.
+type ProtocolBuilder func(spec Spec) (node.Protocol, error)
+
+// AttackEnv carries the per-node wiring an attack builder may need beyond
+// the spec itself.
+type AttackEnv struct {
+	// ID is the node id of the faulty process being built.
+	ID int
+	// Leader reports whether this is the lowest-id faulty node; coalition
+	// attacks conventionally elect it as coordinator.
+	Leader bool
+	// Coalition is the shared state of all faulty nodes in this run.
+	Coalition *adversary.Collusion
+	// RushRounds is the number of protocol rounds an attack pacing itself
+	// at Spec.RushInterval can fire within the horizon.
+	RushRounds int
+}
+
+// AttackBuilder constructs the protocol a *faulty* process runs. A builder
+// that only applies to certain algorithms should return an error for the
+// rest rather than misbehave silently.
+type AttackBuilder func(spec Spec, env AttackEnv) (node.Protocol, error)
+
+// EnvelopeFunc computes a protocol's admissible long-run logical clock
+// rate interval over a measurement span.
+type EnvelopeFunc func(spec Spec, span float64) (lo, hi float64)
+
+type protocolEntry struct {
+	build    ProtocolBuilder
+	envelope EnvelopeFunc
+}
+
+// ProtocolOption customizes a protocol registration.
+type ProtocolOption func(*protocolEntry)
+
+// WithEnvelope attaches protocol-specific accuracy bounds to a
+// registration. Protocols registered without it are held to the plain
+// hardware drift envelope plus regression slack (see envelopeBounds).
+func WithEnvelope(fn EnvelopeFunc) ProtocolOption {
+	return func(e *protocolEntry) { e.envelope = fn }
+}
+
+var registry = struct {
+	mu        sync.RWMutex
+	protocols map[Algorithm]*protocolEntry
+	attacks   map[Attack]AttackBuilder
+}{
+	protocols: make(map[Algorithm]*protocolEntry),
+	attacks:   make(map[Attack]AttackBuilder),
+}
+
+// RegisterProtocol makes an algorithm constructible by name through Spec.
+// It panics if the name is empty, the builder is nil, or the name is
+// already taken — registration is a program-initialization step, like
+// database/sql driver registration.
+func RegisterProtocol(name Algorithm, build ProtocolBuilder, opts ...ProtocolOption) {
+	if name == "" {
+		panic("harness: RegisterProtocol with empty name")
+	}
+	if build == nil {
+		panic("harness: RegisterProtocol with nil builder")
+	}
+	entry := &protocolEntry{build: build}
+	for _, opt := range opts {
+		opt(entry)
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.protocols[name]; dup {
+		panic(fmt.Sprintf("harness: protocol %q registered twice", name))
+	}
+	registry.protocols[name] = entry
+}
+
+// RegisterAttack makes a faulty-node behaviour constructible by name
+// through Spec. Same registration contract as RegisterProtocol.
+func RegisterAttack(name Attack, build AttackBuilder) {
+	if name == "" {
+		panic("harness: RegisterAttack with empty name")
+	}
+	if build == nil {
+		panic("harness: RegisterAttack with nil builder")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.attacks[name]; dup {
+		panic(fmt.Sprintf("harness: attack %q registered twice", name))
+	}
+	registry.attacks[name] = build
+}
+
+// Protocols returns the registered algorithm names, sorted.
+func Protocols() []Algorithm {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return protocolNamesLocked()
+}
+
+// Attacks returns the registered attack names, sorted.
+func Attacks() []Attack {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return attackNamesLocked()
+}
+
+func lookupProtocol(name Algorithm) (*protocolEntry, error) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	entry, ok := registry.protocols[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown algorithm %q (registered: %v)", name, protocolNamesLocked())
+	}
+	return entry, nil
+}
+
+func lookupAttack(name Attack) (AttackBuilder, error) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	build, ok := registry.attacks[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown attack %q (registered: %v)", name, attackNamesLocked())
+	}
+	return build, nil
+}
+
+// protocolNamesLocked and attackNamesLocked assume registry.mu is held.
+func protocolNamesLocked() []Algorithm {
+	out := make([]Algorithm, 0, len(registry.protocols))
+	for name := range registry.protocols {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func attackNamesLocked() []Attack {
+	out := make([]Attack, 0, len(registry.attacks))
+	for name := range registry.attacks {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NewProtocol builds the correct-node protocol for the spec via the
+// registry. Attack builders that wrap correct behaviour (crash-mid, bias)
+// use it to obtain their inner protocol.
+func NewProtocol(spec Spec) (node.Protocol, error) {
+	entry, err := lookupProtocol(spec.Algo)
+	if err != nil {
+		return nil, err
+	}
+	return entry.build(spec)
+}
+
+// newAttack builds the faulty-node protocol for the spec via the registry.
+func newAttack(spec Spec, env AttackEnv) (node.Protocol, error) {
+	build, err := lookupAttack(spec.Attack)
+	if err != nil {
+		return nil, err
+	}
+	return build(spec, env)
+}
+
+// protocolEnvelope returns the registered envelope bounds for the
+// algorithm, or nil if none (or the algorithm is unknown).
+func protocolEnvelope(name Algorithm) EnvelopeFunc {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	if entry, ok := registry.protocols[name]; ok {
+		return entry.envelope
+	}
+	return nil
+}

@@ -69,10 +69,11 @@ func defaultParams(n int, variant bounds.Variant) bounds.Params {
 
 // T1AuthAgreement sweeps n, rho, and dmax at maximum tolerated silent
 // faults and checks measured skew and acceptance spread against Dmax and
-// beta.
+// beta. The 54-cell grid is a single parallel batch.
 func T1AuthAgreement() []*Table {
 	t := NewTable("T1: agreement, authenticated, f = ceil(n/2)-1 silent",
 		"n", "f", "rho", "dmax_s", "max_skew_s", "Dmax_bound_s", "skew", "max_spread_s", "beta_s", "spread")
+	var specs []Spec
 	for _, n := range []int{3, 5, 7, 9, 15, 25} {
 		for _, rho := range []float64{1e-6, 1e-4, 1e-3} {
 			for _, dmax := range []float64{0.001, 0.01, 0.05} {
@@ -83,19 +84,22 @@ func T1AuthAgreement() []*Table {
 				p.InitialSkew = dmax / 2
 				p.Alpha = 0
 				p = p.WithDefaults()
-				res := Run(Spec{
+				specs = append(specs, Spec{
 					Algo: AlgoAuth, Params: p,
 					FaultyCount: p.F, Attack: AttackSilent,
 					Seed: int64(n*1000) + int64(rho*1e7) + int64(dmax*1e4),
 				})
-				t.AddRow(
-					fmt.Sprint(n), fmt.Sprint(p.F), F(rho), F(dmax),
-					F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew),
-					F(res.MaxSpread), F(res.SpreadBound),
-					FmtBool(res.MaxSpread <= res.SpreadBound+1e-9),
-				)
 			}
 		}
+	}
+	for _, res := range runAll(specs) {
+		p := res.Spec.Params
+		t.AddRow(
+			fmt.Sprint(p.N), fmt.Sprint(p.F), F(float64(p.Rho)), F(p.DMax),
+			F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew),
+			F(res.MaxSpread), F(res.SpreadBound),
+			FmtBool(res.MaxSpread <= res.SpreadBound+1e-9),
+		)
 	}
 	t.AddNote("paper claim: skew <= Dmax = (1+rho)*beta + alpha + drift*(resync window) at optimal resilience")
 	return []*Table{t}
@@ -105,24 +109,28 @@ func T1AuthAgreement() []*Table {
 func T2PrimAgreement() []*Table {
 	t := NewTable("T2: agreement, primitive-based, f = floor((n-1)/3) silent",
 		"n", "f", "rho", "dmax_s", "max_skew_s", "Dmax_bound_s", "skew", "max_spread_s", "beta_s", "spread")
+	var specs []Spec
 	for _, n := range []int{4, 7, 10, 16, 31} {
 		for _, rho := range []float64{1e-6, 1e-4, 1e-3} {
 			p := defaultParams(n, bounds.Primitive)
 			p.Rho = clock.Rho(rho)
 			p.Alpha = 0
 			p = p.WithDefaults()
-			res := Run(Spec{
+			specs = append(specs, Spec{
 				Algo: AlgoPrim, Params: p,
 				FaultyCount: p.F, Attack: AttackSilent,
 				Seed: int64(n*100) + int64(rho*1e7),
 			})
-			t.AddRow(
-				fmt.Sprint(n), fmt.Sprint(p.F), F(rho), F(p.DMax),
-				F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew),
-				F(res.MaxSpread), F(res.SpreadBound),
-				FmtBool(res.MaxSpread <= res.SpreadBound+1e-9),
-			)
 		}
+	}
+	for _, res := range runAll(specs) {
+		p := res.Spec.Params
+		t.AddRow(
+			fmt.Sprint(p.N), fmt.Sprint(p.F), F(float64(p.Rho)), F(p.DMax),
+			F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew),
+			F(res.MaxSpread), F(res.SpreadBound),
+			FmtBool(res.MaxSpread <= res.SpreadBound+1e-9),
+		)
 	}
 	t.AddNote("primitive acceptance spreads over two hops: beta = 2*dmax")
 	return []*Table{t}
@@ -148,6 +156,7 @@ func T3Accuracy() []*Table {
 		{AlgoCNV, AttackBias, func(p bounds.Params) int { return p.F }},
 		{AlgoFTM, AttackBias, func(p bounds.Params) int { return p.F }},
 	}
+	specs := make([]Spec, 0, len(cases))
 	for _, c := range cases {
 		variant := bounds.Auth
 		if c.algo == AlgoPrim || c.algo == AlgoCNV || c.algo == AlgoFTM {
@@ -163,8 +172,10 @@ func T3Accuracy() []*Table {
 		if c.attack == AttackBias {
 			spec.Bias = 3 * p.Dmax() // inside CNV's default Delta = 4*Dmax
 		}
-		res := Run(spec)
-		t.AddRow(string(c.algo), string(c.attack),
+		specs = append(specs, spec)
+	}
+	for _, res := range runAll(specs) {
+		t.AddRow(string(res.Spec.Algo), string(res.Spec.Attack),
 			F(res.EnvLo), F(res.EnvHi), F(res.EnvBoundLo), F(res.EnvBoundHi),
 			FmtBool(res.WithinEnvelope))
 	}
@@ -181,26 +192,30 @@ func T3Accuracy() []*Table {
 func T4AuthResilience() []*Table {
 	t := NewTable("T4: authenticated resilience boundary under rush attack",
 		"n", "f_cfg", "f_actual", "min_period_s", "Pmin_bound_s", "period", "env_hi", "env_bound_hi", "accuracy")
+	var specs []Spec
 	for _, n := range []int{3, 5, 7} {
 		fCfg := bounds.Auth.MaxFaults(n)
 		for _, fActual := range []int{fCfg, fCfg + 1} {
 			p := defaultParams(n, bounds.Auth)
-			res := Run(Spec{
+			specs = append(specs, Spec{
 				Algo: AlgoAuth, Params: p,
 				FaultyCount: fActual, Attack: AttackRush,
 				RushInterval: p.Period / 5,
 				Horizon:      40 * p.Period,
 				Seed:         int64(n*10 + fActual),
 			})
-			periodOK := res.MinPeriod >= res.PminBound-1e-9
-			if res.CompleteRounds == 0 {
-				periodOK = false
-			}
-			t.AddRow(fmt.Sprint(n), fmt.Sprint(fCfg), fmt.Sprint(fActual),
-				F(res.MinPeriod), F(res.PminBound), FmtBool(periodOK),
-				F(res.EnvHi), F(res.EnvBoundHi),
-				FmtBool(res.EnvHi <= res.EnvBoundHi))
 		}
+	}
+	for _, res := range runAll(specs) {
+		periodOK := res.MinPeriod >= res.PminBound-1e-9
+		if res.CompleteRounds == 0 {
+			periodOK = false
+		}
+		t.AddRow(fmt.Sprint(res.Spec.Params.N), fmt.Sprint(res.Spec.Params.F),
+			fmt.Sprint(res.Spec.FaultyCount),
+			F(res.MinPeriod), F(res.PminBound), FmtBool(periodOK),
+			F(res.EnvHi), F(res.EnvBoundHi),
+			FmtBool(res.EnvHi <= res.EnvBoundHi))
 	}
 	t.AddNote("beyond f = ceil(n/2)-1 the coalition alone forges f_cfg+1-signature quorums:")
 	t.AddNote("rounds fire at the adversary's pace — periods collapse below Pmin and the clock rate leaves the envelope")
@@ -211,23 +226,27 @@ func T4AuthResilience() []*Table {
 func T5PrimResilience() []*Table {
 	t := NewTable("T5: primitive resilience boundary under rush attack",
 		"n", "f_cfg", "f_actual", "min_period_s", "Pmin_bound_s", "period", "env_hi", "env_bound_hi", "accuracy")
+	var specs []Spec
 	for _, n := range []int{4, 7, 10} {
 		fCfg := bounds.Primitive.MaxFaults(n)
 		for _, fActual := range []int{fCfg, fCfg + 1} {
 			p := defaultParams(n, bounds.Primitive)
-			res := Run(Spec{
+			specs = append(specs, Spec{
 				Algo: AlgoPrim, Params: p,
 				FaultyCount: fActual, Attack: AttackRush,
 				RushInterval: p.Period / 5,
 				Horizon:      40 * p.Period,
 				Seed:         int64(n*10 + fActual),
 			})
-			periodOK := res.MinPeriod >= res.PminBound-1e-9 && res.CompleteRounds > 0
-			t.AddRow(fmt.Sprint(n), fmt.Sprint(fCfg), fmt.Sprint(fActual),
-				F(res.MinPeriod), F(res.PminBound), FmtBool(periodOK),
-				F(res.EnvHi), F(res.EnvBoundHi),
-				FmtBool(res.EnvHi <= res.EnvBoundHi))
 		}
+	}
+	for _, res := range runAll(specs) {
+		periodOK := res.MinPeriod >= res.PminBound-1e-9 && res.CompleteRounds > 0
+		t.AddRow(fmt.Sprint(res.Spec.Params.N), fmt.Sprint(res.Spec.Params.F),
+			fmt.Sprint(res.Spec.FaultyCount),
+			F(res.MinPeriod), F(res.PminBound), FmtBool(periodOK),
+			F(res.EnvHi), F(res.EnvBoundHi),
+			FmtBool(res.EnvHi <= res.EnvBoundHi))
 	}
 	t.AddNote("f_cfg+1 colluding readies trigger the join rule at every correct process,")
 	t.AddNote("completing the 2f+1 quorum with no correct clock due")
@@ -238,6 +257,7 @@ func T5PrimResilience() []*Table {
 func T7Messages() []*Table {
 	t := NewTable("T7: message complexity per resynchronization round",
 		"algo", "n", "msgs_per_round", "bound", "ratio_to_n2")
+	var specs []Spec
 	for _, algo := range []Algorithm{AlgoAuth, AlgoPrim} {
 		variant := bounds.Auth
 		if algo == AlgoPrim {
@@ -245,16 +265,18 @@ func T7Messages() []*Table {
 		}
 		for _, n := range []int{4, 7, 13, 25} {
 			p := defaultParams(n, variant)
-			res := Run(Spec{
+			specs = append(specs, Spec{
 				Algo: algo, Params: p,
 				FaultyCount: p.F, Attack: AttackSilent,
 				Seed: int64(n),
 			})
-			bound := p.MessagesPerRound()
-			t.AddRow(string(algo), fmt.Sprint(n),
-				F(res.MsgsPerRound), fmt.Sprint(bound),
-				F(res.MsgsPerRound/float64(n*n)))
 		}
+	}
+	for _, res := range runAll(specs) {
+		p := res.Spec.Params
+		t.AddRow(string(res.Spec.Algo), fmt.Sprint(p.N),
+			F(res.MsgsPerRound), fmt.Sprint(p.MessagesPerRound()),
+			F(res.MsgsPerRound/float64(p.N*p.N)))
 	}
 	t.AddNote("each correct process broadcasts once per round (+1 relay broadcast for auth): Theta(n^2) messages")
 	return []*Table{t}
@@ -287,15 +309,19 @@ func F1Trace() []*Table {
 func F2SkewVsFaults() []*Table {
 	t := NewTable("F2: skew vs faults (n=13, authenticated)",
 		"f", "max_skew_s", "Dmax_bound_s", "within")
+	var specs []Spec
 	for f := 0; f <= 6; f++ {
 		p := defaultParams(13, bounds.Auth)
 		p.F = f
-		res := Run(Spec{
+		specs = append(specs, Spec{
 			Algo: AlgoAuth, Params: p,
 			FaultyCount: f, Attack: AttackSilent,
 			Seed: int64(f) + 500,
 		})
-		t.AddRow(fmt.Sprint(f), F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew))
+	}
+	for _, res := range runAll(specs) {
+		t.AddRow(fmt.Sprint(res.Spec.Params.F),
+			F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew))
 	}
 	t.AddNote("skew stays within the bound for every f up to ceil(n/2)-1 = 6")
 	return []*Table{t}
@@ -309,6 +335,7 @@ func F3SkewVsDelay() []*Table {
 	const u = 0.002
 	t := NewTable("F3: skew vs max delay d (uncertainty u = 2 ms fixed)",
 		"dmax_s", "u_s", "st_auth_skew_s", "st_bound_s", "ftm_skew_s")
+	var specs []Spec
 	for _, dmax := range []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1} {
 		p := defaultParams(7, bounds.Auth)
 		p.DMax = dmax
@@ -316,7 +343,7 @@ func F3SkewVsDelay() []*Table {
 		p.InitialSkew = u
 		p.Alpha = 0
 		p = p.WithDefaults()
-		st := Run(Spec{
+		specs = append(specs, Spec{
 			Algo: AlgoAuth, Params: p,
 			FaultyCount: p.F, Attack: AttackSelective,
 			Seed: int64(dmax * 1e5),
@@ -327,12 +354,16 @@ func F3SkewVsDelay() []*Table {
 		pf.InitialSkew = u
 		pf.Alpha = 0
 		pf = pf.WithDefaults()
-		ftm := Run(Spec{
+		specs = append(specs, Spec{
 			Algo: AlgoFTM, Params: pf,
 			FaultyCount: pf.F, Attack: AttackSilent,
 			Seed: int64(dmax*1e5) + 1,
 		})
-		t.AddRow(F(dmax), F(u), F(st.MaxSkew), F(st.SkewBound), F(ftm.MaxSkew))
+	}
+	results := runAll(specs)
+	for i := 0; i < len(results); i += 2 {
+		st, ftm := results[i], results[i+1]
+		t.AddRow(F(st.Spec.Params.DMax), F(u), F(st.MaxSkew), F(st.SkewBound), F(ftm.MaxSkew))
 	}
 	t.AddNote("ST pays Theta(d): faulty signers serving only half the nodes force the rest onto the relay path (one full delay);")
 	t.AddNote("FTM's midpoint pays Theta(u + rho*P): reading error only, so its skew barely moves with d")
@@ -349,7 +380,7 @@ func F5Envelope() []*Table {
 		Seed:    606,
 	}
 	spec = spec.withDefaults()
-	cluster := buildCluster(spec)
+	cluster := mustCluster(spec)
 	cluster.Start()
 	cluster.Run(spec.Horizon)
 	correct := correctIDs(p.N, spec.FaultyCount)
@@ -387,17 +418,21 @@ func F5Envelope() []*Table {
 func F6SkewVsPeriod() []*Table {
 	t := NewTable("F6: skew vs resynchronization period P (authenticated, n=7)",
 		"P_s", "max_skew_s", "Dmax_bound_s", "within")
+	var specs []Spec
 	for _, period := range []float64{0.5, 1, 2, 5, 10} {
 		p := defaultParams(7, bounds.Auth)
 		p.Period = period
 		p.Rho = clock.Rho(1e-3) // visible drift term
-		res := Run(Spec{
+		specs = append(specs, Spec{
 			Algo: AlgoAuth, Params: p,
 			FaultyCount: p.F, Attack: AttackSilent,
 			Horizon: 20 * period,
 			Seed:    int64(period * 100),
 		})
-		t.AddRow(F(period), F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew))
+	}
+	for _, res := range runAll(specs) {
+		t.AddRow(F(res.Spec.Params.Period),
+			F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew))
 	}
 	t.AddNote("the drift term 2*rho*(1+rho)*P dominates for large P: skew is linear in P")
 	return []*Table{t}
@@ -521,43 +556,35 @@ func T6Primitive() []*Table {
 func F4Reintegration() []*Table {
 	t := NewTable("F4: reintegration of a late joiner (authenticated, n=5)",
 		"join_at_s", "first_pulse_s", "sync_latency_s", "one_period_bound_s", "within", "skew_after_s", "Dmax_s")
-	for _, joinAt := range []float64{5.3, 10.7, 17.1} {
-		p := defaultParams(5, bounds.Auth)
-		joiner := p.N - 1 // last node joins late; no faulty nodes
-		spec := Spec{Algo: AlgoAuth, Params: p, Attack: AttackNone, Seed: int64(joinAt * 10)}
-		spec = spec.withDefaults()
-		cluster := node.NewCluster(node.Config{
-			N: p.N, F: p.F, Seed: spec.Seed,
-			Rho:   p.Rho,
-			Delay: network.Uniform{Min: p.DMin, Max: p.DMax},
-			Clocks: func(i int, rng *rand.Rand) *clock.Hardware {
-				offset := rng.Float64() * p.InitialSkew
-				if i == joiner {
-					offset = 17 // a wildly wrong clock: fresh from repair
-				}
-				return clock.NewHardware(offset, p.Rho,
-					clock.RandomWalk{Rho: p.Rho, MinDur: p.Period / 7, MaxDur: p.Period}, rng)
-			},
-			Protocols: func(i int) node.Protocol {
-				return correctProtocol(spec)
-			},
-			StartAt: map[int]float64{joiner: joinAt},
+	p := defaultParams(5, bounds.Auth)
+	joiner := p.N - 1 // last node joins late; no faulty nodes
+	joins := []float64{5.3, 10.7, 17.1}
+	specs := make([]Spec, 0, len(joins))
+	for _, joinAt := range joins {
+		specs = append(specs, Spec{
+			Algo: AlgoAuth, Params: p, Attack: AttackNone,
+			Seed:    int64(joinAt * 10),
+			Horizon: 30 * p.Period,
+			// The joiner boots late with a wildly wrong clock (fresh from
+			// repair); everyone else starts inside the initial skew.
+			StartAt:     map[int]float64{joiner: joinAt},
+			ClockOffset: map[int]float64{joiner: 17},
+			KeepSeries:  true,
 		})
-		cluster.Start()
-		cluster.Run(30 * p.Period)
-
+	}
+	for i, res := range runAll(specs) {
+		joinAt := joins[i]
 		var firstPulse float64 = -1
-		for _, rec := range cluster.Pulses {
+		for _, rec := range res.Pulses {
 			if rec.Node == joiner {
 				firstPulse = rec.Real
 				break
 			}
 		}
-		allIDs := make([]node.ID, p.N)
-		for i := range allIDs {
-			allIDs[i] = i
+		var skewAfter float64
+		if n := len(res.Series); n > 0 {
+			skewAfter = res.Series[n-1].Skew
 		}
-		skewAfter := cluster.Skew(allIDs)
 		latency := firstPulse - joinAt
 		bound := p.Pmax() + p.Beta()
 		t.AddRow(F(joinAt), F(firstPulse), F(latency), F(bound),

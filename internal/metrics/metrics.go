@@ -17,12 +17,15 @@ type Sample struct {
 	Skew float64 // max - min logical clock over sampled nodes
 }
 
-// SkewSampler periodically records the skew among a fixed node set.
+// SkewSampler periodically records the skew among a fixed node set (or,
+// for staggered boots, among whichever correct nodes have booted by each
+// tick).
 type SkewSampler struct {
 	Series []Sample
 
 	cluster  *node.Cluster
 	ids      []node.ID
+	booted   bool
 	interval float64
 	stopped  bool
 }
@@ -37,14 +40,27 @@ func NewSkewSampler(c *node.Cluster, ids []node.ID, interval float64) *SkewSampl
 	return s
 }
 
+// NewBootedSkewSampler records the skew over the correct nodes that have
+// booted by each tick — the right measure when StartAt staggers boots: an
+// offline node has no meaningful logical clock to compare yet.
+func NewBootedSkewSampler(c *node.Cluster, interval float64) *SkewSampler {
+	s := &SkewSampler{cluster: c, booted: true, interval: interval}
+	s.arm()
+	return s
+}
+
 func (s *SkewSampler) arm() {
 	s.cluster.Engine.After(s.interval, func() {
 		if s.stopped {
 			return
 		}
+		ids := s.ids
+		if s.booted {
+			ids = s.cluster.CorrectIDs()
+		}
 		s.Series = append(s.Series, Sample{
 			T:    s.cluster.Engine.Now(),
-			Skew: s.cluster.Skew(s.ids),
+			Skew: s.cluster.Skew(ids),
 		})
 		s.arm()
 	})

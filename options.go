@@ -1,0 +1,109 @@
+package optsync
+
+// Option configures Run and RunBatch. Options replace the old pattern of
+// threading every knob through a growing Spec struct: runner concerns
+// (parallelism, replication, observation, output) stay out of the
+// experiment description.
+type Option func(*config)
+
+// ProgressEvent reports one finished run inside a batch.
+type ProgressEvent struct {
+	// Completed runs so far and the batch Total (after seed expansion).
+	Completed, Total int
+	// Index of the finished run in the expanded batch; completion order
+	// is not index order when workers > 1.
+	Index int
+	// Result of that run.
+	Result Result
+}
+
+type config struct {
+	workers  int
+	seeds    int
+	progress func(ProgressEvent)
+	sinks    []Sink
+	specOpts []func(*Spec)
+}
+
+func newConfig(opts []Option) *config {
+	cfg := &config{seeds: 1}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	return cfg
+}
+
+func (c *config) applySpec(spec *Spec) {
+	for _, fn := range c.specOpts {
+		fn(spec)
+	}
+}
+
+func (c *config) emit(res Result) error {
+	for _, s := range c.sinks {
+		if err := s.Write(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *config) flushSinks() error {
+	var first error
+	for _, s := range c.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WithWorkers bounds the batch worker pool. n <= 0 (and the default)
+// means the package default (SetDefaultWorkers, else GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithSeeds replicates each spec k times with consecutive seeds
+// (Seed, Seed+1, ..., Seed+k-1) — the standard way to average a scenario
+// table cell over independent randomness. k < 1 is treated as 1.
+func WithSeeds(k int) Option {
+	if k < 1 {
+		k = 1
+	}
+	return func(c *config) { c.seeds = k }
+}
+
+// WithProgress installs a callback invoked serially after each finished
+// run. It must not block: it runs under the batch lock.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithSink streams results to s in input order, independent of worker
+// scheduling. Sinks are flushed before Run/RunBatch returns. May be
+// given multiple times.
+func WithSink(s Sink) Option {
+	return func(c *config) { c.sinks = append(c.sinks, s) }
+}
+
+// WithSeed sets every spec's base seed.
+func WithSeed(seed int64) Option {
+	return func(c *config) {
+		c.specOpts = append(c.specOpts, func(s *Spec) { s.Seed = seed })
+	}
+}
+
+// WithHorizon sets every spec's simulated duration in seconds.
+func WithHorizon(seconds float64) Option {
+	return func(c *config) {
+		c.specOpts = append(c.specOpts, func(s *Spec) { s.Horizon = seconds })
+	}
+}
+
+// WithKeepSeries retains the skew time series and pulse log in results.
+func WithKeepSeries() Option {
+	return func(c *config) {
+		c.specOpts = append(c.specOpts, func(s *Spec) { s.KeepSeries = true })
+	}
+}

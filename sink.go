@@ -1,0 +1,194 @@
+package optsync
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sink consumes a stream of results. Run and RunBatch write results in
+// input order and call Flush before returning; sinks need not be
+// goroutine-safe.
+type Sink interface {
+	Write(Result) error
+	Flush() error
+}
+
+// resultRecord is the flattened, machine-readable projection of a Result
+// shared by the CSV and JSON sinks.
+type resultRecord struct {
+	Name    string    `json:"name,omitempty"`
+	Algo    Algorithm `json:"algo"`
+	Attack  Attack    `json:"attack"`
+	N       int       `json:"n"`
+	F       int       `json:"f"`
+	Faulty  int       `json:"faulty"`
+	Seed    int64     `json:"seed"`
+	Horizon float64   `json:"horizon_s"`
+
+	MaxSkew    float64 `json:"max_skew_s"`
+	SkewBound  float64 `json:"skew_bound_s"`
+	WithinSkew bool    `json:"within_skew"`
+
+	MaxSpread   float64 `json:"max_spread_s"`
+	SpreadBound float64 `json:"spread_bound_s"`
+
+	CompleteRounds int `json:"complete_rounds"`
+	PulseCount     int `json:"pulses"`
+
+	MinPeriod float64 `json:"min_period_s"`
+	MaxPeriod float64 `json:"max_period_s"`
+	PminBound float64 `json:"pmin_bound_s"`
+	PmaxBound float64 `json:"pmax_bound_s"`
+
+	EnvLo          float64 `json:"env_lo"`
+	EnvHi          float64 `json:"env_hi"`
+	EnvBoundLo     float64 `json:"env_bound_lo"`
+	EnvBoundHi     float64 `json:"env_bound_hi"`
+	WithinEnvelope bool    `json:"within_envelope"`
+
+	TotalMsgs    uint64  `json:"total_msgs"`
+	MsgsPerRound float64 `json:"msgs_per_round"`
+
+	Series []Sample `json:"series,omitempty"`
+}
+
+func record(r Result) resultRecord {
+	return resultRecord{
+		Name:   r.Spec.Name,
+		Algo:   r.Spec.Algo,
+		Attack: r.Spec.Attack,
+		N:      r.Spec.Params.N, F: r.Spec.Params.F,
+		Faulty: r.Spec.FaultyCount,
+		Seed:   r.Spec.Seed, Horizon: r.Spec.Horizon,
+		MaxSkew: r.MaxSkew, SkewBound: r.SkewBound, WithinSkew: r.WithinSkew,
+		MaxSpread: r.MaxSpread, SpreadBound: r.SpreadBound,
+		CompleteRounds: r.CompleteRounds, PulseCount: r.PulseCount,
+		MinPeriod: r.MinPeriod, MaxPeriod: r.MaxPeriod,
+		PminBound: r.PminBound, PmaxBound: r.PmaxBound,
+		EnvLo: r.EnvLo, EnvHi: r.EnvHi,
+		EnvBoundLo: r.EnvBoundLo, EnvBoundHi: r.EnvBoundHi,
+		WithinEnvelope: r.WithinEnvelope,
+		TotalMsgs:      r.TotalMsgs, MsgsPerRound: r.MsgsPerRound,
+		Series: r.Series,
+	}
+}
+
+// JSONSink emits one JSON object per result (JSON Lines): self-describing
+// snake_case keys, skew series included when Spec.KeepSeries is set.
+type JSONSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONSink writes JSON Lines to w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// Write implements Sink.
+func (s *JSONSink) Write(res Result) error { return s.enc.Encode(record(res)) }
+
+// Flush implements Sink; the encoder writes through, so it is a no-op.
+func (s *JSONSink) Flush() error { return nil }
+
+// csvColumns is the fixed CSV header (the record minus the series).
+var csvColumns = []string{
+	"name", "algo", "attack", "n", "f", "faulty", "seed", "horizon_s",
+	"max_skew_s", "skew_bound_s", "within_skew",
+	"max_spread_s", "spread_bound_s",
+	"complete_rounds", "pulses",
+	"min_period_s", "max_period_s", "pmin_bound_s", "pmax_bound_s",
+	"env_lo", "env_hi", "env_bound_lo", "env_bound_hi", "within_envelope",
+	"total_msgs", "msgs_per_round",
+}
+
+// CSVSink emits one row per result with a fixed header.
+type CSVSink struct {
+	w           *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVSink writes CSV to w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// Write implements Sink.
+func (s *CSVSink) Write(res Result) error {
+	if !s.wroteHeader {
+		if err := s.w.Write(csvColumns); err != nil {
+			return err
+		}
+		s.wroteHeader = true
+	}
+	rec := record(res)
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return s.w.Write([]string{
+		rec.Name, string(rec.Algo), string(rec.Attack),
+		strconv.Itoa(rec.N), strconv.Itoa(rec.F), strconv.Itoa(rec.Faulty),
+		strconv.FormatInt(rec.Seed, 10), g(rec.Horizon),
+		g(rec.MaxSkew), g(rec.SkewBound), strconv.FormatBool(rec.WithinSkew),
+		g(rec.MaxSpread), g(rec.SpreadBound),
+		strconv.Itoa(rec.CompleteRounds), strconv.Itoa(rec.PulseCount),
+		g(rec.MinPeriod), g(rec.MaxPeriod), g(rec.PminBound), g(rec.PmaxBound),
+		g(rec.EnvLo), g(rec.EnvHi), g(rec.EnvBoundLo), g(rec.EnvBoundHi),
+		strconv.FormatBool(rec.WithinEnvelope),
+		strconv.FormatUint(rec.TotalMsgs, 10), g(rec.MsgsPerRound),
+	})
+}
+
+// Flush implements Sink.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// TableSink accumulates a compact human-readable summary row per result
+// and renders one aligned table on Flush.
+type TableSink struct {
+	out io.Writer
+	t   *Table
+}
+
+// NewTableSink renders to w on Flush.
+func NewTableSink(w io.Writer) *TableSink {
+	return &TableSink{
+		out: w,
+		t: NewTable("results",
+			"name", "algo", "attack", "n", "f", "faulty", "seed",
+			"max_skew_s", "skew_bound_s", "skew",
+			"env_lo", "env_hi", "envelope", "rounds", "msgs_per_round"),
+	}
+}
+
+// Title overrides the rendered table title.
+func (s *TableSink) Title(title string) *TableSink {
+	s.t.Title = title
+	return s
+}
+
+// Write implements Sink.
+func (s *TableSink) Write(res Result) error {
+	s.t.AddRow(
+		res.Spec.Name, string(res.Spec.Algo), string(res.Spec.Attack),
+		strconv.Itoa(res.Spec.Params.N), strconv.Itoa(res.Spec.Params.F),
+		strconv.Itoa(res.Spec.FaultyCount), strconv.FormatInt(res.Spec.Seed, 10),
+		F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew),
+		F(res.EnvLo), F(res.EnvHi), FmtBool(res.WithinEnvelope),
+		strconv.Itoa(res.CompleteRounds), F(res.MsgsPerRound),
+	)
+	return nil
+}
+
+// Flush implements Sink: renders the accumulated table.
+func (s *TableSink) Flush() error {
+	if len(s.t.Rows) == 0 {
+		return nil
+	}
+	_, err := fmt.Fprintln(s.out, s.t.Render())
+	rows := s.t.Rows[:0]
+	s.t.Rows = rows
+	return err
+}
