@@ -11,6 +11,7 @@ package optsync
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -239,14 +240,53 @@ func BenchmarkEngineEvents(b *testing.B) {
 // BenchmarkNetworkBroadcast measures message fan-out cost (n=25).
 func BenchmarkNetworkBroadcast(b *testing.B) {
 	e := sim.New(1)
-	nt := network.New(e, 25, network.Fixed{D: 0.001})
+	nt := network.New(e, 25, network.Fixed{D: 0.001}, nil)
 	for i := 0; i < 25; i++ {
-		nt.Register(i, func(node.ID, any) {})
+		nt.Register(i, func(node.ID, network.Message) {})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		nt.Broadcast(i%25, i)
+		nt.Broadcast(i%25, network.Message{Round: i})
 		e.RunAll(0)
+	}
+}
+
+// benchPulseKind tags the benchmark's round announcements.
+var benchPulseKind = network.NewKind("bench/pulse")
+
+// benchmarkPulseRound measures one full "pulse round" of the message
+// substrate: every node broadcasts one round announcement and the engine
+// drains all deliveries. This is the O(n^2) hot path of every simulated
+// resynchronization round, so allocs/op here bound the large-n cost of
+// the whole simulator. Before PR 2's typed-envelope/pooled-event refactor
+// this cost ~2 allocs per message (a closure and a heap event each);
+// BENCH_PR2.json records the trajectory.
+func benchmarkPulseRound(b *testing.B, n int) {
+	e := sim.New(1)
+	nt := network.New(e, n, network.Uniform{Min: 0.002, Max: 0.01}, nil)
+	for i := 0; i < n; i++ {
+		nt.Register(i, func(node.ID, network.Message) {})
+	}
+	// One untimed round warms the event/delivery pools to their
+	// steady-state size, so the measurement reflects the sustained cost.
+	for from := 0; from < n; from++ {
+		nt.Broadcast(from, network.Message{Kind: benchPulseKind, Round: 0})
+	}
+	e.RunAll(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for from := 0; from < n; from++ {
+			nt.Broadcast(from, network.Message{Kind: benchPulseKind, Round: i + 1})
+		}
+		e.RunAll(0)
+	}
+	b.ReportMetric(float64(n*n), "msgs/op")
+}
+
+func BenchmarkPulseRound(b *testing.B) {
+	for _, n := range []int{8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkPulseRound(b, n) })
 	}
 }
 

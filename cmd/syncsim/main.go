@@ -15,6 +15,11 @@
 //
 //	syncsim -run -algo st-auth -n 7 -f 3 -rho 1e-4 -dmax 0.01 \
 //	        -period 1 -horizon 30 -attack silent -seed 1 -json
+//
+// Custom runs take a network topology and scheduled partitions:
+//
+//	syncsim -run -n 16 -topology wan:4
+//	syncsim -run -n 7 -horizon 35 -partition 10:20:3
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"optsync"
@@ -53,28 +59,72 @@ func attackUsage() string {
 	return "attack: " + strings.Join(names, "|")
 }
 
+func topologyUsage() string {
+	return "network topology: " + strings.Join(optsync.Topologies(), "[:arg] | ") +
+		"[:arg] (e.g. wan:4 = 4 WAN regions, ring:6 = degree-6 circulant)"
+}
+
+// parsePartitions parses repeated -partition values "at:heal:leftSize"
+// (heal 0 = never heals). strconv parsing rejects trailing garbage that
+// Sscanf would silently drop.
+func parsePartitions(specs []string) ([]optsync.Partition, error) {
+	out := make([]optsync.Partition, 0, len(specs))
+	for _, s := range specs {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("partition %q: want at:heal:leftSize", s)
+		}
+		var (
+			p   optsync.Partition
+			err error
+		)
+		if p.At, err = strconv.ParseFloat(parts[0], 64); err != nil {
+			return nil, fmt.Errorf("partition %q: bad at %q", s, parts[0])
+		}
+		if p.Heal, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return nil, fmt.Errorf("partition %q: bad heal %q", s, parts[1])
+		}
+		if p.LeftSize, err = strconv.Atoi(parts[2]); err != nil {
+			return nil, fmt.Errorf("partition %q: bad leftSize %q", s, parts[2])
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// stringList collects a repeatable flag.
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("syncsim", flag.ContinueOnError)
 	var (
 		list    = fs.Bool("list", false, "list experiments and exit")
-		exp     = fs.String("exp", "all", "experiment id (T1..T8, F1..F7, A1..A3, or 'all')")
+		exp     = fs.String("exp", "all", "experiment id (T1..T8, F1..F7, A1..A3, W1..W3, or 'all')")
 		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut = fs.Bool("json", false, "emit JSON instead of aligned tables")
 		workers = fs.Int("workers", 0, "worker pool size for experiment batches (0 = all cores)")
 		custom  = fs.Bool("run", false, "run a single custom simulation instead of an experiment")
 
-		algo    = fs.String("algo", "st-auth", algoUsage())
-		n       = fs.Int("n", 7, "number of processes")
-		f       = fs.Int("f", -1, "fault bound (-1 = maximum for the algorithm)")
-		faulty  = fs.Int("faulty", -1, "actual faulty count (-1 = same as -f)")
-		rho     = fs.Float64("rho", 1e-4, "hardware drift bound")
-		dmin    = fs.Float64("dmin", 0.002, "min message delay (s)")
-		dmax    = fs.Float64("dmax", 0.01, "max message delay (s)")
-		period  = fs.Float64("period", 1, "resynchronization period P (s)")
-		horizon = fs.Float64("horizon", 30, "simulated duration (s)")
-		attack  = fs.String("attack", "silent", attackUsage())
-		seed    = fs.Int64("seed", 1, "simulation seed")
+		algo     = fs.String("algo", "st-auth", algoUsage())
+		n        = fs.Int("n", 7, "number of processes")
+		f        = fs.Int("f", -1, "fault bound (-1 = maximum for the algorithm)")
+		faulty   = fs.Int("faulty", -1, "actual faulty count (-1 = same as -f)")
+		rho      = fs.Float64("rho", 1e-4, "hardware drift bound")
+		dmin     = fs.Float64("dmin", 0.002, "min message delay (s)")
+		dmax     = fs.Float64("dmax", 0.01, "max message delay (s)")
+		period   = fs.Float64("period", 1, "resynchronization period P (s)")
+		horizon  = fs.Float64("horizon", 30, "simulated duration (s)")
+		attack   = fs.String("attack", "silent", attackUsage())
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		topology = fs.String("topology", "", topologyUsage())
+
+		partitions stringList
 	)
+	fs.Var(&partitions, "partition",
+		"scheduled partition window at:heal:leftSize (repeatable; heal 0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,13 +141,21 @@ func run(args []string) error {
 	}
 
 	if *custom {
+		windows, err := parsePartitions(partitions)
+		if err != nil {
+			return err
+		}
 		return runCustom(customSpec{
 			algo: *algo, n: *n, f: *f, faulty: *faulty,
 			rho: *rho, dmin: *dmin, dmax: *dmax,
 			period: *period, horizon: *horizon,
 			attack: *attack, seed: *seed,
+			topology: *topology, partitions: windows,
 			jsonOut: *jsonOut, csvOut: *csvOut,
 		})
+	}
+	if *topology != "" || len(partitions) > 0 {
+		return fmt.Errorf("-topology and -partition apply to custom runs (-run)")
 	}
 
 	var scenarios []optsync.Scenario
@@ -136,6 +194,8 @@ type customSpec struct {
 	period, horizon float64
 	attack          string
 	seed            int64
+	topology        string
+	partitions      []optsync.Partition
 	jsonOut, csvOut bool
 }
 
@@ -164,6 +224,7 @@ func runCustom(c customSpec) error {
 		Algo: optsync.Algorithm(c.algo), Params: p,
 		FaultyCount: c.faulty, Attack: optsync.Attack(c.attack),
 		Horizon: c.horizon, Seed: c.seed,
+		Topology: c.topology, Partitions: c.partitions,
 	}
 
 	// Machine-readable modes stream through the structured sinks.
@@ -180,10 +241,15 @@ func runCustom(c customSpec) error {
 	if err != nil {
 		return err
 	}
-	t := optsync.NewTable(
-		fmt.Sprintf("custom run: %s n=%d f=%d faulty=%d attack=%s",
-			c.algo, c.n, c.f, c.faulty, c.attack),
-		"metric", "measured", "bound", "status")
+	title := fmt.Sprintf("custom run: %s n=%d f=%d faulty=%d attack=%s",
+		c.algo, c.n, c.f, c.faulty, c.attack)
+	if c.topology != "" {
+		title += " topology=" + c.topology
+	}
+	if len(c.partitions) > 0 {
+		title += fmt.Sprintf(" partitions=%d", len(c.partitions))
+	}
+	t := optsync.NewTable(title, "metric", "measured", "bound", "status")
 	t.AddRow("max skew (s)", optsync.F(res.MaxSkew), optsync.F(res.SkewBound), optsync.FmtBool(res.WithinSkew))
 	t.AddRow("max spread (s)", optsync.F(res.MaxSpread), optsync.F(res.SpreadBound),
 		optsync.FmtBool(res.MaxSpread <= res.SpreadBound+1e-9))

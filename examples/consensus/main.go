@@ -92,7 +92,7 @@ func (d *twoFacedDealer) Start(env node.Env) {
 }
 
 func (d *twoFacedDealer) Deliver(env node.Env, from node.ID, msg node.Message) {
-	if _, ok := msg.(lockstep.Envelope); ok {
+	if msg.Kind == lockstep.KindApp {
 		return
 	}
 	d.sync.Deliver(env, from, msg)
@@ -104,10 +104,7 @@ func (d *twoFacedDealer) onPulse(env node.Env, k int) {
 	}
 	d.sent = true
 	for _, value := range []uint64{7, 8} {
-		msg := lockstep.Envelope{
-			Round:   k,
-			Payload: lockstep.NewDSMessage(env, env.ID(), value),
-		}
+		msg := lockstep.Envelope(k, lockstep.NewDSMessage(env, env.ID(), value))
 		for to := 0; to < env.N(); to++ {
 			if (to%2 == 0) == (value == 7) {
 				env.Send(to, msg)

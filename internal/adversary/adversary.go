@@ -148,7 +148,7 @@ func (a *AuthRush) Start(env node.Env) {
 		// hardware clock. (Faulty nodes' Env is still the vehicle for
 		// scheduling; with perfect default clocks AtLogical is real time.)
 		env.AtLogical(float64(k)*a.Interval, func() {
-			env.Broadcast(core.RoundMessage{Round: k, Sigs: a.Coalition.evidence(k)})
+			env.Broadcast(core.RoundMessage(k, a.Coalition.evidence(k)))
 		})
 	}
 }
@@ -172,7 +172,7 @@ func (a *PrimRush) Start(env node.Env) {
 	for k := 1; k <= a.Rounds; k++ {
 		k := k
 		env.AtLogical(float64(k)*a.Interval, func() {
-			env.Broadcast(core.ReadyMessage{Round: k})
+			env.Broadcast(core.ReadyMessage(k))
 		})
 	}
 }
@@ -211,10 +211,8 @@ type biasedEnv struct {
 }
 
 func (e *biasedEnv) Broadcast(msg node.Message) {
-	if cm, ok := msg.(baseline.ClockMessage); ok {
-		cm.Value += e.bias
-		e.Env.Broadcast(cm)
-		return
+	if msg.Kind == baseline.KindClock {
+		msg.Value += e.bias
 	}
 	e.Env.Broadcast(msg)
 }
@@ -248,7 +246,7 @@ func (s *SelectiveSigner) Start(env node.Env) {
 			entry := core.SignedEntry{Signer: env.ID(), Sig: env.Sign(core.RoundPayload(k))}
 			for to := 0; to < env.N(); to++ {
 				if s.Targets[to] {
-					env.Send(to, core.RoundMessage{Round: k, Sigs: []core.SignedEntry{entry}})
+					env.Send(to, core.RoundMessage(k, []core.SignedEntry{entry}))
 				}
 			}
 		})
@@ -279,10 +277,10 @@ func (e *Equivocator) Start(env node.Env) {
 			// Sign the due round (legitimate) but send it selectively,
 			// plus a replay of the previous round's own signature.
 			own := core.SignedEntry{Signer: env.ID(), Sig: env.Sign(core.RoundPayload(k))}
-			env.Send(e.TargetA, core.RoundMessage{Round: k, Sigs: []core.SignedEntry{own}})
+			env.Send(e.TargetA, core.RoundMessage(k, []core.SignedEntry{own}))
 			if k > 1 {
 				stale := core.SignedEntry{Signer: env.ID(), Sig: env.Sign(core.RoundPayload(k - 1))}
-				env.Send(e.TargetB, core.RoundMessage{Round: k - 1, Sigs: []core.SignedEntry{stale}})
+				env.Send(e.TargetB, core.RoundMessage(k-1, []core.SignedEntry{stale}))
 			}
 		})
 	}

@@ -75,14 +75,14 @@ func TestCrashAtMuzzlesDirectSends(t *testing.T) {
 	env := c.Nodes[0]
 	c.Run(0.5)
 	before := c.Net.Stats().Sent
-	c.Nodes[0].Protocol().(*CrashAt).Deliver(env, 1, "poke")
+	c.Nodes[0].Protocol().(*CrashAt).Deliver(env, 1, network.Raw("poke"))
 	if got := c.Net.Stats().Sent; got != before+1 {
 		t.Fatalf("pre-crash deliver sent %d messages, want 1", got-before)
 	}
 	// After the deadline, both Deliver and Send are dead.
 	c.Run(2)
 	before = c.Net.Stats().Sent
-	c.Nodes[0].Protocol().(*CrashAt).Deliver(env, 1, "poke")
+	c.Nodes[0].Protocol().(*CrashAt).Deliver(env, 1, network.Raw("poke"))
 	if got := c.Net.Stats().Sent; got != before {
 		t.Fatal("post-crash deliver produced output")
 	}
@@ -95,9 +95,9 @@ func TestCrashAtMuzzlesDirectSends(t *testing.T) {
 // senderProto sends a direct message on boot and on every delivery.
 type senderProto struct{}
 
-func (senderProto) Start(env node.Env) { env.Send((env.ID()+1)%env.N(), "boot") }
+func (senderProto) Start(env node.Env) { env.Send((env.ID()+1)%env.N(), network.Raw("boot")) }
 func (senderProto) Deliver(env node.Env, _ node.ID, _ node.Message) {
-	env.Send((env.ID()+1)%env.N(), "reply")
+	env.Send((env.ID()+1)%env.N(), network.Raw("reply"))
 }
 
 func TestCollusionJoinIdempotent(t *testing.T) {
@@ -229,11 +229,11 @@ func TestBiasedReporterShiftsOnlyClockMessages(t *testing.T) {
 	c.Run(1.2) // past the first broadcast at logical 1.0
 	var seen bool
 	for _, m := range captured {
-		if cm, ok := m.(baseline.ClockMessage); ok {
+		if m.Kind == baseline.KindClock {
 			seen = true
 			// Value was ~1.0 at send; bias pushes it to ~1.5.
-			if cm.Value < 1.4 || cm.Value > 1.6 {
-				t.Fatalf("biased value = %v, want ~1.5", cm.Value)
+			if m.Value < 1.4 || m.Value > 1.6 {
+				t.Fatalf("biased value = %v, want ~1.5", m.Value)
 			}
 		}
 	}

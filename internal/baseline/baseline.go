@@ -33,14 +33,18 @@ import (
 	"math"
 	"sort"
 
+	"optsync/internal/network"
 	"optsync/internal/node"
 )
 
-// ClockMessage carries the sender's logical clock value at send time for
-// resynchronization round Round.
-type ClockMessage struct {
-	Round int
-	Value float64
+// KindClock carries the sender's logical clock value at send time for
+// resynchronization round Round. Scalar-only: a clock report crosses the
+// network without allocating.
+var KindClock = network.NewKind("baseline/clock")
+
+// ClockMessage assembles a clock-report envelope for round round.
+func ClockMessage(round int, value float64) node.Message {
+	return node.Message{Kind: KindClock, Round: round, Value: value}
 }
 
 // Config parameterizes either baseline.
@@ -128,7 +132,7 @@ func (p *Protocol) armBroadcast(env node.Env) {
 
 func (p *Protocol) broadcastAndCollect(env node.Env, k int) {
 	p.offsets = make(map[node.ID]float64)
-	env.Broadcast(ClockMessage{Round: k, Value: env.LogicalTime()})
+	env.Broadcast(ClockMessage(k, env.LogicalTime()))
 	p.timer = env.AtLogical(float64(k)*p.cfg.Period+p.cfg.Window, func() {
 		p.applyAdjustment(env, k)
 	})
@@ -144,18 +148,17 @@ func (p *Protocol) applyAdjustment(env node.Env, k int) {
 
 // Deliver implements node.Protocol.
 func (p *Protocol) Deliver(env node.Env, from node.ID, msg node.Message) {
-	m, ok := msg.(ClockMessage)
-	if !ok {
+	if msg.Kind != KindClock {
 		return
 	}
-	if m.Round != p.round+1 || from == env.ID() {
+	if msg.Round != p.round+1 || from == env.ID() {
 		return // stale, future-round, or own echo
 	}
-	if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+	if math.IsNaN(msg.Value) || math.IsInf(msg.Value, 0) {
 		return // Byzantine garbage
 	}
 	// Estimate of sender's clock minus own clock at this instant.
-	est := m.Value + p.cfg.midDelay()
+	est := msg.Value + p.cfg.midDelay()
 	p.offsets[from] = est - env.LogicalTime()
 }
 

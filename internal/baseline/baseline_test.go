@@ -204,18 +204,18 @@ func TestDeliverRejectsGarbage(t *testing.T) {
 	c.Run(0.1)
 	p := c.Nodes[0].Protocol().(*Protocol)
 	before := p.Round()
-	p.Deliver(c.Nodes[0], 1, "garbage")
-	p.Deliver(c.Nodes[0], 1, ClockMessage{Round: 99, Value: 1})
-	p.Deliver(c.Nodes[0], 1, ClockMessage{Round: 1, Value: math.NaN()})
-	p.Deliver(c.Nodes[0], 1, ClockMessage{Round: 1, Value: math.Inf(1)})
-	p.Deliver(c.Nodes[0], 0, ClockMessage{Round: 1, Value: 1}) // own echo
+	p.Deliver(c.Nodes[0], 1, network.Raw("garbage"))
+	p.Deliver(c.Nodes[0], 1, ClockMessage(99, 1))
+	p.Deliver(c.Nodes[0], 1, ClockMessage(1, math.NaN()))
+	p.Deliver(c.Nodes[0], 1, ClockMessage(1, math.Inf(1)))
+	p.Deliver(c.Nodes[0], 0, ClockMessage(1, 1)) // own echo
 	if p.Round() != before {
 		t.Fatal("garbage advanced the round")
 	}
 	if len(p.offsets) != 0 {
 		t.Fatalf("garbage was collected: %v", p.offsets)
 	}
-	p.Deliver(c.Nodes[0], 1, ClockMessage{Round: 1, Value: 1}) // valid
+	p.Deliver(c.Nodes[0], 1, ClockMessage(1, 1)) // valid
 	if len(p.offsets) != 1 {
 		t.Fatalf("valid reading not collected: %v", p.offsets)
 	}

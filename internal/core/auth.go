@@ -3,8 +3,21 @@ package core
 import (
 	"sort"
 
+	"optsync/internal/network"
 	"optsync/internal/node"
 	"optsync/internal/sig"
+)
+
+// Message kinds of the two ST algorithms (see prim.go for ready).
+var (
+	// KindRound carries round-k evidence: envelope.Round is k and the
+	// payload is a []SignedEntry over roundPayload(k). f+1 valid distinct
+	// signatures prove that at least one correct process's clock reached
+	// k*P.
+	KindRound = network.NewKind("st/round")
+	// KindAwake carries cold-start liveness evidence: a []SignedEntry
+	// over the awake payload by distinct processes.
+	KindAwake = network.NewKind("st/awake")
 )
 
 // SignedEntry is one signer's signature over the round payload.
@@ -13,12 +26,14 @@ type SignedEntry struct {
 	Sig    sig.Signature
 }
 
-// RoundMessage carries round-k evidence: a set of signatures by distinct
-// processes over roundPayload(Round). f+1 valid distinct signatures prove
-// that at least one correct process's clock reached Round*P.
-type RoundMessage struct {
-	Round int
-	Sigs  []SignedEntry
+// RoundMessage assembles a round-k evidence envelope.
+func RoundMessage(round int, sigs []SignedEntry) node.Message {
+	return node.Message{Kind: KindRound, Round: round, Payload: sigs}
+}
+
+// AwakeMessage assembles a cold-start liveness envelope.
+func AwakeMessage(sigs []SignedEntry) node.Message {
+	return node.Message{Kind: KindAwake, Payload: sigs}
 }
 
 // AuthProtocol is the authenticated algorithm (paper Section 3).
@@ -82,7 +97,7 @@ func (p *AuthProtocol) Start(env node.Env) {
 		// processes are provably up (or once any round is accepted, for
 		// processes that boot into a running system).
 		p.awake[env.ID()] = env.Sign(awakePayload())
-		env.Broadcast(AwakeMessage{Sigs: awakeEntries(p.awake)})
+		env.Broadcast(AwakeMessage(awakeEntries(p.awake)))
 		p.maybeSynchronize(env)
 		return
 	}
@@ -92,24 +107,30 @@ func (p *AuthProtocol) Start(env node.Env) {
 
 // Deliver implements node.Protocol.
 func (p *AuthProtocol) Deliver(env node.Env, _ node.ID, msg node.Message) {
-	if am, ok := msg.(AwakeMessage); ok {
-		p.deliverAwake(env, am)
+	switch msg.Kind {
+	case KindAwake:
+		sigs, _ := msg.Payload.([]SignedEntry)
+		p.deliverAwake(env, sigs)
 		return
-	}
-	rm, ok := msg.(RoundMessage)
-	if !ok {
+	case KindRound:
+	default:
 		return // foreign or malformed traffic is ignored
 	}
-	if rm.Round <= p.lastAccepted || rm.Round > p.lastAccepted+p.cfg.MaxRoundAhead {
+	round := msg.Round
+	sigs, ok := msg.Payload.([]SignedEntry)
+	if !ok {
 		return
 	}
-	payload := roundPayload(rm.Round)
-	set := p.evidence[rm.Round]
+	if round <= p.lastAccepted || round > p.lastAccepted+p.cfg.MaxRoundAhead {
+		return
+	}
+	payload := roundPayload(round)
+	set := p.evidence[round]
 	if set == nil {
 		set = make(map[node.ID]sig.Signature)
-		p.evidence[rm.Round] = set
+		p.evidence[round] = set
 	}
-	for _, e := range rm.Sigs {
+	for _, e := range sigs {
 		if _, dup := set[e.Signer]; dup {
 			continue
 		}
@@ -118,7 +139,7 @@ func (p *AuthProtocol) Deliver(env node.Env, _ node.ID, msg node.Message) {
 		}
 		set[e.Signer] = e.Sig
 	}
-	p.maybeAccept(env, rm.Round)
+	p.maybeAccept(env, round)
 }
 
 // armTimer schedules the next "sign round k" action at C = k*P for the
@@ -148,7 +169,7 @@ func (p *AuthProtocol) signAndBroadcast(env node.Env, k int) {
 		p.evidence[k] = set
 	}
 	set[env.ID()] = env.Sign(roundPayload(k))
-	env.Broadcast(RoundMessage{Round: k, Sigs: entries(set)})
+	env.Broadcast(RoundMessage(k, entries(set)))
 	// Own signature may complete the quorum (e.g. f=0, or evidence
 	// arrived before our clock was due).
 	p.maybeAccept(env, k)
@@ -174,7 +195,7 @@ func (p *AuthProtocol) maybeAccept(env node.Env, k int) {
 	if !p.cfg.DisableRelay {
 		// Relay the complete evidence so every correct process accepts
 		// within one message delay (the relay property).
-		env.Broadcast(RoundMessage{Round: k, Sigs: entries(set)})
+		env.Broadcast(RoundMessage(k, entries(set)))
 	}
 	for r := range p.evidence {
 		if r <= k {
@@ -187,24 +208,18 @@ func (p *AuthProtocol) maybeAccept(env node.Env, k int) {
 	p.armTimer(env)
 }
 
-// AwakeMessage carries cold-start liveness evidence: signatures over the
-// awake payload by distinct processes.
-type AwakeMessage struct {
-	Sigs []SignedEntry
-}
-
 func awakeEntries(set map[node.ID]sig.Signature) []SignedEntry {
 	return entries(set)
 }
 
 // deliverAwake merges awake evidence; on an f+1 quorum the process adopts
 // logical time Alpha and starts the round schedule.
-func (p *AuthProtocol) deliverAwake(env node.Env, am AwakeMessage) {
+func (p *AuthProtocol) deliverAwake(env node.Env, sigs []SignedEntry) {
 	if !p.cfg.ColdStart || p.synchronized {
 		return
 	}
 	payload := awakePayload()
-	for _, e := range am.Sigs {
+	for _, e := range sigs {
 		if _, dup := p.awake[e.Signer]; dup {
 			continue
 		}
@@ -226,7 +241,7 @@ func (p *AuthProtocol) maybeSynchronize(env node.Env) {
 	// round adjustment). Relay the quorum so everyone starts within one
 	// message delay.
 	env.SetLogical(p.cfg.Alpha)
-	env.Broadcast(AwakeMessage{Sigs: awakeEntries(p.awake)})
+	env.Broadcast(AwakeMessage(awakeEntries(p.awake)))
 	if p.OnSynchronized != nil {
 		p.OnSynchronized()
 	}

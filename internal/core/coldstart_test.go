@@ -104,19 +104,19 @@ func TestColdStartForgedAwakeRejected(t *testing.T) {
 	c.Run(0.5)
 	auth := c.Nodes[0].Protocol().(*AuthProtocol)
 	// Forged awake signatures must not complete the quorum.
-	auth.Deliver(c.Nodes[0], 3, AwakeMessage{Sigs: []SignedEntry{
+	auth.Deliver(c.Nodes[0], 3, AwakeMessage([]SignedEntry{
 		{Signer: 1, Sig: []byte("forged")},
 		{Signer: 2, Sig: []byte("forged")},
-	}})
+	}))
 	if auth.Synchronized() {
 		t.Fatal("forged awake evidence synchronized the node")
 	}
 	// Genuine signatures (the adversary controls faulty keys 3, 4) do
 	// count — f+1 = 3 total with node 0's own.
-	auth.Deliver(c.Nodes[0], 3, AwakeMessage{Sigs: []SignedEntry{
+	auth.Deliver(c.Nodes[0], 3, AwakeMessage([]SignedEntry{
 		{Signer: 3, Sig: c.Nodes[3].Sign(awakePayload())},
 		{Signer: 4, Sig: c.Nodes[4].Sign(awakePayload())},
-	}})
+	}))
 	if !auth.Synchronized() {
 		t.Fatal("valid awake quorum did not synchronize")
 	}
@@ -161,7 +161,7 @@ func (s *testSelectiveSigner) Start(env node.Env) {
 		k := k
 		env.AtLogical(float64(k)*s.cfg.Period-s.cfg.Period/4, func() {
 			entry := SignedEntry{Signer: env.ID(), Sig: env.Sign(RoundPayload(k))}
-			env.Send(s.target, RoundMessage{Round: k, Sigs: []SignedEntry{entry}})
+			env.Send(s.target, RoundMessage(k, []SignedEntry{entry}))
 		})
 	}
 }

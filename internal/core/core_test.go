@@ -303,10 +303,10 @@ func TestProtocolsIgnoreForeignMessages(t *testing.T) {
 	// Inject garbage directly; must not panic or change state.
 	auth := c.Nodes[0].Protocol().(*AuthProtocol)
 	before := auth.LastAccepted()
-	auth.Deliver(c.Nodes[0], 1, "garbage")
-	auth.Deliver(c.Nodes[0], 1, ReadyMessage{Round: 5})
-	auth.Deliver(c.Nodes[0], 1, RoundMessage{Round: -1})
-	auth.Deliver(c.Nodes[0], 1, RoundMessage{Round: 1 << 30})
+	auth.Deliver(c.Nodes[0], 1, network.Raw("garbage"))
+	auth.Deliver(c.Nodes[0], 1, ReadyMessage(5))
+	auth.Deliver(c.Nodes[0], 1, RoundMessage(-1, nil))
+	auth.Deliver(c.Nodes[0], 1, RoundMessage(1<<30, nil))
 	if auth.LastAccepted() != before {
 		t.Fatal("garbage changed acceptance state")
 	}
@@ -317,9 +317,9 @@ func TestProtocolsIgnoreForeignMessages(t *testing.T) {
 	c2.Run(0.1)
 	prim := c2.Nodes[0].Protocol().(*PrimitiveProtocol)
 	before = prim.LastAccepted()
-	prim.Deliver(c2.Nodes[0], 1, "garbage")
-	prim.Deliver(c2.Nodes[0], 1, RoundMessage{Round: 2})
-	prim.Deliver(c2.Nodes[0], 1, ReadyMessage{Round: -3})
+	prim.Deliver(c2.Nodes[0], 1, network.Raw("garbage"))
+	prim.Deliver(c2.Nodes[0], 1, RoundMessage(2, nil))
+	prim.Deliver(c2.Nodes[0], 1, ReadyMessage(-3))
 	if prim.LastAccepted() != before {
 		t.Fatal("garbage changed primitive acceptance state")
 	}
@@ -332,30 +332,30 @@ func TestForgedSignaturesRejected(t *testing.T) {
 	c.Run(0.01)
 	auth := c.Nodes[0].Protocol().(*AuthProtocol)
 	// f+1 = 3 entries with garbage signatures for a future round.
-	msg := RoundMessage{Round: 3, Sigs: []SignedEntry{
+	msg := RoundMessage(3, []SignedEntry{
 		{Signer: 1, Sig: []byte("forged")},
 		{Signer: 2, Sig: []byte("forged")},
 		{Signer: 3, Sig: []byte("forged")},
-	}}
+	})
 	auth.Deliver(c.Nodes[0], 4, msg)
 	if auth.LastAccepted() != 0 {
 		t.Fatal("forged signatures triggered acceptance")
 	}
 	// Signatures for round 2 do not validate round 3.
-	wrong := RoundMessage{Round: 3, Sigs: []SignedEntry{
+	wrong := RoundMessage(3, []SignedEntry{
 		{Signer: 1, Sig: c.Nodes[1].Sign(roundPayload(2))},
 		{Signer: 2, Sig: c.Nodes[2].Sign(roundPayload(2))},
 		{Signer: 3, Sig: c.Nodes[3].Sign(roundPayload(2))},
-	}}
+	})
 	auth.Deliver(c.Nodes[0], 4, wrong)
 	if auth.LastAccepted() != 0 {
 		t.Fatal("cross-round signatures triggered acceptance")
 	}
 	// Duplicate signers must not fill the quorum.
 	s1 := c.Nodes[1].Sign(roundPayload(3))
-	dup := RoundMessage{Round: 3, Sigs: []SignedEntry{
+	dup := RoundMessage(3, []SignedEntry{
 		{Signer: 1, Sig: s1}, {Signer: 1, Sig: s1}, {Signer: 1, Sig: s1},
-	}}
+	})
 	auth.Deliver(c.Nodes[0], 4, dup)
 	if auth.LastAccepted() != 0 {
 		t.Fatal("duplicate signers filled the quorum")
@@ -424,9 +424,9 @@ func TestMaxRoundAheadBoundsMemory(t *testing.T) {
 	// A spammer floods evidence for thousands of future rounds; only the
 	// window survives.
 	for k := 1; k <= 5000; k++ {
-		auth.Deliver(c.Nodes[0], 1, RoundMessage{Round: k, Sigs: []SignedEntry{
+		auth.Deliver(c.Nodes[0], 1, RoundMessage(k, []SignedEntry{
 			{Signer: 1, Sig: c.Nodes[1].Sign(roundPayload(k))},
-		}})
+		}))
 	}
 	if got := len(auth.evidence); got > cfg.MaxRoundAhead {
 		t.Fatalf("evidence retained for %d rounds, cap %d", got, cfg.MaxRoundAhead)
@@ -446,7 +446,7 @@ func TestMaxRoundAheadBoundsMemory(t *testing.T) {
 	c2.Start()
 	c2.Run(0.01)
 	for k := 1; k <= 5000; k++ {
-		prim.Deliver(c2.Nodes[0], 1, ReadyMessage{Round: k})
+		prim.Deliver(c2.Nodes[0], 1, ReadyMessage(k))
 	}
 	if got := len(prim.readyFrom); got > cfg.MaxRoundAhead {
 		t.Fatalf("ready state retained for %d rounds, cap %d", got, cfg.MaxRoundAhead)
@@ -466,11 +466,11 @@ func TestReplayedOldEvidenceIgnored(t *testing.T) {
 		t.Fatalf("only %d rounds accepted", accepted)
 	}
 	for k := 1; k <= accepted; k++ {
-		auth.Deliver(c.Nodes[0], 1, RoundMessage{Round: k, Sigs: []SignedEntry{
+		auth.Deliver(c.Nodes[0], 1, RoundMessage(k, []SignedEntry{
 			{Signer: 1, Sig: c.Nodes[1].Sign(roundPayload(k))},
 			{Signer: 2, Sig: c.Nodes[2].Sign(roundPayload(k))},
 			{Signer: 3, Sig: c.Nodes[3].Sign(roundPayload(k))},
-		}})
+		}))
 	}
 	if auth.LastAccepted() != accepted {
 		t.Fatal("replayed evidence changed acceptance state")

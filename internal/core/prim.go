@@ -1,16 +1,21 @@
 package core
 
 import (
+	"optsync/internal/network"
 	"optsync/internal/node"
 )
 
-// ReadyMessage announces that the sender's clock reached Round*P (or that
+// KindReady announces that the sender's clock reached Round*P (or that
 // the sender joined the round after seeing f+1 readies). It carries no
 // signature: the non-authenticated algorithm derives its guarantees purely
 // from counting distinct senders, which the authenticated channels of the
-// model make meaningful.
-type ReadyMessage struct {
-	Round int
+// model make meaningful. The envelope is scalar-only — a ready crosses
+// the network without allocating.
+var KindReady = network.NewKind("st/ready")
+
+// ReadyMessage assembles a ready(round) envelope.
+func ReadyMessage(round int) node.Message {
+	return node.Message{Kind: KindReady, Round: round}
 }
 
 // PrimitiveProtocol is the non-authenticated algorithm (paper Section 4),
@@ -66,24 +71,24 @@ func (p *PrimitiveProtocol) Start(env node.Env) {
 
 // Deliver implements node.Protocol.
 func (p *PrimitiveProtocol) Deliver(env node.Env, from node.ID, msg node.Message) {
-	rm, ok := msg.(ReadyMessage)
-	if !ok {
+	if msg.Kind != KindReady {
 		return
 	}
-	if rm.Round <= p.lastAccepted || rm.Round > p.lastAccepted+p.cfg.MaxRoundAhead {
+	round := msg.Round
+	if round <= p.lastAccepted || round > p.lastAccepted+p.cfg.MaxRoundAhead {
 		return
 	}
-	set := p.readyFrom[rm.Round]
+	set := p.readyFrom[round]
 	if set == nil {
 		set = make(map[node.ID]bool)
-		p.readyFrom[rm.Round] = set
+		p.readyFrom[round] = set
 	}
 	set[from] = true // duplicate readies from one sender count once
 	if len(set) >= env.F()+1 {
-		p.sendReady(env, rm.Round) // join
+		p.sendReady(env, round) // join
 	}
 	if len(set) >= 2*env.F()+1 {
-		p.accept(env, rm.Round)
+		p.accept(env, round)
 	}
 }
 
@@ -109,7 +114,7 @@ func (p *PrimitiveProtocol) sendReady(env node.Env, k int) {
 	if p.lastSent < k {
 		p.lastSent = k
 	}
-	env.Broadcast(ReadyMessage{Round: k})
+	env.Broadcast(ReadyMessage(k))
 }
 
 func (p *PrimitiveProtocol) accept(env node.Env, k int) {

@@ -29,41 +29,30 @@
 package stcast
 
 import (
-	"fmt"
-
+	"optsync/internal/network"
 	"optsync/internal/node"
 )
 
-// Kind discriminates primitive messages.
-type Kind int
-
-const (
+// The primitive's two message kinds. Src names the original dealer; for
+// init messages it must equal the transport-level sender (receivers
+// enforce this — the channels are authenticated, so a faulty process
+// cannot initiate a broadcast in another process's name). The tag rides
+// in the envelope payload.
+var (
 	// KindInit is the dealer's initial transmission.
-	KindInit Kind = iota + 1
+	KindInit = network.NewKind("stcast/init")
 	// KindEcho is a witness's confirmation.
-	KindEcho
+	KindEcho = network.NewKind("stcast/echo")
 )
 
-// String implements fmt.Stringer.
-func (k Kind) String() string {
-	switch k {
-	case KindInit:
-		return "init"
-	case KindEcho:
-		return "echo"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
+// Init assembles a dealer transmission for (src, tag).
+func Init(src node.ID, tag string) node.Message {
+	return node.Message{Kind: KindInit, Src: src, Payload: tag}
 }
 
-// Message is a primitive protocol message. Src names the original dealer;
-// for init messages it must equal the transport-level sender (receivers
-// enforce this — the channels are authenticated, so a faulty process
-// cannot initiate a broadcast in another process's name).
-type Message struct {
-	Kind Kind
-	Src  node.ID
-	Tag  string
+// Echo assembles a witness confirmation for (src, tag).
+func Echo(src node.ID, tag string) node.Message {
+	return node.Message{Kind: KindEcho, Src: src, Payload: tag}
 }
 
 type key struct {
@@ -94,7 +83,7 @@ func NewReceiver(onAccept func(env node.Env, src node.ID, tag string)) *Receiver
 
 // Broadcast initiates the primitive as dealer for tag.
 func (r *Receiver) Broadcast(env node.Env, tag string) {
-	env.Broadcast(Message{Kind: KindInit, Src: env.ID(), Tag: tag})
+	env.Broadcast(Init(env.ID(), tag))
 }
 
 // Accepted reports whether (src, tag) has been accepted.
@@ -107,19 +96,22 @@ func (r *Receiver) Echoed(src node.ID, tag string) bool {
 	return r.echoed[key{src, tag}]
 }
 
-// Deliver processes a primitive message. It returns false if msg is not an
-// stcast.Message, so protocols can fall through to their own types.
+// Deliver processes a primitive message. It returns false if msg is not a
+// primitive kind, so protocols can fall through to their own types.
 func (r *Receiver) Deliver(env node.Env, from node.ID, msg node.Message) bool {
-	m, ok := msg.(Message)
-	if !ok {
+	if msg.Kind != KindInit && msg.Kind != KindEcho {
 		return false
 	}
-	k := key{m.Src, m.Tag}
-	switch m.Kind {
+	tag, ok := msg.Payload.(string)
+	if !ok {
+		return true // malformed primitive traffic contributes nothing
+	}
+	k := key{msg.Src, tag}
+	switch msg.Kind {
 	case KindInit:
 		// Authenticated channels: an init for Src counts only when it
 		// arrives from Src itself.
-		if from != m.Src {
+		if from != msg.Src {
 			return true
 		}
 		r.sendEcho(env, k)
@@ -145,7 +137,7 @@ func (r *Receiver) sendEcho(env node.Env, k key) {
 		return
 	}
 	r.echoed[k] = true
-	env.Broadcast(Message{Kind: KindEcho, Src: k.src, Tag: k.tag})
+	env.Broadcast(Echo(k.src, k.tag))
 }
 
 func (r *Receiver) accept(env node.Env, k key) {

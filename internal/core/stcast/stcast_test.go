@@ -54,11 +54,11 @@ type forger struct {
 
 func (f *forger) Start(env node.Env) {
 	// Spoofed init "from" the victim (transport reveals true sender).
-	env.Broadcast(Message{Kind: KindInit, Src: f.victim, Tag: f.tag})
+	env.Broadcast(Init(f.victim, f.tag))
 	// Echoes for the never-broadcast tag.
-	env.Broadcast(Message{Kind: KindEcho, Src: f.victim, Tag: f.tag})
+	env.Broadcast(Echo(f.victim, f.tag))
 	// Repeat: duplicates from one sender must count once.
-	env.Broadcast(Message{Kind: KindEcho, Src: f.victim, Tag: f.tag})
+	env.Broadcast(Echo(f.victim, f.tag))
 }
 
 func (f *forger) Deliver(node.Env, node.ID, node.Message) {}
@@ -71,7 +71,7 @@ type partialDealer struct {
 
 func (d *partialDealer) Start(env node.Env) {
 	for _, to := range d.targets {
-		env.Send(to, Message{Kind: KindInit, Src: env.ID(), Tag: d.tag})
+		env.Send(to, Init(env.ID(), d.tag))
 	}
 }
 
@@ -255,20 +255,17 @@ func TestDeliverIgnoresForeignMessages(t *testing.T) {
 	})
 	c.Start()
 	c.Run(0)
-	if rx.Deliver(c.Nodes[0], 0, "not an stcast message") {
+	if rx.Deliver(c.Nodes[0], 0, network.Raw("not an stcast message")) {
 		t.Fatal("foreign message reported as consumed")
 	}
-	if !rx.Deliver(c.Nodes[0], 0, Message{Kind: KindEcho, Src: 0, Tag: "t"}) {
+	if !rx.Deliver(c.Nodes[0], 0, Echo(0, "t")) {
 		t.Fatal("stcast message not consumed")
 	}
 }
 
 func TestKindString(t *testing.T) {
-	if KindInit.String() != "init" || KindEcho.String() != "echo" {
+	if KindInit.String() != "stcast/init" || KindEcho.String() != "stcast/echo" {
 		t.Fatal("Kind strings wrong")
-	}
-	if Kind(9).String() != "Kind(9)" {
-		t.Fatal("unknown Kind string wrong")
 	}
 }
 

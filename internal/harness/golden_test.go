@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"optsync/internal/clock"
+	"optsync/internal/core/bounds"
+)
+
+// The golden test pins the numeric results of a representative spec slate
+// so that refactors of the message path (typed envelopes, batched
+// delivery, event pooling, topologies) can prove they leave default
+// full-mesh simulations byte-identical. Regenerate with
+//
+//	go test ./internal/harness -run TestGoldenResults -update-golden
+//
+// only when a behaviour change is intended and reviewed.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden results file")
+
+func goldenParams(n int, v bounds.Variant) bounds.Params {
+	return bounds.Params{
+		N: n, F: v.MaxFaults(n), Variant: v,
+		Rho:  clock.Rho(1e-4),
+		DMin: 0.002, DMax: 0.01,
+		Period:      1.0,
+		InitialSkew: 0.005,
+	}.WithDefaults()
+}
+
+// goldenSpecs covers every built-in algorithm, the attack family, and the
+// spec knobs that alter cluster construction (spread delays, slew,
+// cold start, staggered boots, pinned offsets).
+func goldenSpecs() []Spec {
+	pa7 := goldenParams(7, bounds.Auth)
+	pa5 := goldenParams(5, bounds.Auth)
+	pp7 := goldenParams(7, bounds.Primitive)
+	return []Spec{
+		{Name: "auth-none", Algo: AlgoAuth, Params: pa7, Attack: AttackNone, Horizon: 20, Seed: 1},
+		{Name: "auth-silent", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackSilent, Horizon: 20, Seed: 2},
+		{Name: "auth-crash-mid", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackCrashMid, Horizon: 20, Seed: 3},
+		{Name: "auth-rush-beyond", Algo: AlgoAuth, Params: pa5, FaultyCount: pa5.F + 1, Attack: AttackRush, RushInterval: pa5.Period / 5, Horizon: 20, Seed: 4},
+		{Name: "auth-equivocate", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackEquivocate, Horizon: 20, Seed: 5},
+		{Name: "auth-selective", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackSelective, Horizon: 20, Seed: 6},
+		{Name: "auth-spread", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackSilent, SpreadDelays: true, Horizon: 20, Seed: 7},
+		{Name: "auth-slew", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackSilent, SlewRate: 0.1, Horizon: 20, Seed: 8},
+		{Name: "auth-coldstart", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackSilent, ColdStart: true, Horizon: 20, Seed: 9},
+		{Name: "auth-reintegration", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackSilent, Horizon: 20, Seed: 10,
+			StartAt: map[int]float64{1: 7.25}, ClockOffset: map[int]float64{1: 0.004}},
+		{Name: "auth-norelay", Algo: AlgoAuth, Params: pa7, FaultyCount: pa7.F, Attack: AttackSilent, DisableRelay: true, Horizon: 20, Seed: 11},
+		{Name: "prim-silent", Algo: AlgoPrim, Params: pp7, FaultyCount: pp7.F, Attack: AttackSilent, Horizon: 20, Seed: 12},
+		{Name: "prim-rush-beyond", Algo: AlgoPrim, Params: pp7, FaultyCount: pp7.F + 1, Attack: AttackRush, RushInterval: pp7.Period / 5, Horizon: 20, Seed: 13},
+		{Name: "cnv-bias", Algo: AlgoCNV, Params: pp7, FaultyCount: pp7.F, Attack: AttackBias, Bias: 3 * pp7.Dmax(), Horizon: 30, Seed: 14},
+		{Name: "ftm-silent", Algo: AlgoFTM, Params: pp7, FaultyCount: pp7.F, Attack: AttackSilent, Horizon: 30, Seed: 15},
+	}
+}
+
+// goldenRecord snapshots every numeric observable of a Result with
+// full-precision decimal strings ('g', -1 round-trips float64 exactly).
+type goldenRecord struct {
+	Name           string `json:"name"`
+	MaxSkew        string `json:"max_skew"`
+	MaxSpread      string `json:"max_spread"`
+	MinPeriod      string `json:"min_period"`
+	MaxPeriod      string `json:"max_period"`
+	EnvLo          string `json:"env_lo"`
+	EnvHi          string `json:"env_hi"`
+	CompleteRounds int    `json:"complete_rounds"`
+	PulseCount     int    `json:"pulse_count"`
+	TotalMsgs      uint64 `json:"total_msgs"`
+}
+
+func fg(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func recordOf(res Result) goldenRecord {
+	return goldenRecord{
+		Name:           res.Spec.Name,
+		MaxSkew:        fg(res.MaxSkew),
+		MaxSpread:      fg(res.MaxSpread),
+		MinPeriod:      fg(res.MinPeriod),
+		MaxPeriod:      fg(res.MaxPeriod),
+		EnvLo:          fg(res.EnvLo),
+		EnvHi:          fg(res.EnvHi),
+		CompleteRounds: res.CompleteRounds,
+		PulseCount:     res.PulseCount,
+		TotalMsgs:      res.TotalMsgs,
+	}
+}
+
+const goldenPath = "testdata/golden_default_mesh.json"
+
+func TestGoldenResults(t *testing.T) {
+	var got []goldenRecord
+	for _, spec := range goldenSpecs() {
+		got = append(got, recordOf(Run(spec)))
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten with %d records", len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d records, slate has %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("spec %q drifted from golden results:\n got  %+v\n want %+v",
+				got[i].Name, got[i], want[i])
+		}
+	}
+}
+
+// TestGoldenSpecsAreDefaultMesh guards the slate's purpose: these specs
+// exercise the default full-mesh topology only, which is exactly the
+// surface whose results must never drift.
+func TestGoldenSpecsAreDefaultMesh(t *testing.T) {
+	for _, spec := range goldenSpecs() {
+		if spec.Topology != "" || len(spec.Partitions) > 0 {
+			t.Errorf("spec %q is not a default-mesh spec", spec.Name)
+		}
+	}
+}

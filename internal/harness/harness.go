@@ -107,6 +107,25 @@ type Spec struct {
 	// hardware clock offset, overriding the random draw (late joiners
 	// fresh from repair, adversarially placed clocks).
 	ClockOffset map[int]float64
+	// Topology selects the network connectivity by registered name
+	// ("mesh", "wan:R", "ring", "sparse:D", ...). Empty means the default
+	// full mesh, whose results are pinned by the golden tests.
+	Topology string
+	// Partitions schedules network partition/heal churn on top of the
+	// topology: during each window, links crossing the cut are down.
+	Partitions []Partition
+}
+
+// Partition is one scheduled partition window: from At until Heal, nodes
+// with id < LeftSize cannot exchange messages with the rest. Heal <= At
+// means the partition never heals within the run.
+type Partition struct {
+	// At is the virtual time the cut appears.
+	At float64
+	// Heal is the virtual time the cut disappears (0 or <= At: never).
+	Heal float64
+	// LeftSize is the number of lowest-id nodes on the left side.
+	LeftSize int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -315,12 +334,16 @@ func correctIDs(n, faulty int) []node.ID {
 func buildCluster(spec Spec) (*node.Cluster, error) {
 	p := spec.Params
 
-	// Validate both names up front so a misspelled spec fails loudly even
+	// Validate all names up front so a misspelled spec fails loudly even
 	// when no faulty node would have exercised the attack builder.
 	if _, err := lookupProtocol(spec.Algo); err != nil {
 		return nil, err
 	}
 	if _, err := lookupAttack(spec.Attack); err != nil {
+		return nil, err
+	}
+	topo, err := topologyFor(spec)
+	if err != nil {
 		return nil, err
 	}
 
@@ -364,6 +387,7 @@ func buildCluster(spec Spec) (*node.Cluster, error) {
 		N: p.N, F: p.F, Seed: spec.Seed,
 		Rho:      p.Rho,
 		Delay:    delay,
+		Topology: topo,
 		SlewRate: spec.SlewRate,
 		StartAt:  spec.StartAt,
 		Clocks: func(i int, rng *rand.Rand) *clock.Hardware {

@@ -42,6 +42,9 @@ func Scenarios() []Scenario {
 		{"A1", "Ablation: relay step under selective signing", A1RelayAblation},
 		{"A2", "Ablation: adjustment constant alpha", A2AlphaAblation},
 		{"A3", "Extension: amortized (slewed) adjustment", A3SlewAblation},
+		{"W1", "Topology: skew vs WAN region count (extension)", W1SkewVsRegions},
+		{"W2", "Topology: convergence across a healed partition (extension)", W2PartitionHeal},
+		{"W3", "Topology: degradation on sparse graphs (extension)", W3SparseDegradation},
 	}
 }
 
@@ -477,8 +480,8 @@ func (f *forgeHost) Start(env node.Env) {
 	for i := 0; i < 20; i++ {
 		i := i
 		env.AtLogical(float64(i)*0.05, func() {
-			env.Broadcast(stcast.Message{Kind: stcast.KindInit, Src: f.victim, Tag: "forged"})
-			env.Broadcast(stcast.Message{Kind: stcast.KindEcho, Src: f.victim, Tag: "forged"})
+			env.Broadcast(stcast.Init(f.victim, "forged"))
+			env.Broadcast(stcast.Echo(f.victim, "forged"))
 		})
 	}
 }

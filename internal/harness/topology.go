@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"optsync/internal/core/bounds"
+	"optsync/internal/network"
+)
+
+// TopologyBuilder constructs the connectivity for a cluster. arg is the
+// parameter text after the colon of a "name:arg" topology spec (empty
+// when absent); p is the validated parameterization, from which builders
+// derive delay-related constants (the built-in WAN hop delay scales with
+// DMax, for example).
+type TopologyBuilder func(arg string, p bounds.Params) (network.Topology, error)
+
+var topoRegistry = struct {
+	mu       sync.RWMutex
+	builders map[string]TopologyBuilder
+}{builders: make(map[string]TopologyBuilder)}
+
+// RegisterTopology makes a connectivity shape constructible by name
+// through Spec.Topology, alongside the built-ins ("mesh", "wan:R",
+// "ring:D"). Parameterized names use a colon: Spec.Topology "wan:4"
+// resolves the builder registered under "wan" with arg "4". Same
+// registration contract as RegisterProtocol: empty names, nil builders,
+// and duplicates panic.
+func RegisterTopology(name string, build TopologyBuilder) {
+	if name == "" {
+		panic("harness: RegisterTopology with empty name")
+	}
+	if strings.Contains(name, ":") {
+		panic("harness: topology names must not contain ':' (it separates the arg)")
+	}
+	if build == nil {
+		panic("harness: RegisterTopology with nil builder")
+	}
+	topoRegistry.mu.Lock()
+	defer topoRegistry.mu.Unlock()
+	if _, dup := topoRegistry.builders[name]; dup {
+		panic(fmt.Sprintf("harness: topology %q registered twice", name))
+	}
+	topoRegistry.builders[name] = build
+}
+
+// Topologies returns the registered topology names, sorted.
+func Topologies() []string {
+	topoRegistry.mu.RLock()
+	defer topoRegistry.mu.RUnlock()
+	out := make([]string, 0, len(topoRegistry.builders))
+	for name := range topoRegistry.builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lookupTopology(name string) (TopologyBuilder, error) {
+	topoRegistry.mu.RLock()
+	defer topoRegistry.mu.RUnlock()
+	build, ok := topoRegistry.builders[name]
+	if !ok {
+		names := make([]string, 0, len(topoRegistry.builders))
+		for n := range topoRegistry.builders {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("harness: unknown topology %q (registered: %v)", name, names)
+	}
+	return build, nil
+}
+
+// topologyFor resolves Spec.Topology and layers Spec.Partitions on top.
+// It returns nil for the default spec (empty topology, no partitions),
+// which the network treats as the full mesh.
+func topologyFor(spec Spec) (network.Topology, error) {
+	var topo network.Topology
+	if spec.Topology != "" {
+		name, arg := spec.Topology, ""
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name, arg = name[:i], name[i+1:]
+		}
+		build, err := lookupTopology(name)
+		if err != nil {
+			return nil, err
+		}
+		topo, err = build(arg, spec.Params)
+		if err != nil {
+			return nil, fmt.Errorf("harness: topology %q: %w", spec.Topology, err)
+		}
+	}
+	if len(spec.Partitions) == 0 {
+		return topo, nil
+	}
+	base := topo
+	if base == nil {
+		base = network.FullMesh{}
+	}
+	windows := make([]network.PartitionWindow, 0, len(spec.Partitions))
+	for _, pw := range spec.Partitions {
+		if pw.LeftSize <= 0 || pw.LeftSize >= spec.Params.N {
+			return nil, fmt.Errorf("harness: partition LeftSize %d outside (0,%d)", pw.LeftSize, spec.Params.N)
+		}
+		left := make([]bool, spec.Params.N)
+		for i := 0; i < pw.LeftSize; i++ {
+			left[i] = true
+		}
+		windows = append(windows, network.PartitionWindow{At: pw.At, Heal: pw.Heal, Left: left})
+	}
+	return &network.Partitioned{Base: base, Windows: windows}, nil
+}
+
+func init() {
+	RegisterTopology("mesh", func(arg string, _ bounds.Params) (network.Topology, error) {
+		if arg != "" {
+			return nil, fmt.Errorf("mesh takes no argument, got %q", arg)
+		}
+		return network.FullMesh{}, nil
+	})
+
+	// wan:R — R cliques on a ring; inter-region links pay a hop envelope
+	// of [2*DMax, 4*DMax] on top of the base policy (a WAN hop costs a
+	// few LAN delays).
+	RegisterTopology("wan", func(arg string, p bounds.Params) (network.Topology, error) {
+		regions := 2
+		if arg != "" {
+			r, err := strconv.Atoi(arg)
+			if err != nil || r < 1 {
+				return nil, fmt.Errorf("invalid region count %q", arg)
+			}
+			regions = r
+		}
+		if regions > p.N {
+			return nil, fmt.Errorf("%d regions for %d nodes", regions, p.N)
+		}
+		return network.NewWANRegions(p.N, regions, 2*p.DMax), nil
+	})
+
+	// ring:D — the circulant graph of even degree D (node i linked to
+	// i±1..i±D/2), the fixed-degree family for sparse-connectivity
+	// degradation sweeps.
+	RegisterTopology("ring", func(arg string, p bounds.Params) (network.Topology, error) {
+		degree := 2
+		if arg != "" {
+			d, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("invalid degree %q", arg)
+			}
+			degree = d
+		}
+		if degree < 2 || degree%2 != 0 || degree >= p.N {
+			return nil, fmt.Errorf("degree %d must be even and in [2,%d] (use \"mesh\" for full connectivity)", degree, p.N-1)
+		}
+		return network.NewCirculant(p.N, degree), nil
+	})
+}

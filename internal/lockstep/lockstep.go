@@ -18,6 +18,7 @@ import (
 
 	"optsync/internal/core"
 	"optsync/internal/core/bounds"
+	"optsync/internal/network"
 	"optsync/internal/node"
 )
 
@@ -50,10 +51,13 @@ type App interface {
 	Round(env node.Env, round int, in []Incoming) []Outgoing
 }
 
-// Envelope is the wire format for application traffic.
-type Envelope struct {
-	Round   int
-	Payload AppMessage
+// KindApp tags application traffic: envelope.Round is the lock-step
+// round, the payload the opaque application message.
+var KindApp = network.NewKind("lockstep/app")
+
+// Envelope assembles the wire format for application traffic.
+func Envelope(round int, payload AppMessage) node.Message {
+	return node.Message{Kind: KindApp, Round: round, Payload: payload}
 }
 
 // Protocol combines the synchronizer with an application.
@@ -114,17 +118,17 @@ func (p *Protocol) Start(env node.Env) {
 
 // Deliver implements node.Protocol.
 func (p *Protocol) Deliver(env node.Env, from node.ID, msg node.Message) {
-	if e, ok := msg.(Envelope); ok {
-		set := p.inbox[e.Round]
+	if msg.Kind == KindApp {
+		set := p.inbox[msg.Round]
 		if set == nil {
 			set = make(map[node.ID]AppMessage)
-			p.inbox[e.Round] = set
+			p.inbox[msg.Round] = set
 		}
 		if _, dup := set[from]; dup {
 			return // one message per sender per round
 		}
-		set[from] = e.Payload
-		p.order[e.Round] = append(p.order[e.Round], from)
+		set[from] = msg.Payload
+		p.order[msg.Round] = append(p.order[msg.Round], from)
 		return
 	}
 	p.sync.Deliver(env, from, msg)
@@ -143,7 +147,7 @@ func (p *Protocol) onPulse(env node.Env, k int) {
 		out = p.app.Round(env, k, in)
 	}
 	for _, o := range out {
-		e := Envelope{Round: k, Payload: o.Payload}
+		e := Envelope(k, o.Payload)
 		if o.Broadcast {
 			env.Broadcast(e)
 		} else {

@@ -99,7 +99,7 @@ func TestLockStepDropsDuplicateSenders(t *testing.T) {
 	k := proto.Rounds()
 	before := len(proto.order[k])
 	for j := 0; j < 3; j++ {
-		proto.Deliver(c.Nodes[0], 1, Envelope{Round: k, Payload: "dup"})
+		proto.Deliver(c.Nodes[0], 1, Envelope(k, "dup"))
 	}
 	if got := len(proto.order[k]); got > before+1 {
 		t.Fatalf("duplicates recorded: %d new entries, want at most 1", got-before)
@@ -192,7 +192,7 @@ func (d *equivocatingDealer) Start(env node.Env) {
 }
 
 func (d *equivocatingDealer) Deliver(env node.Env, from node.ID, msg node.Message) {
-	if _, ok := msg.(Envelope); ok {
+	if msg.Kind == KindApp {
 		return
 	}
 	d.sync.Deliver(env, from, msg)
@@ -205,7 +205,7 @@ func (d *equivocatingDealer) onPulse(env node.Env, k int) {
 	d.sent = true
 	for _, value := range []uint64{7, 8} {
 		chain := []chainEntry{{Signer: env.ID(), Sig: env.Sign(dsPayload(env.ID(), value))}}
-		msg := Envelope{Round: k, Payload: dsMessage{Value: value, Chain: chain}}
+		msg := Envelope(k, dsMessage{Value: value, Chain: chain})
 		for to := 0; to < env.N(); to++ {
 			if (to%2 == 0) == (value == 7) {
 				env.Send(to, msg)

@@ -1,12 +1,19 @@
-// Package network simulates the fully connected message-passing network of
-// the model: every pair of processes is joined by a reliable, authenticated
-// channel whose delay is chosen by the adversary within [dmin, dmax].
+// Package network simulates the message-passing network of the model:
+// processes are joined by reliable, authenticated channels whose delay is
+// chosen by the adversary within [dmin, dmax].
 //
 // Delays are produced by pluggable policies; adversarial policies may treat
 // links with a faulty endpoint specially (e.g. deliver instantly to
 // co-conspirators) and may drop messages on such links — the model maps
 // link failures to node failures, so links between two correct processes
 // are always reliable and within bounds, which the Net enforces.
+//
+// Connectivity is produced by a pluggable Topology (full mesh by default;
+// WAN regions, sparse graphs, and scheduled partition churn are built in —
+// see topology.go). The message path is allocation-light: envelopes are
+// typed values (Message), deliveries ride pooled sim message events
+// instead of per-send closures, and Broadcast schedules one batched event
+// per distinct delivery time rather than n independent heap entries.
 package network
 
 import (
@@ -20,7 +27,7 @@ import (
 type NodeID = int
 
 // Handler receives a delivered message.
-type Handler func(from NodeID, msg any)
+type Handler func(from NodeID, msg Message)
 
 // Policy decides the delay of each message. Implementations must be
 // deterministic given rng.
@@ -30,46 +37,93 @@ type Policy interface {
 	Delay(from, to NodeID, now sim.Time, rng *rand.Rand) float64
 }
 
-// Stats aggregates traffic counters.
+// Stats aggregates traffic counters. The three drop counters are
+// disjoint: Dropped is charged by the delay policy at send time,
+// DroppedLink at send time when the topology provides no usable link
+// (such transmissions are not counted in Sent — nothing was put on a
+// wire), and DroppedOffline at delivery time when the destination has no
+// registered handler. Sent therefore equals Delivered + Dropped +
+// DroppedOffline + in-flight.
 type Stats struct {
 	Sent      uint64
 	Delivered uint64
-	Dropped   uint64
+	// Dropped counts messages the delay policy refused at send time.
+	Dropped uint64
+	// DroppedOffline counts messages that reached their delivery instant
+	// with no handler registered (destination offline). The Observer saw
+	// a positive deliverAt for these — the send was genuine; the loss
+	// happened at the far end.
+	DroppedOffline uint64
+	// DroppedLink counts transmissions suppressed because the topology
+	// had no usable from->to link (absent edge or active partition).
+	DroppedLink uint64
 	// BySender counts messages sent per node.
 	BySender []uint64
 }
 
 // Observer is notified of every send (for tracing / message-complexity
-// experiments). deliverAt < 0 means the message was dropped.
-type Observer func(from, to NodeID, msg any, sentAt, deliverAt sim.Time)
+// experiments). deliverAt < 0 means the message was dropped at send time.
+type Observer func(from, to NodeID, msg Message, sentAt, deliverAt sim.Time)
+
+// delivery is one scheduled transmission batch: the envelope plus every
+// recipient sharing its delivery instant. Slots live in an arena indexed
+// by sim.Message.Index and are recycled through a free list, so the
+// steady-state send path performs no allocation.
+type delivery struct {
+	from    NodeID
+	msg     Message
+	targets []NodeID
+}
 
 // Net is the simulated network.
 type Net struct {
 	engine   *sim.Engine
 	n        int
 	policy   Policy
+	topo     Topology
+	shaper   DelayShaper // non-nil iff topo shapes delays
 	handlers []Handler
 	stats    Stats
 	observer Observer
+
+	target    int // sim dispatch target id
+	arena     []delivery
+	freeSlots []uint32
+	buckets   map[sim.Time]uint32 // scratch: deliverAt -> arena slot
 }
 
-// New creates a network of n endpoints over the engine with the given delay
-// policy.
-func New(engine *sim.Engine, n int, policy Policy) *Net {
+// New creates a network of n endpoints over the engine with the given
+// delay policy and topology. A nil topology selects the full mesh (the
+// model's default); results under FullMesh are byte-identical to the
+// pre-topology network.
+func New(engine *sim.Engine, n int, policy Policy, topo Topology) *Net {
 	if policy == nil {
 		panic("network: nil policy")
 	}
-	return &Net{
+	if topo == nil {
+		topo = FullMesh{}
+	}
+	nt := &Net{
 		engine:   engine,
 		n:        n,
 		policy:   policy,
+		topo:     topo,
 		handlers: make([]Handler, n),
 		stats:    Stats{BySender: make([]uint64, n)},
+		buckets:  make(map[sim.Time]uint32),
 	}
+	if s, ok := topo.(DelayShaper); ok {
+		nt.shaper = s
+	}
+	nt.target = engine.RegisterDispatcher(nt)
+	return nt
 }
 
 // N returns the number of endpoints.
 func (nt *Net) N() int { return nt.n }
+
+// Topology returns the connectivity in force.
+func (nt *Net) Topology() Topology { return nt.topo }
 
 // Register installs the delivery handler for id. It must be called before
 // any message addressed to id is delivered; re-registering replaces the
@@ -94,45 +148,136 @@ func (nt *Net) ResetStats() {
 	nt.stats = Stats{BySender: make([]uint64, nt.n)}
 }
 
-// Send transmits msg from -> to. Delivery is scheduled according to the
-// policy; a handler that is nil at delivery time silently drops the message
-// (the destination is offline).
-func (nt *Net) Send(from, to NodeID, msg any) {
-	nt.checkID(from)
-	nt.checkID(to)
-	now := nt.engine.Now()
+// linkDelay runs the policy plus the topology's delay shaping for one
+// usable link. Negative means dropped.
+func (nt *Net) linkDelay(from, to NodeID, now sim.Time) float64 {
+	d := nt.policy.Delay(from, to, now, nt.engine.Rand())
+	if d >= 0 && nt.shaper != nil {
+		d = nt.shaper.Shape(from, to, now, d, nt.engine.Rand())
+	}
+	return d
+}
+
+// transmit runs the per-link send sequence shared by Send and Broadcast:
+// topology gating, traffic accounting, delay resolution, and observer
+// notification. It returns the delivery instant, or ok=false when the
+// message was dropped at send time (already counted).
+func (nt *Net) transmit(from, to NodeID, now sim.Time, msg Message) (deliverAt sim.Time, ok bool) {
+	if !nt.topo.Linked(from, to, now) {
+		nt.stats.DroppedLink++
+		if nt.observer != nil {
+			nt.observer(from, to, msg, now, -1)
+		}
+		return 0, false
+	}
 	nt.stats.Sent++
 	nt.stats.BySender[from]++
-	d := nt.policy.Delay(from, to, now, nt.engine.Rand())
+	d := nt.linkDelay(from, to, now)
 	if d < 0 {
 		nt.stats.Dropped++
 		if nt.observer != nil {
 			nt.observer(from, to, msg, now, -1)
 		}
-		return
+		return 0, false
 	}
-	deliverAt := now + d
+	deliverAt = now + d
 	if nt.observer != nil {
 		nt.observer(from, to, msg, now, deliverAt)
 	}
-	nt.engine.MustAt(deliverAt, func() {
+	return deliverAt, true
+}
+
+// alloc takes an arena slot for a new delivery batch, reusing a recycled
+// slot (and its targets backing array) when one is free.
+func (nt *Net) alloc(from NodeID, msg Message) uint32 {
+	if k := len(nt.freeSlots); k > 0 {
+		idx := nt.freeSlots[k-1]
+		nt.freeSlots = nt.freeSlots[:k-1]
+		d := &nt.arena[idx]
+		d.from, d.msg = from, msg
+		return idx
+	}
+	nt.arena = append(nt.arena, delivery{from: from, msg: msg})
+	return uint32(len(nt.arena) - 1)
+}
+
+// Dispatch implements sim.Dispatcher: deliver one batch.
+func (nt *Net) Dispatch(_ sim.Time, m sim.Message) {
+	// Copy the batch out of the arena first: handlers may send, and a
+	// reentrant send can grow the arena, invalidating the slot pointer.
+	d := &nt.arena[m.Index]
+	from, msg, targets := d.from, d.msg, d.targets
+	for _, to := range targets {
 		h := nt.handlers[to]
 		if h == nil {
-			nt.stats.Dropped++
-			return
+			nt.stats.DroppedOffline++
+			continue
 		}
 		nt.stats.Delivered++
 		h(from, msg)
+	}
+	// Release the slot: drop payload references, keep the targets array.
+	d = &nt.arena[m.Index]
+	d.msg = Message{}
+	d.targets = targets[:0]
+	nt.freeSlots = append(nt.freeSlots, uint32(m.Index))
+}
+
+// Send transmits msg from -> to. Delivery is scheduled according to the
+// policy; a handler that is nil at delivery time drops the message at the
+// far end (the destination is offline; see Stats.DroppedOffline). A send
+// over a link the topology does not currently provide is suppressed
+// entirely (Stats.DroppedLink).
+func (nt *Net) Send(from, to NodeID, msg Message) {
+	nt.checkID(from)
+	nt.checkID(to)
+	deliverAt, ok := nt.transmit(from, to, nt.engine.Now(), msg)
+	if !ok {
+		return
+	}
+	idx := nt.alloc(from, msg)
+	nt.arena[idx].targets = append(nt.arena[idx].targets, to)
+	nt.engine.MustAtMsg(deliverAt, nt.target, sim.Message{
+		From: int32(from), To: int32(to), Index: idx,
 	})
 }
 
-// Broadcast sends msg from -> every endpoint, including the sender itself
-// ("sends to all" in the paper includes the sender; self-delivery obeys the
-// same delay bounds, which is the conservative reading).
-func (nt *Net) Broadcast(from NodeID, msg any) {
-	for to := 0; to < nt.n; to++ {
-		nt.Send(from, to, msg)
+// Broadcast sends msg from -> every endpoint the topology links to the
+// sender, including the sender itself ("sends to all" in the paper
+// includes the sender; self-delivery obeys the same delay bounds, which is
+// the conservative reading). Recipients sharing a delivery instant ride a
+// single batched event, so a fixed-delay broadcast costs one heap push
+// instead of n.
+func (nt *Net) Broadcast(from NodeID, msg Message) {
+	nt.checkID(from)
+	now := nt.engine.Now()
+	// Take exclusive ownership of the scratch bucket map for the duration
+	// of this call: an Observer may reenter Broadcast, and a shared map
+	// would let the inner call append recipients to the outer call's
+	// batches. A reentrant call finds nil and allocates its own (the
+	// steady-state, non-reentrant path still reuses one map forever).
+	buckets := nt.buckets
+	if buckets == nil {
+		buckets = make(map[sim.Time]uint32)
 	}
+	nt.buckets = nil
+	for to := 0; to < nt.n; to++ {
+		deliverAt, ok := nt.transmit(from, to, now, msg)
+		if !ok {
+			continue
+		}
+		idx, seen := buckets[deliverAt]
+		if !seen {
+			idx = nt.alloc(from, msg)
+			buckets[deliverAt] = idx
+			nt.engine.MustAtMsg(deliverAt, nt.target, sim.Message{
+				From: int32(from), To: -1, Index: idx,
+			})
+		}
+		nt.arena[idx].targets = append(nt.arena[idx].targets, to)
+	}
+	clear(buckets)
+	nt.buckets = buckets
 }
 
 func (nt *Net) checkID(id NodeID) {

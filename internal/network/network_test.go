@@ -1,6 +1,7 @@
 package network
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -10,29 +11,29 @@ import (
 
 func TestSendDeliversAfterFixedDelay(t *testing.T) {
 	e := sim.New(1)
-	nt := New(e, 2, Fixed{D: 0.5})
+	nt := New(e, 2, Fixed{D: 0.5}, nil)
 	var gotFrom NodeID = -1
-	var gotMsg any
+	var gotMsg Message
 	var at sim.Time
-	nt.Register(1, func(from NodeID, msg any) {
+	nt.Register(1, func(from NodeID, msg Message) {
 		gotFrom, gotMsg, at = from, msg, e.Now()
 	})
-	nt.Send(0, 1, "hello")
+	nt.Send(0, 1, Raw("hello"))
 	e.RunAll(0)
-	if gotFrom != 0 || gotMsg != "hello" || at != 0.5 {
+	if gotFrom != 0 || gotMsg.Payload != "hello" || at != 0.5 {
 		t.Fatalf("delivery = (%v, %v, %v)", gotFrom, gotMsg, at)
 	}
 }
 
 func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
 	e := sim.New(1)
-	nt := New(e, 4, Fixed{D: 0.1})
+	nt := New(e, 4, Fixed{D: 0.1}, nil)
 	got := make([]int, 4)
 	for i := 0; i < 4; i++ {
 		i := i
-		nt.Register(i, func(from NodeID, msg any) { got[i]++ })
+		nt.Register(i, func(from NodeID, msg Message) { got[i]++ })
 	}
-	nt.Broadcast(2, "m")
+	nt.Broadcast(2, Raw("m"))
 	e.RunAll(0)
 	for i, c := range got {
 		if c != 1 {
@@ -41,25 +42,138 @@ func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
 	}
 }
 
-func TestUnregisteredDestinationDrops(t *testing.T) {
+// A fixed-delay broadcast shares one delivery instant, so it must ride a
+// single batched event rather than n heap entries.
+func TestBroadcastBatchesSharedDeliveryTimes(t *testing.T) {
 	e := sim.New(1)
-	nt := New(e, 2, Fixed{D: 0.1})
-	nt.Send(0, 1, "m")
+	nt := New(e, 8, Fixed{D: 0.1}, nil)
+	order := make([]NodeID, 0, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		nt.Register(i, func(NodeID, Message) { order = append(order, i) })
+	}
+	nt.Broadcast(3, Raw("m"))
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("fixed-delay broadcast queued %d events, want 1 batch", got)
+	}
 	e.RunAll(0)
-	s := nt.Stats()
-	if s.Sent != 1 || s.Delivered != 0 || s.Dropped != 1 {
-		t.Fatalf("stats = %+v", s)
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("delivery order %v, want ascending ids", order)
+		}
+	}
+	// Distinct delivery times (Spread: two buckets) stay distinct events.
+	nt2 := New(e, 8, Spread{Min: 0.1, Max: 0.9, Slow: map[NodeID]bool{1: true, 5: true}}, nil)
+	for i := 0; i < 8; i++ {
+		nt2.Register(i, func(NodeID, Message) {})
+	}
+	nt2.Broadcast(0, Raw("m"))
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("two-bucket broadcast queued %d events, want 2", got)
+	}
+	e.RunAll(0)
+}
+
+// An Observer that injects traffic by calling Broadcast reentrantly must
+// not corrupt the outer broadcast's delivery batches: with a fixed delay
+// both calls share a delivery instant, and a shared scratch bucket map
+// would merge the inner recipients into the outer batch (wrong sender,
+// wrong payload).
+func TestObserverReentrantBroadcast(t *testing.T) {
+	e := sim.New(1)
+	nt := New(e, 3, Fixed{D: 0.1}, nil)
+	type rec struct {
+		to, from NodeID
+		round    int
+	}
+	var got []rec
+	for i := 0; i < 3; i++ {
+		i := i
+		nt.Register(i, func(from NodeID, msg Message) {
+			got = append(got, rec{to: i, from: from, round: msg.Round})
+		})
+	}
+	injected := false
+	nt.SetObserver(func(from, to NodeID, msg Message, _, _ sim.Time) {
+		if !injected && msg.Round == 1 {
+			injected = true
+			nt.Broadcast(2, Message{Round: 2}) // probe from another sender
+		}
+	})
+	nt.Broadcast(0, Message{Round: 1})
+	e.RunAll(0)
+	if len(got) != 6 {
+		t.Fatalf("%d deliveries, want 6", len(got))
+	}
+	for _, r := range got {
+		wantFrom := NodeID(0)
+		if r.round == 2 {
+			wantFrom = 2
+		}
+		if r.from != wantFrom {
+			t.Fatalf("round %d delivered with sender %d, want %d (batch corruption)", r.round, r.from, wantFrom)
+		}
+	}
+	// Each node got exactly one copy of each round.
+	seen := map[rec]int{}
+	for _, r := range got {
+		seen[r]++
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("delivery %+v duplicated %d times", r, n)
+		}
+	}
+}
+
+// Both drop paths must hit their own counter: a policy drop is charged to
+// Dropped at send time (observer sees deliverAt < 0); an offline
+// destination is charged to DroppedOffline at delivery time (the observer
+// saw a genuine positive deliverAt — the old implementation folded this
+// into Dropped, contradicting the trace).
+func TestDropPathCounters(t *testing.T) {
+	e := sim.New(1)
+
+	// Path 1: policy drop at send time.
+	nt := New(e, 2, Drop{}, nil)
+	nt.Register(1, func(NodeID, Message) {})
+	var observedDeliverAt sim.Time = 99
+	nt.SetObserver(func(_, _ NodeID, _ Message, _, deliverAt sim.Time) {
+		observedDeliverAt = deliverAt
+	})
+	nt.Send(0, 1, Raw("m"))
+	e.RunAll(0)
+	if s := nt.Stats(); s.Dropped != 1 || s.DroppedOffline != 0 || s.Delivered != 0 {
+		t.Fatalf("policy drop stats = %+v", s)
+	}
+	if observedDeliverAt >= 0 {
+		t.Fatalf("policy drop observed with deliverAt=%v", observedDeliverAt)
+	}
+
+	// Path 2: offline destination at delivery time.
+	nt2 := New(e, 2, Fixed{D: 0.1}, nil)
+	observedDeliverAt = -99
+	nt2.SetObserver(func(_, _ NodeID, _ Message, _, deliverAt sim.Time) {
+		observedDeliverAt = deliverAt
+	})
+	nt2.Send(0, 1, Raw("m")) // no handler registered for 1
+	e.RunAll(0)
+	if s := nt2.Stats(); s.Dropped != 0 || s.DroppedOffline != 1 || s.Delivered != 0 {
+		t.Fatalf("offline drop stats = %+v", s)
+	}
+	if observedDeliverAt < 0 {
+		t.Fatalf("offline drop must be observed with its genuine deliverAt, got %v", observedDeliverAt)
 	}
 }
 
 func TestStatsCounting(t *testing.T) {
 	e := sim.New(1)
-	nt := New(e, 3, Fixed{D: 0})
+	nt := New(e, 3, Fixed{D: 0}, nil)
 	for i := 0; i < 3; i++ {
-		nt.Register(i, func(NodeID, any) {})
+		nt.Register(i, func(NodeID, Message) {})
 	}
-	nt.Broadcast(0, "a")
-	nt.Send(1, 2, "b")
+	nt.Broadcast(0, Raw("a"))
+	nt.Send(1, 2, Raw("b"))
 	e.RunAll(0)
 	s := nt.Stats()
 	if s.Sent != 4 || s.Delivered != 4 {
@@ -76,10 +190,10 @@ func TestStatsCounting(t *testing.T) {
 
 func TestDropPolicy(t *testing.T) {
 	e := sim.New(1)
-	nt := New(e, 2, Drop{})
+	nt := New(e, 2, Drop{}, nil)
 	delivered := false
-	nt.Register(1, func(NodeID, any) { delivered = true })
-	nt.Send(0, 1, "m")
+	nt.Register(1, func(NodeID, Message) { delivered = true })
+	nt.Send(0, 1, Raw("m"))
 	e.RunAll(0)
 	if delivered {
 		t.Fatal("Drop policy delivered a message")
@@ -150,23 +264,23 @@ func TestPerLinkPolicy(t *testing.T) {
 
 func TestObserver(t *testing.T) {
 	e := sim.New(1)
-	nt := New(e, 2, Fixed{D: 0.25})
-	nt.Register(1, func(NodeID, any) {})
+	nt := New(e, 2, Fixed{D: 0.25}, nil)
+	nt.Register(1, func(NodeID, Message) {})
 	var seen int
 	var lastDeliver sim.Time
-	nt.SetObserver(func(from, to NodeID, msg any, sentAt, deliverAt sim.Time) {
+	nt.SetObserver(func(from, to NodeID, msg Message, sentAt, deliverAt sim.Time) {
 		seen++
 		lastDeliver = deliverAt
 	})
-	nt.Send(0, 1, "m")
+	nt.Send(0, 1, Raw("m"))
 	if seen != 1 || lastDeliver != 0.25 {
 		t.Fatalf("observer saw %d sends, deliverAt=%v", seen, lastDeliver)
 	}
 	// Dropped messages are observed with deliverAt < 0.
-	nt2 := New(e, 2, Drop{})
+	nt2 := New(e, 2, Drop{}, nil)
 	var droppedAt sim.Time = 99
-	nt2.SetObserver(func(_, _ NodeID, _ any, _, deliverAt sim.Time) { droppedAt = deliverAt })
-	nt2.Send(0, 1, "m")
+	nt2.SetObserver(func(_, _ NodeID, _ Message, _, deliverAt sim.Time) { droppedAt = deliverAt })
+	nt2.Send(0, 1, Raw("m"))
 	if droppedAt >= 0 {
 		t.Fatalf("dropped message observed with deliverAt=%v", droppedAt)
 	}
@@ -174,10 +288,10 @@ func TestObserver(t *testing.T) {
 
 func TestOutOfRangeIDsPanic(t *testing.T) {
 	e := sim.New(1)
-	nt := New(e, 2, Fixed{})
+	nt := New(e, 2, Fixed{}, nil)
 	for _, fn := range []func(){
-		func() { nt.Send(-1, 0, "m") },
-		func() { nt.Send(0, 7, "m") },
+		func() { nt.Send(-1, 0, Raw("m")) },
+		func() { nt.Send(0, 7, Raw("m")) },
 		func() { nt.Register(9, nil) },
 	} {
 		func() {
@@ -191,27 +305,189 @@ func TestOutOfRangeIDsPanic(t *testing.T) {
 	}
 }
 
+func TestKindRegistry(t *testing.T) {
+	k := NewKind("test/ping")
+	if k == KindRaw {
+		t.Fatal("NewKind returned the raw kind")
+	}
+	if k.String() != "test/ping" {
+		t.Fatalf("kind name = %q", k.String())
+	}
+	if KindRaw.String() != "raw" {
+		t.Fatalf("raw kind name = %q", KindRaw.String())
+	}
+}
+
+// --- Topology ---
+
+func TestWANRegionsLinking(t *testing.T) {
+	// 12 nodes, 4 regions of 3: regions 0-1-2-3 on a ring.
+	w := NewWANRegions(12, 4, 0.02)
+	if r := w.Region(0); r != 0 {
+		t.Fatalf("region(0) = %d", r)
+	}
+	if r := w.Region(11); r != 3 {
+		t.Fatalf("region(11) = %d", r)
+	}
+	if !w.Linked(0, 2, 0) { // same region
+		t.Fatal("intra-region link missing")
+	}
+	if !w.Linked(0, 3, 0) { // regions 0 and 1 are adjacent
+		t.Fatal("adjacent-region link missing")
+	}
+	if !w.Linked(0, 11, 0) { // regions 0 and 3 wrap around the ring
+		t.Fatal("ring wrap-around link missing")
+	}
+	if w.Linked(0, 6, 0) { // regions 0 and 2 are opposite
+		t.Fatal("non-adjacent regions must not be linked")
+	}
+	// Inter-region delay pays the hop envelope, intra-region does not.
+	rng := rand.New(rand.NewSource(1))
+	if d := w.Shape(0, 1, 0, 0.01, rng); d != 0.01 {
+		t.Fatalf("intra-region shape = %v", d)
+	}
+	for i := 0; i < 100; i++ {
+		d := w.Shape(0, 3, 0, 0.01, rng)
+		if d < 0.01+w.HopDelay || d > 0.01+w.HopDelay+w.HopJitter {
+			t.Fatalf("inter-region shape %v outside hop envelope", d)
+		}
+	}
+}
+
+func TestCirculantDegrees(t *testing.T) {
+	g := NewCirculant(10, 4)
+	for i := 0; i < 10; i++ {
+		if d := g.Degree(i); d != 4 {
+			t.Fatalf("node %d degree = %d, want 4", i, d)
+		}
+	}
+	if !g.Linked(0, 2, 0) || g.Linked(0, 3, 0) {
+		t.Fatal("circulant adjacency wrong")
+	}
+	if !g.Linked(0, 0, 0) {
+		t.Fatal("self-link must always exist")
+	}
+	if !g.Linked(0, 9, 0) { // wrap-around
+		t.Fatal("circulant wrap-around missing")
+	}
+}
+
+func TestSparseTopologyGatesTraffic(t *testing.T) {
+	e := sim.New(1)
+	g := NewSparseGraph(3, [][2]NodeID{{0, 1}}) // 2 is isolated
+	nt := New(e, 3, Fixed{D: 0.1}, g)
+	got := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		nt.Register(i, func(NodeID, Message) { got[i]++ })
+	}
+	nt.Broadcast(0, Raw("m"))
+	e.RunAll(0)
+	if got[0] != 1 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("deliveries = %v", got)
+	}
+	s := nt.Stats()
+	if s.Sent != 2 || s.DroppedLink != 1 {
+		t.Fatalf("stats = %+v (unlinked sends must not count as Sent)", s)
+	}
+}
+
+func TestPartitionWindowCutsAndHeals(t *testing.T) {
+	e := sim.New(1)
+	topo := NewSplit(FullMesh{}, 4, 2, 1.0, 2.0) // {0,1} | {2,3} during [1,2)
+	nt := New(e, 4, Fixed{D: 0.01}, topo)
+	var delivered int
+	for i := 0; i < 4; i++ {
+		nt.Register(i, func(NodeID, Message) { delivered++ })
+	}
+
+	send := func() { nt.Send(0, 3, Raw("x")); nt.Send(0, 1, Raw("y")) }
+	send() // before the cut: both pass
+	e.Run(1.5)
+	send() // during the cut: cross-cut send suppressed
+	e.Run(2.5)
+	send() // after heal: both pass
+	e.RunAll(0)
+
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5", delivered)
+	}
+	if s := nt.Stats(); s.DroppedLink != 1 || s.Sent != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPartitionNeverHeals(t *testing.T) {
+	topo := NewSplit(FullMesh{}, 4, 2, 1.0, 0) // Heal <= At: permanent
+	if topo.Linked(0, 3, 0.5) == false {
+		t.Fatal("cut active before At")
+	}
+	if topo.Linked(0, 3, 100) {
+		t.Fatal("permanent cut healed")
+	}
+	if !topo.Linked(0, 1, 100) {
+		t.Fatal("same-side link cut")
+	}
+}
+
+// Registering endpoints (and acquiring their per-node random streams) in
+// a different order must leave the simulation byte-identical: node
+// randomness comes from Engine.RandFor, which derives each stream from
+// (seed, id) alone instead of from global draw order. Boot instants here
+// are drawn from the per-node streams, so they — and every delivery that
+// follows — would scramble under reordering if RandFor leaked call-order
+// dependence.
+func TestRegistrationOrderInvariance(t *testing.T) {
+	run := func(order []int) []string {
+		e := sim.New(7)
+		nt := New(e, 4, Uniform{Min: 0.002, Max: 0.01}, nil)
+		var trace []string
+		for _, id := range order {
+			id := id
+			rng := e.RandFor(id)
+			boot := 0.01 + rng.Float64()*0.1
+			nt.Register(id, func(from NodeID, msg Message) {
+				trace = append(trace, fmt.Sprintf("%d<-%d r%d @%.12f", id, from, msg.Round, e.Now()))
+			})
+			e.MustAt(boot, func() { nt.Broadcast(id, Message{Round: id}) })
+		}
+		e.RunAll(0)
+		return trace
+	}
+	want := run([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 1, 0, 2}, {2, 3, 1, 0}, {1, 0, 3, 2}} {
+		got := run(order)
+		if len(got) != len(want) {
+			t.Fatalf("order %v: %d deliveries, want %d", order, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order %v diverged at %d:\n got  %s\n want %s", order, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // Property: with a Uniform policy, messages between registered endpoints
 // are always delivered within [Min, Max] of the send time, in order
 // consistency with the engine (delivery time >= send time).
 func TestDeliveryWithinBoundsProperty(t *testing.T) {
 	f := func(seed int64, raw []uint8) bool {
 		e := sim.New(seed)
-		nt := New(e, 3, Uniform{Min: 0.1, Max: 0.4})
+		nt := New(e, 3, Uniform{Min: 0.1, Max: 0.4}, nil)
 		type rec struct{ sent, got sim.Time }
 		var recs []rec
 		pendingSent := map[int]sim.Time{}
 		seq := 0
 		for i := 0; i < 3; i++ {
-			nt.Register(i, func(_ NodeID, msg any) {
-				id := msg.(int)
-				recs = append(recs, rec{pendingSent[id], e.Now()})
+			nt.Register(i, func(_ NodeID, msg Message) {
+				recs = append(recs, rec{pendingSent[msg.Round], e.Now()})
 			})
 		}
 		for _, r := range raw {
 			from, to := int(r%3), int((r/3)%3)
 			pendingSent[seq] = e.Now()
-			nt.Send(from, to, seq)
+			nt.Send(from, to, Message{Round: seq})
 			seq++
 			e.Run(e.Now() + float64(r%7)/100)
 		}

@@ -1,0 +1,253 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optsync/internal/sim"
+)
+
+// Topology decides which directed links exist at any virtual instant. The
+// network consults it on every transmission: a send over a link that is
+// down (or absent) is dropped at the sender and counted in
+// Stats.DroppedLink, and Broadcast only pays for the links that exist.
+//
+// Topologies must be deterministic functions of (from, to, now) so that
+// simulations stay reproducible. A topology that also shapes latency
+// (WAN regions) additionally implements DelayShaper.
+type Topology interface {
+	// Linked reports whether the from->to link carries traffic at now.
+	Linked(from, to NodeID, now sim.Time) bool
+	// String names the topology for tables and traces.
+	String() string
+}
+
+// DelayShaper is an optional Topology refinement: topologies with
+// link-dependent latency implement it, and the network applies Shape to
+// every delay the base Policy produces (base >= 0; returning a negative
+// value drops the message).
+type DelayShaper interface {
+	Shape(from, to NodeID, now sim.Time, base float64, rng *rand.Rand) float64
+}
+
+// FullMesh is the model's default connectivity: every pair of processes
+// is joined by a reliable channel. It is the identity topology — results
+// under FullMesh are byte-identical to a network with no topology at all.
+type FullMesh struct{}
+
+var _ Topology = FullMesh{}
+
+// Linked implements Topology.
+func (FullMesh) Linked(_, _ NodeID, _ sim.Time) bool { return true }
+
+// String implements Topology.
+func (FullMesh) String() string { return "mesh" }
+
+// WANRegions arranges n nodes into R contiguous regions on a ring of
+// cliques: links inside a region behave like the base policy, links
+// between ring-adjacent regions exist but cost extra latency, and links
+// between non-adjacent regions do not exist — traffic crosses the WAN
+// only through the protocols' own relay steps. This is the standard
+// "datacenters on a backbone" shape: it preserves the paper's liveness
+// (every region hears every round within a few hops) while stretching
+// acceptance spread by the per-hop envelope, which the W-series
+// experiments measure against region count.
+type WANRegions struct {
+	// N is the cluster size; Regions the number of cliques (>= 1).
+	N, Regions int
+	// HopDelay is the deterministic extra latency of an inter-region link.
+	HopDelay float64
+	// HopJitter widens the inter-region latency to
+	// [HopDelay, HopDelay+HopJitter] per message (drawn from the
+	// simulation rng) — the region's "delay envelope".
+	HopJitter float64
+}
+
+var _ Topology = WANRegions{}
+var _ DelayShaper = WANRegions{}
+
+// NewWANRegions builds the ring-of-cliques with a default hop envelope
+// of [hopDelay, 2*hopDelay].
+func NewWANRegions(n, regions int, hopDelay float64) WANRegions {
+	if regions < 1 {
+		regions = 1
+	}
+	if regions > n {
+		regions = n
+	}
+	return WANRegions{N: n, Regions: regions, HopDelay: hopDelay, HopJitter: hopDelay}
+}
+
+// Region returns the region of node id (contiguous blocks).
+func (w WANRegions) Region(id NodeID) int {
+	if w.Regions <= 1 {
+		return 0
+	}
+	return id * w.Regions / w.N
+}
+
+// Linked implements Topology: same region, or ring-adjacent regions.
+func (w WANRegions) Linked(from, to NodeID, _ sim.Time) bool {
+	rf, rt := w.Region(from), w.Region(to)
+	if rf == rt {
+		return true
+	}
+	d := rf - rt
+	if d < 0 {
+		d = -d
+	}
+	return d == 1 || d == w.Regions-1
+}
+
+// Shape implements DelayShaper: inter-region links pay the hop envelope.
+func (w WANRegions) Shape(from, to NodeID, _ sim.Time, base float64, rng *rand.Rand) float64 {
+	if w.Region(from) == w.Region(to) {
+		return base
+	}
+	extra := w.HopDelay
+	if w.HopJitter > 0 {
+		extra += rng.Float64() * w.HopJitter
+	}
+	return base + extra
+}
+
+// String implements Topology.
+func (w WANRegions) String() string { return fmt.Sprintf("wan:%d", w.Regions) }
+
+// SparseGraph is a static undirected graph: only listed edges carry
+// traffic (self-links always exist, since the model's broadcast includes
+// the sender). Use NewCirculant for the deterministic degree-sweep family
+// or NewSparseGraph for an explicit edge list.
+type SparseGraph struct {
+	n    int
+	adj  []bool // n*n adjacency, row-major
+	name string
+}
+
+var _ Topology = (*SparseGraph)(nil)
+
+// NewSparseGraph builds a topology from an explicit undirected edge list.
+func NewSparseGraph(n int, edges [][2]NodeID) *SparseGraph {
+	g := &SparseGraph{n: n, adj: make([]bool, n*n), name: fmt.Sprintf("sparse(%d edges)", len(edges))}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			panic(fmt.Sprintf("network: edge (%d,%d) out of range [0,%d)", a, b, n))
+		}
+		g.adj[a*n+b] = true
+		g.adj[b*n+a] = true
+	}
+	return g
+}
+
+// NewCirculant builds the circulant graph C_n(1..degree/2): node i is
+// linked to i±1, ..., i±degree/2 (mod n). Circulants are the canonical
+// fixed-degree family for measuring how synchronization degrades as the
+// graph thins: diameter grows like n/degree while every node keeps an
+// identical local view. The degree must be even and within [2, n-1] —
+// silently rounding would mislabel experiment results, so invalid
+// degrees panic (harness builders validate first and return errors).
+func NewCirculant(n, degree int) *SparseGraph {
+	if degree < 2 || degree%2 != 0 || degree >= n {
+		panic(fmt.Sprintf("network: circulant degree %d invalid for n=%d (need even, in [2,%d])", degree, n, n-1))
+	}
+	half := degree / 2
+	g := &SparseGraph{n: n, adj: make([]bool, n*n), name: fmt.Sprintf("ring:%d", degree)}
+	for i := 0; i < n; i++ {
+		for k := 1; k <= half; k++ {
+			j := (i + k) % n
+			g.adj[i*n+j] = true
+			g.adj[j*n+i] = true
+		}
+	}
+	return g
+}
+
+// Linked implements Topology.
+func (g *SparseGraph) Linked(from, to NodeID, _ sim.Time) bool {
+	return from == to || g.adj[from*g.n+to]
+}
+
+// Degree returns the number of neighbours of id (excluding itself).
+func (g *SparseGraph) Degree(id NodeID) int {
+	d := 0
+	for j := 0; j < g.n; j++ {
+		if j != id && g.adj[id*g.n+j] {
+			d++
+		}
+	}
+	return d
+}
+
+// String implements Topology.
+func (g *SparseGraph) String() string { return g.name }
+
+// PartitionWindow is one scheduled cut: from At until Heal, links whose
+// endpoints fall on different sides are down. Heal <= At means the cut
+// never heals within the run.
+type PartitionWindow struct {
+	At, Heal float64
+	// Left marks the members of the left side; everyone else is right.
+	Left []bool
+}
+
+// active reports whether the cut is in force at now.
+func (w PartitionWindow) active(now sim.Time) bool {
+	return now >= w.At && (w.Heal <= w.At || now < w.Heal)
+}
+
+// cut reports whether the from->to link crosses the cut.
+func (w PartitionWindow) cut(from, to NodeID) bool {
+	return w.side(from) != w.side(to)
+}
+
+func (w PartitionWindow) side(id NodeID) bool {
+	return id < len(w.Left) && w.Left[id]
+}
+
+// Partitioned layers scheduled partition/heal churn over a base topology:
+// a link exists iff the base provides it and no active window cuts it.
+// Windows are plain data consulted at send time, so churn costs nothing
+// in the event queue and composes with any base topology.
+type Partitioned struct {
+	Base    Topology
+	Windows []PartitionWindow
+}
+
+var _ Topology = (*Partitioned)(nil)
+
+// NewSplit builds a single At->Heal window cutting the leftSize
+// lowest-id nodes from the rest of an n-node cluster.
+func NewSplit(base Topology, n, leftSize int, at, heal float64) *Partitioned {
+	left := make([]bool, n)
+	for i := 0; i < leftSize && i < n; i++ {
+		left[i] = true
+	}
+	return &Partitioned{Base: base, Windows: []PartitionWindow{{At: at, Heal: heal, Left: left}}}
+}
+
+// Linked implements Topology.
+func (p *Partitioned) Linked(from, to NodeID, now sim.Time) bool {
+	if !p.Base.Linked(from, to, now) {
+		return false
+	}
+	for _, w := range p.Windows {
+		if w.active(now) && w.cut(from, to) {
+			return false
+		}
+	}
+	return true
+}
+
+// Shape implements DelayShaper by delegating to the base topology.
+func (p *Partitioned) Shape(from, to NodeID, now sim.Time, base float64, rng *rand.Rand) float64 {
+	if s, ok := p.Base.(DelayShaper); ok {
+		return s.Shape(from, to, now, base, rng)
+	}
+	return base
+}
+
+// String implements Topology.
+func (p *Partitioned) String() string {
+	return fmt.Sprintf("%s+%d-partitions", p.Base, len(p.Windows))
+}

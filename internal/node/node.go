@@ -21,8 +21,11 @@ import (
 // ID identifies a process.
 type ID = network.NodeID
 
-// Message is a protocol message; concrete protocols define their own types.
-type Message = any
+// Message is the typed network envelope protocols exchange: a Kind
+// discriminator plus inline scalars and an optional structured payload.
+// Protocols allocate kinds with network.NewKind and dispatch on msg.Kind
+// instead of type-switching over `any`.
+type Message = network.Message
 
 // Timer is an opaque handle to a cancellable scheduled callback. The
 // simulation runtime backs it with a *sim.Event; the real-time runtime
@@ -216,6 +219,8 @@ type Config struct {
 	Rho clock.Rho
 	// Delay is the network delay policy.
 	Delay network.Policy
+	// Topology is the network connectivity; nil selects the full mesh.
+	Topology network.Topology
 	// Scheme is the signature scheme; nil selects HMAC (fast default).
 	Scheme sig.Scheme
 	// Clocks builds node i's hardware clock. nil defaults to perfect
@@ -265,12 +270,15 @@ func NewCluster(cfg Config) *Cluster {
 	engine := sim.New(cfg.Seed)
 	c := &Cluster{
 		Engine: engine,
-		Net:    network.New(engine, cfg.N, cfg.Delay),
+		Net:    network.New(engine, cfg.N, cfg.Delay, cfg.Topology),
 		cfg:    cfg,
 	}
 	for i := 0; i < cfg.N; i++ {
 		var hw *clock.Hardware
-		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(0x9E3779B97F4A7C15*uint64(i+1))))
+		// Per-node stream derived from (seed, id) alone: node randomness
+		// is invariant under construction/boot reordering (the engine's
+		// shared stream is reserved for the network adversary).
+		rng := engine.RandFor(i)
 		if cfg.Clocks != nil {
 			hw = cfg.Clocks(i, rng)
 		} else {

@@ -18,7 +18,7 @@ type echoProto struct {
 
 func (p *echoProto) Start(env Env) {
 	p.started = true
-	env.Broadcast("hi")
+	env.Broadcast(network.Raw("hi"))
 }
 
 func (p *echoProto) Deliver(_ Env, from ID, msg Message) {
@@ -246,8 +246,8 @@ func TestEnvAccessors(t *testing.T) {
 	}
 	// Direct send delivers.
 	got := false
-	c.Net.Register(2, func(from ID, msg Message) { got = from == 1 && msg == "direct" })
-	nd.Send(2, "direct")
+	c.Net.Register(2, func(from ID, msg Message) { got = from == 1 && msg.Payload == "direct" })
+	nd.Send(2, network.Raw("direct"))
 	c.Run(1)
 	if !got {
 		t.Fatal("Send did not deliver")

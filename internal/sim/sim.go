@@ -21,13 +21,36 @@ import (
 // Time is virtual real time in seconds since the start of the simulation.
 type Time = float64
 
+// Message is a value-typed event payload routed to a registered
+// Dispatcher instead of a heap-allocated closure. The engine treats every
+// field as opaque; by convention From/To are endpoint ids and Index is a
+// slot in a dispatcher-owned arena holding the real payload, so the
+// steady-state message path stays allocation-free.
+type Message struct {
+	// From and To are endpoint hints (dispatcher-defined; To < 0 for
+	// batched deliveries that fan out inside the dispatcher).
+	From, To int32
+	// Kind is a dispatcher-defined discriminator.
+	Kind uint16
+	// Index addresses the payload in the dispatcher's arena.
+	Index uint32
+}
+
+// Dispatcher consumes value-typed message events at their delivery time.
+// Implementations own the arena Message.Index points into.
+type Dispatcher interface {
+	Dispatch(now Time, m Message)
+}
+
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so that callers can cancel it before it fires.
 type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	index    int // heap index, -1 when not queued
+	msg      Message
+	target   int32 // dispatcher id, -1 for closure events
+	index    int   // heap index, -1 when not queued
 	canceled bool
 }
 
@@ -48,11 +71,18 @@ var ErrPastTime = errors.New("sim: schedule time is in the past")
 //
 // The zero value is not usable; construct with New.
 type Engine struct {
-	now       Time
-	seq       uint64
-	queue     eventQueue
-	rng       *rand.Rand
-	processed uint64
+	now         Time
+	seed        int64
+	seq         uint64
+	queue       eventQueue
+	rng         *rand.Rand
+	perID       map[int]*rand.Rand
+	processed   uint64
+	dispatchers []Dispatcher
+	// free is the reuse list for message events. Only events scheduled
+	// through AtMsg are pooled: closure events escape to callers (for
+	// Cancel), so recycling them could resurrect a stale handle.
+	free []*Event
 	// Trap, if non-nil, is invoked with every panic message raised via
 	// Fatalf; by default Fatalf panics.
 	Trap func(format string, args ...any)
@@ -61,6 +91,7 @@ type Engine struct {
 // New returns an engine whose random source is seeded with seed.
 func New(seed int64) *Engine {
 	return &Engine{
+		seed: seed,
 		// Deliberately *not* crypto-random: reproducibility is the point.
 		rng: rand.New(rand.NewSource(seed)),
 	}
@@ -73,6 +104,37 @@ func (e *Engine) Now() Time { return e.now }
 // a simulation must come from this source (or sources derived from it) to
 // preserve reproducibility.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Seed returns the seed the engine was constructed with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// RandFor returns a deterministic random stream derived from the engine
+// seed and id alone. Unlike Rand, the stream a caller receives does not
+// depend on how many draws other components made before it asked, so
+// per-node randomness is invariant under registration/boot reordering.
+// Repeated calls with the same id return the same (stateful) stream.
+func (e *Engine) RandFor(id int) *rand.Rand {
+	if r, ok := e.perID[id]; ok {
+		return r
+	}
+	if e.perID == nil {
+		e.perID = make(map[int]*rand.Rand)
+	}
+	r := rand.New(rand.NewSource(e.seed ^ int64(0x9E3779B97F4A7C15*uint64(id+1))))
+	e.perID[id] = r
+	return r
+}
+
+// RegisterDispatcher installs d and returns the target id to pass to
+// AtMsg. Dispatchers cannot be unregistered: the id is an index into an
+// append-only table, kept trivially stable for the life of the engine.
+func (e *Engine) RegisterDispatcher(d Dispatcher) int {
+	if d == nil {
+		panic("sim: RegisterDispatcher(nil)")
+	}
+	e.dispatchers = append(e.dispatchers, d)
+	return len(e.dispatchers) - 1
+}
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -90,10 +152,47 @@ func (e *Engine) At(t Time, fn func()) (*Event, error) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		return nil, fmt.Errorf("sim: invalid event time %v", t)
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	ev := &Event{at: t, seq: e.seq, fn: fn, target: -1, index: -1}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev, nil
+}
+
+// AtMsg schedules a value-typed message event for virtual time t, to be
+// delivered to the dispatcher registered under target. Message events are
+// pooled: in steady state AtMsg performs no heap allocation. They cannot
+// be individually canceled (no handle escapes); cancellation belongs to
+// the dispatcher's own arena bookkeeping.
+func (e *Engine) AtMsg(t Time, target int, m Message) error {
+	if t < e.now {
+		return fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, e.now)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("sim: invalid event time %v", t)
+	}
+	if target < 0 || target >= len(e.dispatchers) {
+		return fmt.Errorf("sim: unknown dispatch target %d", target)
+	}
+	var ev *Event
+	if k := len(e.free); k > 0 {
+		ev = e.free[k-1]
+		e.free[k-1] = nil
+		e.free = e.free[:k-1]
+	} else {
+		ev = &Event{}
+	}
+	*ev = Event{at: t, seq: e.seq, msg: m, target: int32(target), index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return nil
+}
+
+// MustAtMsg is AtMsg for callers that have already validated t and target;
+// it panics on error.
+func (e *Engine) MustAtMsg(t Time, target int, m Message) {
+	if err := e.AtMsg(t, target, m); err != nil {
+		panic(err)
+	}
 }
 
 // MustAt is At for callers that have already validated t; it panics on error.
@@ -132,6 +231,15 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
 	e.processed++
+	if ev.target >= 0 {
+		d, m := e.dispatchers[ev.target], ev.msg
+		// Recycle before dispatching so events scheduled from inside the
+		// dispatch can already reuse the slot.
+		*ev = Event{index: -1, target: -1}
+		e.free = append(e.free, ev)
+		d.Dispatch(e.now, m)
+		return true
+	}
 	ev.fn()
 	return true
 }

@@ -107,3 +107,20 @@ func WithKeepSeries() Option {
 		c.specOpts = append(c.specOpts, func(s *Spec) { s.KeepSeries = true })
 	}
 }
+
+// WithTopology sets every spec's network connectivity by registered name
+// ("mesh", "wan:4", "ring:6", or a custom RegisterTopology name). The
+// empty string restores the default full mesh.
+func WithTopology(name string) Option {
+	return func(c *config) {
+		c.specOpts = append(c.specOpts, func(s *Spec) { s.Topology = name })
+	}
+}
+
+// WithPartitions schedules partition/heal churn on every spec, replacing
+// any previously set windows.
+func WithPartitions(windows ...Partition) Option {
+	return func(c *config) {
+		c.specOpts = append(c.specOpts, func(s *Spec) { s.Partitions = windows })
+	}
+}

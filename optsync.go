@@ -41,6 +41,7 @@ import (
 	"optsync/internal/core/bounds"
 	"optsync/internal/harness"
 	"optsync/internal/metrics"
+	"optsync/internal/network"
 	"optsync/internal/node"
 )
 
@@ -72,10 +73,25 @@ type (
 	Env = node.Env
 	// ID identifies a process.
 	ID = node.ID
-	// Message is an opaque network payload.
+	// Message is the typed network envelope protocols exchange: a Kind
+	// discriminator, inline scalars (Src/Round/Value), and an optional
+	// structured Payload. Scalar-only messages cross the simulated
+	// network without allocating.
 	Message = node.Message
+	// Kind discriminates message envelopes; allocate kinds for custom
+	// protocols with NewKind.
+	Kind = network.Kind
 	// PulseRecord logs one accepted resynchronization round at one node.
 	PulseRecord = node.PulseRecord
+
+	// Topology decides which directed links exist at any virtual instant;
+	// Spec.Topology selects one by registered name ("mesh", "wan:4",
+	// "ring:6", or anything added via RegisterTopology).
+	Topology = network.Topology
+	// TopologyBuilder constructs a Topology from a "name:arg" spec.
+	TopologyBuilder = harness.TopologyBuilder
+	// Partition is one scheduled partition/heal window of Spec.Partitions.
+	Partition = harness.Partition
 
 	// ProtocolBuilder constructs a correct process's protocol for a spec.
 	ProtocolBuilder = harness.ProtocolBuilder
@@ -128,6 +144,27 @@ func RegisterProtocol(name Algorithm, build ProtocolBuilder, opts ...ProtocolOpt
 func RegisterAttack(name Attack, build AttackBuilder) {
 	harness.RegisterAttack(name, build)
 }
+
+// RegisterTopology makes a connectivity shape constructible by name
+// through Spec.Topology, alongside the built-ins ("mesh", "wan:R",
+// "ring:D"). Parameterized names use a colon: Spec.Topology "wan:4"
+// resolves the builder registered under "wan" with arg "4". Same
+// contract as RegisterProtocol.
+func RegisterTopology(name string, build TopologyBuilder) {
+	harness.RegisterTopology(name, build)
+}
+
+// Topologies returns the registered topology names, sorted.
+func Topologies() []string { return harness.Topologies() }
+
+// NewKind registers a message kind for a custom protocol under a
+// diagnostic name and returns its id. Call from package init, alongside
+// RegisterProtocol.
+func NewKind(name string) Kind { return network.NewKind(name) }
+
+// Raw wraps an arbitrary payload in an untyped (KindRaw) envelope — the
+// escape hatch for quick experiments; real protocols allocate kinds.
+func Raw(payload any) Message { return network.Raw(payload) }
 
 // WithEnvelope attaches accuracy bounds to a protocol registration.
 func WithEnvelope(fn EnvelopeFunc) ProtocolOption { return harness.WithEnvelope(fn) }

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Fold `go test -bench BenchmarkPulseRound` output into BENCH_PR2.json.
+
+Usage: bench_to_json.py <bench.out> <BENCH_PR2.json>
+
+Parses the benchmark lines, records them under the "ci_latest" key of the
+trajectory file, and exits non-zero if any steady-state pulse round
+allocated — the allocation-light message path is a regression-tested
+property, not an aspiration.
+"""
+import json
+import re
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_out, traj_path = sys.argv[1], sys.argv[2]
+
+    line_re = re.compile(
+        r"^BenchmarkPulseRound/(n=\d+)\S*\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
+        r".*?\s(\d+) B/op\s+(\d+) allocs/op"
+    )
+    results = {}
+    with open(bench_out) as f:
+        for line in f:
+            m = line_re.match(line.strip())
+            if m:
+                results[m.group(1)] = {
+                    "ns_per_op": float(m.group(2)),
+                    "bytes_per_op": int(m.group(3)),
+                    "allocs_per_op": int(m.group(4)),
+                }
+    if not results:
+        print("bench_to_json: no BenchmarkPulseRound lines found", file=sys.stderr)
+        return 1
+
+    with open(traj_path) as f:
+        traj = json.load(f)
+    traj["ci_latest"] = {"results": results}
+    with open(traj_path, "w") as f:
+        json.dump(traj, f, indent=2)
+        f.write("\n")
+
+    leaks = {n: r for n, r in results.items() if r["allocs_per_op"] > 0}
+    if leaks:
+        print(f"bench_to_json: steady-state allocations regressed: {leaks}", file=sys.stderr)
+        return 1
+    print(f"bench_to_json: {len(results)} sizes recorded, all allocation-free")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
