@@ -1,0 +1,180 @@
+package optsync
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testCampaign(t testing.TB) Campaign {
+	return Campaign{
+		Name:  "api-test",
+		Base:  testSpecs(t, 1)[0],
+		Axes:  []Axis{{Field: "faulty", Values: Ints(0, 1)}},
+		Seeds: 2,
+	}
+}
+
+func TestRunCampaignThroughPublicAPI(t *testing.T) {
+	store, err := OpenStore(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		csvBuf bytes.Buffer
+		ticks  int
+	)
+	report, err := RunCampaign(context.Background(), testCampaign(t),
+		WithStore(store),
+		WithCampaignWorkers(2),
+		WithCampaignSink(NewCSVSink(&csvBuf)),
+		WithCampaignProgress(func(done, total int) { ticks++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total != 4 || report.Executed != 4 || ticks != 4 {
+		t.Fatalf("accounting: %s (ticks %d)", report.Summary(), ticks)
+	}
+	if len(report.Groups) != 2 {
+		t.Fatalf("groups: %d", len(report.Groups))
+	}
+	// Per-cell stream: header + 4 rows, in cell order.
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("cell stream has %d lines:\n%s", len(lines), csvBuf.String())
+	}
+	if !strings.Contains(lines[1], "faulty=0") || !strings.Contains(lines[3], "faulty=1") {
+		t.Fatalf("cell stream out of order:\n%s", csvBuf.String())
+	}
+
+	// Resume through the facade: all hits, identical aggregates.
+	again, err := RunCampaign(context.Background(), testCampaign(t), WithStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executed != 0 || again.CacheHits != 4 {
+		t.Fatalf("resume recomputed: %s", again.Summary())
+	}
+	if again.Table().CSV() != report.Table().CSV() {
+		t.Fatal("resumed aggregates drifted")
+	}
+
+	// Recompute ignores the cache.
+	third, err := RunCampaign(context.Background(), testCampaign(t),
+		WithStore(store), WithRecompute())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Executed != 4 {
+		t.Fatalf("recompute served hits: %s", third.Summary())
+	}
+}
+
+func TestThresholdSearchThroughPublicAPI(t *testing.T) {
+	c := Campaign{
+		Base: testSpecs(t, 1)[0],
+		Axes: []Axis{{Field: "dmax", Values: Floats(0.006, 0.008, 0.01, 0.012)}},
+	}
+	report, err := RunThresholdSearch(context.Background(), c, ThresholdSearch{
+		Axis:   "dmax",
+		Passes: func(r Result) bool { return r.Spec.Params.DMax < 0.009 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Groups) != 1 {
+		t.Fatalf("groups: %d", len(report.Groups))
+	}
+	if g := report.Groups[0]; g.LastPass != "0.008" || g.FirstFail != "0.01" {
+		t.Fatalf("bracket = %+v", g)
+	}
+	if 2*(report.Executed+report.CacheHits) > report.ExhaustiveCells {
+		t.Fatalf("search settled more than half the grid: %d of %d",
+			report.Executed+report.CacheHits, report.ExhaustiveCells)
+	}
+}
+
+func TestSpecKeyExported(t *testing.T) {
+	spec := testSpecs(t, 1)[0]
+	key, err := SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := spec
+	named.Name = "renamed"
+	key2, err := SpecKey(named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != key2 {
+		t.Fatal("Name participates in the content address")
+	}
+	canon := CanonicalSpec(spec)
+	if canon.Horizon == 0 || canon.Name != "" {
+		t.Fatalf("CanonicalSpec did not normalize: %+v", canon)
+	}
+	fields := AxisFields()
+	for _, want := range []string{"n", "f", "dmax", "algo", "attack", "topology", "seed"} {
+		found := false
+		for _, f := range fields {
+			found = found || f == want
+		}
+		if !found {
+			t.Fatalf("AxisFields missing %q (have %v)", want, fields)
+		}
+	}
+}
+
+// brokenWriter accepts nothing: with a buffering sink (CSV), the damage
+// only surfaces at Flush — exactly the path that must not vanish.
+type brokenWriter struct{}
+
+var errWriterBroken = errors.New("writer broken")
+
+func (brokenWriter) Write([]byte) (int, error) { return 0, errWriterBroken }
+
+// flushFailingSink writes fine but cannot flush.
+type flushFailingSink struct{}
+
+var errFlushBroken = errors.New("flush broken")
+
+func (flushFailingSink) Write(Result) error { return nil }
+func (flushFailingSink) Flush() error       { return errFlushBroken }
+
+func TestFlushErrorsPropagate(t *testing.T) {
+	spec := testSpecs(t, 1)[0]
+
+	// CSV onto a broken writer: Write buffers successfully, Flush fails.
+	if _, err := Run(context.Background(), spec,
+		WithSink(NewCSVSink(brokenWriter{}))); !errors.Is(err, errWriterBroken) {
+		t.Fatalf("Run swallowed the CSV flush error: %v", err)
+	}
+	if _, err := RunBatch(context.Background(), testSpecs(t, 2),
+		WithSink(NewCSVSink(brokenWriter{}))); !errors.Is(err, errWriterBroken) {
+		t.Fatalf("RunBatch swallowed the CSV flush error: %v", err)
+	}
+
+	// The table sink renders on Flush; a broken writer must surface too.
+	if _, err := Run(context.Background(), spec,
+		WithSink(NewTableSink(brokenWriter{}))); !errors.Is(err, errWriterBroken) {
+		t.Fatalf("Run swallowed the table flush error: %v", err)
+	}
+
+	// A sink whose Flush itself fails.
+	if _, err := RunBatch(context.Background(), testSpecs(t, 2),
+		WithSink(flushFailingSink{})); !errors.Is(err, errFlushBroken) {
+		t.Fatalf("RunBatch swallowed the sink flush error: %v", err)
+	}
+
+	// Campaign cell streams flush through the same contract.
+	if _, err := RunCampaign(context.Background(), testCampaign(t),
+		WithCampaignSink(NewCSVSink(brokenWriter{}))); !errors.Is(err, errWriterBroken) {
+		t.Fatalf("RunCampaign swallowed the CSV flush error: %v", err)
+	}
+	if _, err := RunCampaign(context.Background(), testCampaign(t),
+		WithCampaignSink(flushFailingSink{})); !errors.Is(err, errFlushBroken) {
+		t.Fatalf("RunCampaign swallowed the sink flush error: %v", err)
+	}
+}

@@ -20,6 +20,14 @@
 //
 //	syncsim -run -n 16 -topology wan:4
 //	syncsim -run -n 7 -horizon 35 -partition 10:20:3
+//
+// The campaign subcommand expands declarative parameter-space sweeps
+// over a persistent, content-addressed result store (see campaign.go):
+//
+//	syncsim campaign -axis faulty=0,1,2 -axis dmax=0.008,0.01 \
+//	        -seeds 5 -store ./results
+//	syncsim campaign -axis dmax=0.004,0.008,0.012,0.016 \
+//	        -store ./results -search dmax
 package main
 
 import (
@@ -28,7 +36,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"optsync"
@@ -65,27 +72,13 @@ func topologyUsage() string {
 }
 
 // parsePartitions parses repeated -partition values "at:heal:leftSize"
-// (heal 0 = never heals). strconv parsing rejects trailing garbage that
-// Sscanf would silently drop.
+// (heal 0 = never heals) through the shared window parser.
 func parsePartitions(specs []string) ([]optsync.Partition, error) {
 	out := make([]optsync.Partition, 0, len(specs))
 	for _, s := range specs {
-		parts := strings.Split(s, ":")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("partition %q: want at:heal:leftSize", s)
-		}
-		var (
-			p   optsync.Partition
-			err error
-		)
-		if p.At, err = strconv.ParseFloat(parts[0], 64); err != nil {
-			return nil, fmt.Errorf("partition %q: bad at %q", s, parts[0])
-		}
-		if p.Heal, err = strconv.ParseFloat(parts[1], 64); err != nil {
-			return nil, fmt.Errorf("partition %q: bad heal %q", s, parts[1])
-		}
-		if p.LeftSize, err = strconv.Atoi(parts[2]); err != nil {
-			return nil, fmt.Errorf("partition %q: bad leftSize %q", s, parts[2])
+		p, err := optsync.ParsePartition(s)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, p)
 	}
@@ -98,7 +91,81 @@ type stringList []string
 func (l *stringList) String() string     { return strings.Join(*l, ",") }
 func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
 
+// specFlags registers the base-spec flag family shared by custom runs
+// and campaigns on a flag set.
+type specFlags struct {
+	algo            *string
+	n, f, faulty    *int
+	rho             *float64
+	dmin, dmax      *float64
+	period, horizon *float64
+	attack          *string
+	seed            *int64
+	topology        *string
+	partitions      stringList
+}
+
+func addSpecFlags(fs *flag.FlagSet) *specFlags {
+	sf := &specFlags{
+		algo:     fs.String("algo", "st-auth", algoUsage()),
+		n:        fs.Int("n", 7, "number of processes"),
+		f:        fs.Int("f", -1, "fault bound (-1 = maximum for the algorithm)"),
+		faulty:   fs.Int("faulty", -1, "actual faulty count (-1 = same as -f)"),
+		rho:      fs.Float64("rho", 1e-4, "hardware drift bound"),
+		dmin:     fs.Float64("dmin", 0.002, "min message delay (s)"),
+		dmax:     fs.Float64("dmax", 0.01, "max message delay (s)"),
+		period:   fs.Float64("period", 1, "resynchronization period P (s)"),
+		horizon:  fs.Float64("horizon", 30, "simulated duration (s)"),
+		attack:   fs.String("attack", "silent", attackUsage()),
+		seed:     fs.Int64("seed", 1, "simulation seed"),
+		topology: fs.String("topology", "", topologyUsage()),
+	}
+	fs.Var(&sf.partitions, "partition",
+		"scheduled partition window at:heal:leftSize (repeatable; heal 0 = never)")
+	return sf
+}
+
+// spec assembles and validates the flag values into a runnable Spec.
+func (sf *specFlags) spec() (optsync.Spec, error) {
+	variant := optsync.Auth
+	if *sf.algo != string(optsync.AlgoAuth) {
+		variant = optsync.Primitive
+	}
+	f := *sf.f
+	if f < 0 {
+		f = variant.MaxFaults(*sf.n)
+	}
+	faulty := *sf.faulty
+	if faulty < 0 {
+		faulty = f
+	}
+	p := optsync.Params{
+		N: *sf.n, F: f, Variant: variant,
+		Rho:  optsync.Rho(*sf.rho),
+		DMin: *sf.dmin, DMax: *sf.dmax,
+		Period:      *sf.period,
+		InitialSkew: *sf.dmax / 2,
+	}.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return optsync.Spec{}, err
+	}
+	windows, err := parsePartitions(sf.partitions)
+	if err != nil {
+		return optsync.Spec{}, err
+	}
+	return optsync.Spec{
+		Algo: optsync.Algorithm(*sf.algo), Params: p,
+		FaultyCount: faulty, Attack: optsync.Attack(*sf.attack),
+		Horizon: *sf.horizon, Seed: *sf.seed,
+		Topology: *sf.topology, Partitions: windows,
+	}, nil
+}
+
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "campaign" {
+		return runCampaignCmd(args[1:])
+	}
+
 	fs := flag.NewFlagSet("syncsim", flag.ContinueOnError)
 	var (
 		list    = fs.Bool("list", false, "list experiments and exit")
@@ -108,23 +175,8 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "worker pool size for experiment batches (0 = all cores)")
 		custom  = fs.Bool("run", false, "run a single custom simulation instead of an experiment")
 
-		algo     = fs.String("algo", "st-auth", algoUsage())
-		n        = fs.Int("n", 7, "number of processes")
-		f        = fs.Int("f", -1, "fault bound (-1 = maximum for the algorithm)")
-		faulty   = fs.Int("faulty", -1, "actual faulty count (-1 = same as -f)")
-		rho      = fs.Float64("rho", 1e-4, "hardware drift bound")
-		dmin     = fs.Float64("dmin", 0.002, "min message delay (s)")
-		dmax     = fs.Float64("dmax", 0.01, "max message delay (s)")
-		period   = fs.Float64("period", 1, "resynchronization period P (s)")
-		horizon  = fs.Float64("horizon", 30, "simulated duration (s)")
-		attack   = fs.String("attack", "silent", attackUsage())
-		seed     = fs.Int64("seed", 1, "simulation seed")
-		topology = fs.String("topology", "", topologyUsage())
-
-		partitions stringList
+		sf = addSpecFlags(fs)
 	)
-	fs.Var(&partitions, "partition",
-		"scheduled partition window at:heal:leftSize (repeatable; heal 0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,21 +193,14 @@ func run(args []string) error {
 	}
 
 	if *custom {
-		windows, err := parsePartitions(partitions)
+		spec, err := sf.spec()
 		if err != nil {
 			return err
 		}
-		return runCustom(customSpec{
-			algo: *algo, n: *n, f: *f, faulty: *faulty,
-			rho: *rho, dmin: *dmin, dmax: *dmax,
-			period: *period, horizon: *horizon,
-			attack: *attack, seed: *seed,
-			topology: *topology, partitions: windows,
-			jsonOut: *jsonOut, csvOut: *csvOut,
-		})
+		return runCustom(spec, *jsonOut, *csvOut)
 	}
-	if *topology != "" || len(partitions) > 0 {
-		return fmt.Errorf("-topology and -partition apply to custom runs (-run)")
+	if *sf.topology != "" || len(sf.partitions) > 0 {
+		return fmt.Errorf("-topology and -partition apply to custom runs (-run) and campaigns")
 	}
 
 	var scenarios []optsync.Scenario
@@ -186,51 +231,11 @@ func run(args []string) error {
 	return nil
 }
 
-type customSpec struct {
-	algo            string
-	n, f, faulty    int
-	rho             float64
-	dmin, dmax      float64
-	period, horizon float64
-	attack          string
-	seed            int64
-	topology        string
-	partitions      []optsync.Partition
-	jsonOut, csvOut bool
-}
-
-func runCustom(c customSpec) error {
-	variant := optsync.Auth
-	if c.algo != string(optsync.AlgoAuth) {
-		variant = optsync.Primitive
-	}
-	if c.f < 0 {
-		c.f = variant.MaxFaults(c.n)
-	}
-	if c.faulty < 0 {
-		c.faulty = c.f
-	}
-	p := optsync.Params{
-		N: c.n, F: c.f, Variant: variant,
-		Rho:  optsync.Rho(c.rho),
-		DMin: c.dmin, DMax: c.dmax,
-		Period:      c.period,
-		InitialSkew: c.dmax / 2,
-	}.WithDefaults()
-	if err := p.Validate(); err != nil {
-		return err
-	}
-	spec := optsync.Spec{
-		Algo: optsync.Algorithm(c.algo), Params: p,
-		FaultyCount: c.faulty, Attack: optsync.Attack(c.attack),
-		Horizon: c.horizon, Seed: c.seed,
-		Topology: c.topology, Partitions: c.partitions,
-	}
-
+func runCustom(spec optsync.Spec, jsonOut, csvOut bool) error {
 	// Machine-readable modes stream through the structured sinks.
-	if c.jsonOut || c.csvOut {
+	if jsonOut || csvOut {
 		var sink optsync.Sink = optsync.NewJSONSink(os.Stdout)
-		if c.csvOut {
+		if csvOut {
 			sink = optsync.NewCSVSink(os.Stdout)
 		}
 		_, err := optsync.Run(context.Background(), spec, optsync.WithSink(sink))
@@ -241,13 +246,14 @@ func runCustom(c customSpec) error {
 	if err != nil {
 		return err
 	}
+	p := spec.Params
 	title := fmt.Sprintf("custom run: %s n=%d f=%d faulty=%d attack=%s",
-		c.algo, c.n, c.f, c.faulty, c.attack)
-	if c.topology != "" {
-		title += " topology=" + c.topology
+		spec.Algo, p.N, p.F, spec.FaultyCount, spec.Attack)
+	if spec.Topology != "" {
+		title += " topology=" + spec.Topology
 	}
-	if len(c.partitions) > 0 {
-		title += fmt.Sprintf(" partitions=%d", len(c.partitions))
+	if len(spec.Partitions) > 0 {
+		title += fmt.Sprintf(" partitions=%d", len(spec.Partitions))
 	}
 	t := optsync.NewTable(title, "metric", "measured", "bound", "status")
 	t.AddRow("max skew (s)", optsync.F(res.MaxSkew), optsync.F(res.SkewBound), optsync.FmtBool(res.WithinSkew))

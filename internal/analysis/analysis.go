@@ -81,34 +81,39 @@ func Summarize(values []float64) Summary {
 		d := v - mean
 		varSum += d * d
 	}
+	quantile := func(q float64) float64 {
+		v, _ := Quantile(sorted, q) // sorted is non-empty and q in range
+		return v
+	}
 	return Summary{
 		Count: len(sorted),
 		Min:   sorted[0],
 		Max:   sorted[len(sorted)-1],
 		Mean:  mean,
 		Std:   math.Sqrt(varSum / float64(len(sorted))),
-		P50:   Quantile(sorted, 0.50),
-		P95:   Quantile(sorted, 0.95),
-		P99:   Quantile(sorted, 0.99),
+		P50:   quantile(0.50),
+		P95:   quantile(0.95),
+		P99:   quantile(0.99),
 	}
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of sorted values using
-// linear interpolation. It panics on an empty slice or q outside [0, 1] —
-// both are caller bugs.
-func Quantile(sorted []float64, q float64) float64 {
+// linear interpolation. An empty slice or q outside [0, 1] is an error,
+// not a panic: quantile requests reach this boundary from configuration
+// (sweep aggregation), and a bad config must not crash a long campaign.
+func Quantile(sorted []float64, q float64) (float64, error) {
 	if len(sorted) == 0 {
-		panic("analysis: Quantile of empty slice")
+		return 0, fmt.Errorf("analysis: Quantile of empty slice")
 	}
-	if q < 0 || q > 1 {
-		panic(fmt.Sprintf("analysis: quantile %v outside [0,1]", q))
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("analysis: quantile %v outside [0,1]", q)
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], nil
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }

@@ -99,26 +99,26 @@ func TestQuantile(t *testing.T) {
 		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.125, 15},
 	}
 	for _, c := range cases {
-		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+		got, err := Quantile(sorted, c.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", c.q, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
 			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
 		}
 	}
 }
 
-func TestQuantilePanics(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"empty": func() { Quantile(nil, 0.5) },
-		"q>1":   func() { Quantile([]float64{1}, 1.5) },
-		"q<0":   func() { Quantile([]float64{1}, -0.5) },
+func TestQuantileErrors(t *testing.T) {
+	for name, fn := range map[string]func() (float64, error){
+		"empty": func() (float64, error) { return Quantile(nil, 0.5) },
+		"q>1":   func() (float64, error) { return Quantile([]float64{1}, 1.5) },
+		"q<0":   func() (float64, error) { return Quantile([]float64{1}, -0.5) },
+		"qNaN":  func() (float64, error) { return Quantile([]float64{1}, math.NaN()) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s did not panic", name)
-				}
-			}()
-			fn()
-		}()
+		if _, err := fn(); err == nil {
+			t.Fatalf("%s did not error", name)
+		}
 	}
 }
 

@@ -1,0 +1,374 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optsync/internal/harness"
+)
+
+// testCampaign sweeps faulty count and seed-replicates each point: 3
+// grid points x 2 seeds = 6 cells, 3 groups.
+func testCampaign() Campaign {
+	return Campaign{
+		Name:  "test",
+		Base:  testSpec(1),
+		Axes:  []Axis{{Field: "faulty", Values: Ints(0, 1, 2)}},
+		Seeds: 2,
+	}
+}
+
+func TestCellsGridExpansion(t *testing.T) {
+	c := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{
+			{Field: "faulty", Values: Ints(0, 1)},
+			{Field: "dmax", Values: Floats(0.01, 0.02, 0.03)},
+		},
+		Seeds: 2,
+	}
+	cells, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*3*2 {
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	// Last axis varies fastest; replicates are innermost.
+	if cells[0].Group != "faulty=0 dmax=0.01" || cells[0].Replica != 0 {
+		t.Fatalf("cell 0 = %+v", cells[0])
+	}
+	if cells[1].Group != "faulty=0 dmax=0.01" || cells[1].Replica != 1 {
+		t.Fatalf("cell 1 = %+v", cells[1])
+	}
+	if cells[2].Group != "faulty=0 dmax=0.02" {
+		t.Fatalf("cell 2 group = %q", cells[2].Group)
+	}
+	if cells[6].Group != "faulty=1 dmax=0.01" {
+		t.Fatalf("cell 6 group = %q", cells[6].Group)
+	}
+	// Applied values reach the spec, and replicas get consecutive seeds.
+	if cells[6].Spec.FaultyCount != 1 || cells[6].Spec.Params.DMax != 0.01 {
+		t.Fatalf("cell 6 spec = %+v", cells[6].Spec)
+	}
+	if cells[1].Spec.Seed != cells[0].Spec.Seed+1 {
+		t.Fatal("replicas do not use consecutive seeds")
+	}
+	// All keys distinct.
+	seen := make(map[string]bool)
+	for _, cell := range cells {
+		if seen[cell.Key] {
+			t.Fatalf("duplicate key %s", cell.Key)
+		}
+		seen[cell.Key] = true
+	}
+}
+
+func TestCellsSamplingIsDeterministicSubset(t *testing.T) {
+	c := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{
+			{Field: "faulty", Values: Ints(0, 1)},
+			{Field: "seed", Values: Ints(1, 2, 3, 4, 5)},
+		},
+		Samples:    4,
+		SampleSeed: 7,
+	}
+	first, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 4 {
+		t.Fatalf("got %d sampled cells, want 4", len(first))
+	}
+	again, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("sampling not deterministic")
+	}
+	// Sampled cells are a subset of the full grid.
+	c.Samples = 0
+	full, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool)
+	for _, cell := range full {
+		keys[cell.Key] = true
+	}
+	for _, cell := range first {
+		if !keys[cell.Key] {
+			t.Fatalf("sampled cell %s not in the grid", cell.Key)
+		}
+	}
+	// A different sample seed picks a different subset (5 choose 4 of 10
+	// points; collision would mean the seed is ignored).
+	c.Samples, c.SampleSeed = 4, 8
+	other, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(first, other) {
+		t.Fatal("sample seed ignored")
+	}
+}
+
+func TestCellsValidation(t *testing.T) {
+	base := testSpec(1)
+	for name, c := range map[string]Campaign{
+		"no axes":      {Base: base},
+		"unknown":      {Base: base, Axes: []Axis{{Field: "warp", Values: Ints(1)}}},
+		"empty values": {Base: base, Axes: []Axis{{Field: "f", Values: nil}}},
+		"dup axis": {Base: base, Axes: []Axis{
+			{Field: "f", Values: Ints(1)}, {Field: "f", Values: Ints(2)},
+		}},
+		"bad int":       {Base: base, Axes: []Axis{{Field: "n", Values: Strings("five")}}},
+		"bad float":     {Base: base, Axes: []Axis{{Field: "dmax", Values: Strings("wide")}}},
+		"bad seed":      {Base: base, Axes: []Axis{{Field: "seed", Values: Strings("x")}}},
+		"bad partition": {Base: base, Axes: []Axis{{Field: "partitions", Values: Strings("1:2")}}},
+	} {
+		if _, err := c.Cells(); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCellsRejectDuplicateAxisValues(t *testing.T) {
+	c := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{{Field: "faulty", Values: Ints(0, 1, 1)}},
+	}
+	if _, err := c.Cells(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate axis value accepted: %v", err)
+	}
+}
+
+func TestCellsRejectOutOfModelParams(t *testing.T) {
+	// n=5 auth admits f <= 2; sweeping the analytic bound past the model
+	// must fail before anything simulates (resilience-boundary studies
+	// sweep "faulty" instead, which stays unrestricted).
+	c := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{{Field: "f", Values: Ints(1, 3)}},
+	}
+	if _, err := c.Cells(); err == nil || !strings.Contains(err.Error(), "f=3") {
+		t.Fatalf("out-of-model f accepted: %v", err)
+	}
+	over := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{{Field: "faulty", Values: Ints(0, 3)}},
+	}
+	if _, err := over.Cells(); err != nil {
+		t.Fatalf("beyond-bound faulty count rejected: %v", err)
+	}
+}
+
+func TestCellsFinishHook(t *testing.T) {
+	c := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{{Field: "dmax", Values: Floats(0.01, 0.02)}},
+		Finish: func(s *harness.Spec) error {
+			s.Params.InitialSkew = s.Params.DMax / 2
+			return nil
+		},
+	}
+	cells, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Spec.Params.InitialSkew != 0.005 || cells[1].Spec.Params.InitialSkew != 0.01 {
+		t.Fatalf("finish hook not applied per cell: %v / %v",
+			cells[0].Spec.Params.InitialSkew, cells[1].Spec.Params.InitialSkew)
+	}
+	c.Finish = func(*harness.Spec) error { return errors.New("derivation broke") }
+	if _, err := c.Cells(); err == nil || !strings.Contains(err.Error(), "derivation broke") {
+		t.Fatalf("finish error swallowed: %v", err)
+	}
+}
+
+func TestPartitionsAxisParsing(t *testing.T) {
+	c := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{{Field: "partitions", Values: Strings("", "1:2:2;3:0:1")}},
+	}
+	cells, err := c.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells[0].Spec.Partitions) != 0 {
+		t.Fatal("empty partitions value produced windows")
+	}
+	want := []harness.Partition{{At: 1, Heal: 2, LeftSize: 2}, {At: 3, Heal: 0, LeftSize: 1}}
+	if !reflect.DeepEqual(cells[1].Spec.Partitions, want) {
+		t.Fatalf("partitions = %+v", cells[1].Spec.Partitions)
+	}
+}
+
+func TestRunAggregatesPerGroup(t *testing.T) {
+	report, err := Run(context.Background(), testCampaign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total != 6 || report.Executed != 6 || report.CacheHits != 0 {
+		t.Fatalf("accounting = %s", report.Summary())
+	}
+	if len(report.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(report.Groups))
+	}
+	for _, g := range report.Groups {
+		if g.Cells != 2 {
+			t.Fatalf("group %q has %d cells", g.Key, g.Cells)
+		}
+		if g.Skew.Count != 2 || g.Skew.Min > g.Skew.Mean || g.Skew.Mean > g.Skew.Max {
+			t.Fatalf("group %q skew summary inconsistent: %+v", g.Key, g.Skew)
+		}
+		if g.SkewBound <= 0 {
+			t.Fatalf("group %q missing skew bound", g.Key)
+		}
+		if g.Pulses.Mean <= 0 {
+			t.Fatalf("group %q shows no liveness", g.Key)
+		}
+	}
+	// The fault-free and faulty groups genuinely differ (different runs).
+	if report.Groups[0].Skew.Mean == report.Groups[2].Skew.Mean {
+		t.Fatal("groups look identical — axis not applied?")
+	}
+	// Rendering covers every group plus the accounting note.
+	text := report.Table().Render()
+	for _, g := range report.Groups {
+		if !strings.Contains(text, g.Key) {
+			t.Fatalf("table missing group %q:\n%s", g.Key, text)
+		}
+	}
+	if !strings.Contains(text, report.Summary()) {
+		t.Fatal("table missing accounting note")
+	}
+}
+
+// Acceptance: a killed-and-restarted campaign completes without
+// recomputing finished cells, and its aggregates are byte-identical to
+// an uninterrupted run.
+func TestCampaignResumesAfterKill(t *testing.T) {
+	c := testCampaign()
+	store, err := Open(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the first campaign after 3 settled cells: the progress
+	// callback cancels the context, exactly like SIGKILL landing between
+	// cell completions (completed cells are already on disk, atomically).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const killAfter = 3
+	_, err = Run(ctx, c, Options{Store: store, Workers: 1, Progress: func(done, total int) {
+		if done == killAfter {
+			cancel()
+		}
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed campaign returned %v", err)
+	}
+	finished, err := store.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finished < killAfter {
+		t.Fatalf("only %d cells on disk after kill, want >= %d", finished, killAfter)
+	}
+
+	// Restart against the same store: finished cells must not recompute.
+	report, err := Run(context.Background(), c, Options{Store: store, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total != 6 || report.CacheHits != finished || report.Executed != 6-finished {
+		t.Fatalf("resume recomputed finished cells: %s (store had %d)", report.Summary(), finished)
+	}
+
+	// And the stitched-together campaign is indistinguishable from an
+	// uninterrupted one, byte for byte.
+	fresh, err := Run(context.Background(), testCampaign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(report.Groups, fresh.Groups) {
+		t.Fatalf("resumed aggregates drifted:\n got  %+v\n want %+v", report.Groups, fresh.Groups)
+	}
+	if got, want := report.Table().CSV(), fresh.Table().CSV(); got != want {
+		// The accounting note is not part of CSV, so this must match.
+		t.Fatalf("resumed CSV drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRerunIsAllCacheHits(t *testing.T) {
+	c := testCampaign()
+	store, err := Open(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(context.Background(), c, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed != 6 {
+		t.Fatalf("first pass: %s", first.Summary())
+	}
+	second, err := Run(context.Background(), c, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 0 || second.CacheHits != 6 {
+		t.Fatalf("second pass recomputed: %s", second.Summary())
+	}
+	if got, want := second.Table().Render(), first.Table().Render(); got != want {
+		// Render includes the accounting note; strip the notes line by
+		// comparing CSV (pure aggregates) AND per-group structs.
+		if second.Table().CSV() != first.Table().CSV() ||
+			!reflect.DeepEqual(second.Groups, first.Groups) {
+			t.Fatalf("cached aggregates drifted:\n%s\nvs\n%s", got, want)
+		}
+	}
+
+	// Recompute ignores the cache but reproduces the same numbers.
+	third, err := Run(context.Background(), c, Options{Store: store, Recompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Executed != 6 {
+		t.Fatalf("recompute served hits: %s", third.Summary())
+	}
+	if !reflect.DeepEqual(third.Groups, first.Groups) {
+		t.Fatal("recompute changed the aggregates")
+	}
+}
+
+func TestRunWithoutAxesFails(t *testing.T) {
+	if _, err := Run(context.Background(), Campaign{Base: testSpec(1)}, Options{}); err == nil {
+		t.Fatal("axis-less campaign accepted")
+	}
+}
+
+func TestRunProgressCoversEveryCell(t *testing.T) {
+	var events []int
+	_, err := Run(context.Background(), testCampaign(), Options{
+		Workers: 2,
+		Progress: func(done, total int) {
+			if total != 6 {
+				t.Errorf("total = %d", total)
+			}
+			events = append(events, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 || events[0] != 1 || events[5] != 6 {
+		t.Fatalf("progress events = %v", events)
+	}
+}

@@ -1,0 +1,196 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"optsync/internal/harness"
+)
+
+// Search configures an adaptive threshold search: instead of running the
+// full grid, one axis is bisected per group to find the last value whose
+// runs still pass. The axis values must be ordered from easiest to
+// hardest — the predicate may flip from pass to fail at most once along
+// the axis (monotone in the swept parameter, e.g. growing faulty counts
+// or widening delay bounds). Under that assumption bisection provably
+// finds the same breaking point as an exhaustive scan in O(log k)
+// instead of O(k) evaluations per group.
+type Search struct {
+	// Axis names the campaign axis to bisect (must be one of the
+	// campaign's axes and not "seed").
+	Axis string
+	// Passes decides whether one run meets the target; nil means the
+	// paper's agreement bound (Result.WithinSkew). A grid point passes
+	// only if every seed replicate passes.
+	Passes func(harness.Result) bool
+}
+
+// SearchGroup is the breaking point found for one setting of the
+// non-search axes.
+type SearchGroup struct {
+	// Key is the non-search, non-seed axis assignment ("" with a single
+	// axis).
+	Key string `json:"key"`
+	// LastPass and FirstFail bracket the threshold; LastPass is "" when
+	// even the first value fails, FirstFail is "" when every value
+	// passes.
+	LastPass  string `json:"last_pass"`
+	FirstFail string `json:"first_fail"`
+	// Evaluated counts the cells settled for this group (executions plus
+	// cache hits); an exhaustive scan would settle len(values)*seeds.
+	Evaluated int `json:"evaluated"`
+}
+
+// SearchReport is the outcome of a threshold search.
+type SearchReport struct {
+	// Axis echoes the bisected axis and its ordered values.
+	Axis   string   `json:"axis"`
+	Values []string `json:"values"`
+	// Groups holds one breaking point per non-search parameter point.
+	Groups []SearchGroup `json:"groups"`
+	// Executed and CacheHits count settled cells across all groups;
+	// ExhaustiveCells is what a full grid would have settled.
+	Executed        int `json:"executed"`
+	CacheHits       int `json:"cache_hits"`
+	ExhaustiveCells int `json:"exhaustive_cells"`
+}
+
+// RunSearch bisects the campaign's search axis per group. Evaluated
+// cells go through the same store as Run, so a search and a later full
+// campaign (or a repeated search) share work.
+func RunSearch(ctx context.Context, c Campaign, s Search, opts Options) (*SearchReport, error) {
+	ai := -1
+	for i, ax := range c.Axes {
+		if ax.Field == s.Axis {
+			ai = i
+		}
+	}
+	if ai < 0 {
+		return nil, fmt.Errorf("campaign %q: search axis %q is not a campaign axis", c.Name, s.Axis)
+	}
+	if s.Axis == "seed" {
+		return nil, fmt.Errorf("campaign %q: cannot search along the seed axis", c.Name)
+	}
+	if c.Samples > 0 {
+		// A sampled grid leaves holes along the axis; bisection over
+		// missing cells would report a breaking point nothing ever ran.
+		// (Bisection already beats sampling at its own game here.)
+		return nil, fmt.Errorf("campaign %q: threshold search needs the full grid, not Samples", c.Name)
+	}
+	passes := s.Passes
+	if passes == nil {
+		passes = func(r harness.Result) bool { return r.WithinSkew }
+	}
+
+	cells, err := c.Cells()
+	if err != nil {
+		return nil, err
+	}
+	values := c.Axes[ai].Values
+
+	// Arrange the grid as group -> value index -> seed replicates. The
+	// group key drops the search axis (it is what varies) and any seed
+	// axis (replicates are the unit of evaluation, not a dimension).
+	var order []string
+	grid := make(map[string][][]Cell)
+	for _, cell := range cells {
+		var parts []string
+		for a, ax := range c.Axes {
+			if a == ai || ax.Field == "seed" {
+				continue
+			}
+			parts = append(parts, ax.Field+"="+cell.Values[a])
+		}
+		key := strings.Join(parts, " ")
+		if _, seen := grid[key]; !seen {
+			order = append(order, key)
+			grid[key] = make([][]Cell, len(values))
+		}
+		vi := -1
+		for i, v := range values {
+			if v == cell.Values[ai] {
+				vi = i
+				break
+			}
+		}
+		grid[key][vi] = append(grid[key][vi], cell)
+	}
+
+	report := &SearchReport{Axis: s.Axis, Values: values, ExhaustiveCells: len(cells)}
+	ct := &counters{progress: opts.Progress}
+	// total is unknowable up front (that is the point of bisection);
+	// report settled cells against the exhaustive worst case.
+	ct.total = len(cells)
+	for _, key := range order {
+		replicas := grid[key]
+		evaluatedBefore := ct.executed + ct.cached
+		eval := func(vi int) (bool, error) {
+			if len(replicas[vi]) == 0 {
+				// Defense against expansion holes: a value no cell covers
+				// must fail loudly, never pass vacuously.
+				return false, fmt.Errorf("campaign %q: no cells for %s=%s in group %q",
+					c.Name, s.Axis, values[vi], key)
+			}
+			results, err := runCells(ctx, replicas[vi], opts, ct)
+			if err != nil {
+				return false, err
+			}
+			for _, res := range results {
+				if !passes(res) {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		// Invariant: every value index < lo passes, every index >= hi
+		// fails; lo converges on the first failing index.
+		lo, hi := 0, len(values)
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			ok, err := eval(mid)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		group := SearchGroup{Key: key, Evaluated: ct.executed + ct.cached - evaluatedBefore}
+		if lo > 0 {
+			group.LastPass = values[lo-1]
+		}
+		if lo < len(values) {
+			group.FirstFail = values[lo]
+		}
+		report.Groups = append(report.Groups, group)
+	}
+	report.Executed = ct.executed
+	report.CacheHits = ct.cached
+	return report, nil
+}
+
+// Table renders the per-group breaking points.
+func (r *SearchReport) Table() *harness.Table {
+	t := harness.NewTable("threshold search on "+r.Axis,
+		"group", "last_pass", "first_fail", "evaluated")
+	for _, g := range r.Groups {
+		key := g.Key
+		if key == "" {
+			key = "(all)"
+		}
+		lp, ff := g.LastPass, g.FirstFail
+		if lp == "" {
+			lp = "-"
+		}
+		if ff == "" {
+			ff = "-"
+		}
+		t.AddRow(key, lp, ff, fmt.Sprint(g.Evaluated))
+	}
+	t.AddNote("%d executed, %d cached (exhaustive grid: %d cells)",
+		r.Executed, r.CacheHits, r.ExhaustiveCells)
+	return t
+}

@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"optsync/internal/harness"
+)
+
+// searchCampaign sweeps dmax over 8 ascending values for two faulty
+// counts. The test predicate passes while dmax <= limit — monotone along
+// the axis by construction, while still exercising real simulations
+// through the store and the engine.
+func searchCampaign() Campaign {
+	return Campaign{
+		Name: "search",
+		Base: testSpec(1),
+		Axes: []Axis{
+			{Field: "faulty", Values: Ints(0, 1)},
+			{Field: "dmax", Values: Floats(0.004, 0.006, 0.008, 0.010, 0.012, 0.014, 0.016, 0.018)},
+		},
+	}
+}
+
+func dmaxPasses(r harness.Result) bool { return r.Spec.Params.DMax <= 0.0105 }
+
+// Acceptance: threshold search finds the same breaking point as the
+// exhaustive grid with at most half the runs.
+func TestSearchMatchesExhaustiveWithHalfTheRuns(t *testing.T) {
+	c := searchCampaign()
+
+	// Exhaustive reference: the full grid, scanned for the last passing
+	// value per group.
+	full, err := Run(context.Background(), c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive := make(map[string]string) // group (sans dmax) -> last passing dmax
+	for i, cell := range full.Cells {
+		key := "faulty=" + cell.Values[0]
+		if dmaxPasses(full.Results[i]) {
+			exhaustive[key] = cell.Values[1]
+		}
+	}
+
+	report, err := RunSearch(context.Background(), c,
+		Search{Axis: "dmax", Passes: dmaxPasses}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(report.Groups))
+	}
+	for _, g := range report.Groups {
+		if g.LastPass != exhaustive[g.Key] {
+			t.Fatalf("group %q: search found %q, exhaustive found %q",
+				g.Key, g.LastPass, exhaustive[g.Key])
+		}
+		if g.FirstFail != "0.012" {
+			t.Fatalf("group %q: first fail = %q", g.Key, g.FirstFail)
+		}
+	}
+	if total := report.Executed + report.CacheHits; 2*total > report.ExhaustiveCells {
+		t.Fatalf("search settled %d of %d cells — more than half", total, report.ExhaustiveCells)
+	}
+	text := report.Table().Render()
+	if !strings.Contains(text, "0.01") || !strings.Contains(text, "0.012") {
+		t.Fatalf("search table missing bracket:\n%s", text)
+	}
+}
+
+func TestSearchSharesTheStore(t *testing.T) {
+	c := searchCampaign()
+	store, err := Open(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunSearch(context.Background(), c,
+		Search{Axis: "dmax", Passes: dmaxPasses}, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed == 0 {
+		t.Fatal("first search executed nothing")
+	}
+	// Repeating the search costs zero executions.
+	again, err := RunSearch(context.Background(), c,
+		Search{Axis: "dmax", Passes: dmaxPasses}, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executed != 0 || again.CacheHits != first.Executed {
+		t.Fatalf("repeat search recomputed: executed=%d hits=%d", again.Executed, again.CacheHits)
+	}
+	// And a later full campaign reuses every searched cell.
+	report, err := Run(context.Background(), c, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CacheHits != first.Executed {
+		t.Fatalf("full campaign reused %d cells, search settled %d",
+			report.CacheHits, first.Executed)
+	}
+}
+
+func TestSearchBoundaryBrackets(t *testing.T) {
+	c := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{{Field: "dmax", Values: Floats(0.004, 0.008)}},
+	}
+	// Everything passes: no FirstFail.
+	all, err := RunSearch(context.Background(), c,
+		Search{Axis: "dmax", Passes: func(harness.Result) bool { return true }}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := all.Groups[0]; g.LastPass != "0.008" || g.FirstFail != "" {
+		t.Fatalf("all-pass bracket = %+v", g)
+	}
+	// Nothing passes: no LastPass.
+	none, err := RunSearch(context.Background(), c,
+		Search{Axis: "dmax", Passes: func(harness.Result) bool { return false }}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := none.Groups[0]; g.LastPass != "" || g.FirstFail != "0.004" {
+		t.Fatalf("all-fail bracket = %+v", g)
+	}
+}
+
+func TestSearchDefaultPredicateIsWithinSkew(t *testing.T) {
+	// A fault-free sweep over reasonable delay bounds meets the paper's
+	// agreement bound everywhere: the default predicate must say so.
+	c := Campaign{
+		Base: testSpec(1),
+		Axes: []Axis{{Field: "dmax", Values: Floats(0.008, 0.010)}},
+	}
+	report, err := RunSearch(context.Background(), c, Search{Axis: "dmax"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := report.Groups[0]; g.LastPass != "0.01" || g.FirstFail != "" {
+		t.Fatalf("default predicate bracket = %+v", g)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	c := searchCampaign()
+	if _, err := RunSearch(context.Background(), c, Search{Axis: "period"}, Options{}); err == nil {
+		t.Fatal("non-axis search accepted")
+	}
+	sampled := searchCampaign()
+	sampled.Samples = 4
+	if _, err := RunSearch(context.Background(), sampled, Search{Axis: "dmax"}, Options{}); err == nil {
+		t.Fatal("sampled campaign accepted: bisection over grid holes would report unrun thresholds")
+	}
+	c.Axes = append(c.Axes, Axis{Field: "seed", Values: Ints(1, 2)})
+	if _, err := RunSearch(context.Background(), c, Search{Axis: "seed"}, Options{}); err == nil {
+		t.Fatal("seed-axis search accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"optsync/internal/harness"
+)
+
+// storeVersion is bumped whenever the cell file format (or the meaning
+// of a spec key) changes incompatibly; Open refuses stores written by a
+// different version rather than silently serving stale answers.
+const storeVersion = 1
+
+// storeMeta is the store's self-description, written once at creation.
+type storeMeta struct {
+	Version int `json:"version"`
+}
+
+// cellFile is the on-disk form of one completed cell. The key is
+// repeated inside the file so a store survives being rsynced or having
+// files inspected in isolation.
+type cellFile struct {
+	Version int            `json:"version"`
+	Key     string         `json:"key"`
+	Result  harness.Result `json:"result"`
+}
+
+// Store is a content-addressed directory of completed runs, keyed by
+// canonical spec hash (harness.SpecKey). Layout:
+//
+//	<dir>/meta.json
+//	<dir>/cells/<key[:2]>/<key>.json
+//
+// Writes are atomic (temp file + rename in the same directory), so a
+// killed campaign never leaves a partial cell behind: a cell file either
+// exists and is complete, or does not exist. That single invariant is
+// what makes campaigns resumable by construction.
+type Store struct {
+	dir string
+}
+
+// Open opens or creates a store directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("campaign: empty store directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "cells"), 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: creating store: %w", err)
+	}
+	metaPath := filepath.Join(dir, "meta.json")
+	data, err := os.ReadFile(metaPath)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		blob, err := json.Marshal(storeMeta{Version: storeVersion})
+		if err != nil {
+			return nil, err
+		}
+		if err := writeAtomic(metaPath, append(blob, '\n')); err != nil {
+			return nil, fmt.Errorf("campaign: writing store meta: %w", err)
+		}
+	case err != nil:
+		return nil, fmt.Errorf("campaign: reading store meta: %w", err)
+	default:
+		var meta storeMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return nil, fmt.Errorf("campaign: corrupt store meta %s: %w", metaPath, err)
+		}
+		if meta.Version != storeVersion {
+			return nil, fmt.Errorf("campaign: store %s has version %d, this binary speaks %d",
+				dir, meta.Version, storeVersion)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) cellPath(key string) string {
+	return filepath.Join(s.dir, "cells", key[:2], key+".json")
+}
+
+// Get returns the stored result for key, reporting whether it exists. A
+// present-but-unreadable cell is an error, not a miss: recomputing over
+// a corrupt store would silently fork its history.
+func (s *Store) Get(key string) (harness.Result, bool, error) {
+	data, err := os.ReadFile(s.cellPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return harness.Result{}, false, nil
+	}
+	if err != nil {
+		return harness.Result{}, false, fmt.Errorf("campaign: reading cell %s: %w", key, err)
+	}
+	var cell cellFile
+	if err := json.Unmarshal(data, &cell); err != nil {
+		return harness.Result{}, false, fmt.Errorf("campaign: corrupt cell %s: %w", key, err)
+	}
+	if cell.Key != key {
+		return harness.Result{}, false, fmt.Errorf("campaign: cell file %s claims key %s", key, cell.Key)
+	}
+	return cell.Result, true, nil
+}
+
+// Put stores the result under key, atomically. Series and pulse logs are
+// not persisted: cells are the statistical unit of a campaign, and
+// storing full time series would make store size proportional to
+// simulated time rather than to the number of cells.
+func (s *Store) Put(key string, res harness.Result) error {
+	res.Series = nil
+	res.Pulses = nil
+	blob, err := json.Marshal(cellFile{Version: storeVersion, Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("campaign: encoding cell %s: %w", key, err)
+	}
+	path := s.cellPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("campaign: creating cell shard: %w", err)
+	}
+	if err := writeAtomic(path, append(blob, '\n')); err != nil {
+		return fmt.Errorf("campaign: writing cell %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len counts the completed cells in the store.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(filepath.Join(s.dir, "cells"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// writeAtomic writes data to path via a temp file and rename, so
+// concurrent readers (and crashed writers) never observe a torn file.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

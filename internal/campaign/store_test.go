@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optsync/internal/clock"
+	"optsync/internal/core/bounds"
+	"optsync/internal/harness"
+)
+
+func testSpec(seed int64) harness.Spec {
+	p := bounds.Params{
+		N: 5, F: 1, Variant: bounds.Auth,
+		Rho:  clock.Rho(1e-4),
+		DMin: 0.002, DMax: 0.01,
+		Period:      1.0,
+		InitialSkew: 0.005,
+	}.WithDefaults()
+	return harness.Spec{
+		Algo: harness.AlgoAuth, Params: p,
+		FaultyCount: 1, Attack: harness.AttackSilent,
+		Horizon: 4, Seed: seed,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	store, err := Open(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(1)
+	key, err := harness.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := store.Get(key); err != nil || ok {
+		t.Fatalf("Get on empty store = ok=%v err=%v", ok, err)
+	}
+
+	res := harness.Run(spec)
+	if err := store.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := store.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if got.MaxSkew != res.MaxSkew || got.TotalMsgs != res.TotalMsgs ||
+		got.PulseCount != res.PulseCount || got.EnvHi != res.EnvHi {
+		t.Fatalf("round trip drifted:\n got  %+v\n want %+v", got, res)
+	}
+	if n, err := store.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+
+	// Reopening sees the same contents.
+	store2, err := Open(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := store2.Get(key); err != nil || !ok {
+		t.Fatalf("reopened Get = ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStoreDoesNotPersistSeries(t *testing.T) {
+	store, err := Open(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(1)
+	spec.KeepSeries = true
+	key, err := harness.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := harness.Run(spec)
+	if len(res.Series) == 0 {
+		t.Fatal("run kept no series")
+	}
+	if err := store.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := store.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 0 || len(got.Pulses) != 0 {
+		t.Fatal("store persisted series/pulses")
+	}
+}
+
+func TestStoreRefusesForeignVersion(t *testing.T) {
+	dir := t.TempDir() + "/store"
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte(`{"version":999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("foreign version accepted: %v", err)
+	}
+}
+
+func TestStoreCorruptCellIsErrorNotMiss(t *testing.T) {
+	store, err := Open(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(1)
+	key, err := harness.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(key, harness.Result{Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(store.Dir(), "cells", key[:2], key+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Get(key); err == nil {
+		t.Fatal("corrupt cell served as a miss")
+	}
+}
+
+func TestStoreEmptyDirIsError(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty store dir accepted")
+	}
+}

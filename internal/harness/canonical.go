@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalSpec returns the spec in the form under which two specs
+// describe the same computation: defaults applied (so an explicit value
+// and the default it resolves to hash identically) and presentation-only
+// fields cleared. Name labels output rows and KeepSeries only controls
+// how much of the result is retained — neither changes a single simulated
+// event, so neither participates in content addressing.
+func CanonicalSpec(spec Spec) Spec {
+	spec = spec.withDefaults()
+	spec.Name = ""
+	spec.KeepSeries = false
+	return spec
+}
+
+// SpecKey returns the stable content address of a spec: the hex SHA-256
+// of the canonical spec's JSON encoding. encoding/json sorts map keys
+// (StartAt, ClockOffset) and emits shortest round-trip floats, so the
+// key is deterministic across processes and platforms. Adding a field to
+// Spec changes every key, which is exactly right: old cached results
+// were computed without the field and cannot answer for specs that have
+// it.
+func SpecKey(spec Spec) (string, error) {
+	data, err := json.Marshal(CanonicalSpec(spec))
+	if err != nil {
+		return "", fmt.Errorf("harness: canonicalizing spec %q: %w", spec.Name, err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -10,7 +10,10 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"optsync/internal/adversary"
 	"optsync/internal/clock"
@@ -128,6 +131,31 @@ type Partition struct {
 	LeftSize int
 }
 
+// ParsePartition parses one "at:heal:leftSize" window (heal 0 = never
+// heals) — the textual form shared by the CLI flag and the campaign
+// axis. strconv parsing rejects trailing garbage that Sscanf would
+// silently drop.
+func ParsePartition(s string) (Partition, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Partition{}, fmt.Errorf("partition %q: want at:heal:leftSize", s)
+	}
+	var (
+		p   Partition
+		err error
+	)
+	if p.At, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return Partition{}, fmt.Errorf("partition %q: bad at %q", s, parts[0])
+	}
+	if p.Heal, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return Partition{}, fmt.Errorf("partition %q: bad heal %q", s, parts[1])
+	}
+	if p.LeftSize, err = strconv.Atoi(parts[2]); err != nil {
+		return Partition{}, fmt.Errorf("partition %q: bad leftSize %q", s, parts[2])
+	}
+	return p, nil
+}
+
 func (s Spec) withDefaults() Spec {
 	s.Params = s.Params.WithDefaults()
 	if s.Horizon == 0 {
@@ -183,9 +211,17 @@ type Result struct {
 	WithinEnvelope         bool
 	EnvelopeOK             bool // fit succeeded
 
-	// Traffic.
-	TotalMsgs    uint64
-	MsgsPerRound float64
+	// Traffic. TotalMsgs is what went on a wire (network Stats.Sent);
+	// the drop counters keep the network layer's disjoint taxonomy:
+	// Dropped at send by the delay policy, DroppedOffline at delivery
+	// with no handler, DroppedLink suppressed for want of a usable link
+	// (never counted in TotalMsgs).
+	TotalMsgs      uint64
+	MsgsPerRound   float64
+	Delivered      uint64
+	Dropped        uint64
+	DroppedOffline uint64
+	DroppedLink    uint64
 
 	// Series and Pulses, if Spec.KeepSeries.
 	Series []metrics.Sample
@@ -289,6 +325,10 @@ func RunContext(ctx context.Context, spec Spec) (Result, error) {
 
 	stats := cluster.Net.Stats()
 	res.TotalMsgs = stats.Sent
+	res.Delivered = stats.Delivered
+	res.Dropped = stats.Dropped
+	res.DroppedOffline = stats.DroppedOffline
+	res.DroppedLink = stats.DroppedLink
 	if res.CompleteRounds > 0 {
 		res.MsgsPerRound = float64(stats.Sent) / float64(res.CompleteRounds)
 	}

@@ -83,6 +83,12 @@ func topologyFor(spec Spec) (network.Topology, error) {
 		name, arg := spec.Topology, ""
 		if i := strings.IndexByte(name, ':'); i >= 0 {
 			name, arg = name[:i], name[i+1:]
+			if arg == "" {
+				// "wan:" is a truncated spec, not a request for the
+				// default: misconfiguring silently would be worse than
+				// failing loudly.
+				return nil, fmt.Errorf("harness: topology %q: missing argument after ':'", spec.Topology)
+			}
 		}
 		build, err := lookupTopology(name)
 		if err != nil {

@@ -22,10 +22,21 @@ func TestUnknownTopologyIsError(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "unknown topology") {
 		t.Fatalf("err = %v, want unknown-topology error", err)
 	}
-	// Bad args on a known topology are errors too, not panics.
-	for _, bad := range []string{"wan:0", "wan:99", "wan:x", "ring:1", "mesh:3"} {
-		if _, err := RunContext(context.Background(), topoSpec(bad)); err == nil {
+	// Bad args on a known topology are errors too, not panics — and they
+	// must name the offending spec, not misconfigure silently. The matrix
+	// covers missing (trailing colon), zero, negative, non-numeric, and
+	// out-of-range arguments for every parameterized builtin.
+	for _, bad := range []string{
+		"wan:", "wan:0", "wan:-1", "wan:99", "wan:x", "wan:2.5", "wan:2x",
+		"ring:", "ring:0", "ring:-2", "ring:1", "ring:3", "ring:8", "ring:y",
+		"mesh:", "mesh:3",
+	} {
+		_, err := RunContext(context.Background(), topoSpec(bad))
+		if err == nil {
 			t.Fatalf("topology %q accepted", bad)
+		}
+		if !strings.Contains(err.Error(), `"`+bad+`"`) {
+			t.Fatalf("topology %q: error does not name the spec: %v", bad, err)
 		}
 	}
 }

@@ -157,6 +157,11 @@ func RegisterTopology(name string, build TopologyBuilder) {
 // Topologies returns the registered topology names, sorted.
 func Topologies() []string { return harness.Topologies() }
 
+// ParsePartition parses one "at:heal:leftSize" partition window (heal 0
+// = never heals), the textual form used by the syncsim CLI and the
+// campaign "partitions" axis.
+func ParsePartition(s string) (Partition, error) { return harness.ParsePartition(s) }
+
 // NewKind registers a message kind for a custom protocol under a
 // diagnostic name and returns its id. Call from package init, alongside
 // RegisterProtocol.

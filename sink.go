@@ -49,8 +49,12 @@ type resultRecord struct {
 	EnvBoundHi     float64 `json:"env_bound_hi"`
 	WithinEnvelope bool    `json:"within_envelope"`
 
-	TotalMsgs    uint64  `json:"total_msgs"`
-	MsgsPerRound float64 `json:"msgs_per_round"`
+	TotalMsgs      uint64  `json:"total_msgs"`
+	MsgsPerRound   float64 `json:"msgs_per_round"`
+	Delivered      uint64  `json:"delivered"`
+	Dropped        uint64  `json:"dropped"`
+	DroppedOffline uint64  `json:"dropped_offline"`
+	DroppedLink    uint64  `json:"dropped_link"`
 
 	Series []Sample `json:"series,omitempty"`
 }
@@ -72,6 +76,8 @@ func record(r Result) resultRecord {
 		EnvBoundLo: r.EnvBoundLo, EnvBoundHi: r.EnvBoundHi,
 		WithinEnvelope: r.WithinEnvelope,
 		TotalMsgs:      r.TotalMsgs, MsgsPerRound: r.MsgsPerRound,
+		Delivered: r.Delivered, Dropped: r.Dropped,
+		DroppedOffline: r.DroppedOffline, DroppedLink: r.DroppedLink,
 		Series: r.Series,
 	}
 }
@@ -102,6 +108,7 @@ var csvColumns = []string{
 	"min_period_s", "max_period_s", "pmin_bound_s", "pmax_bound_s",
 	"env_lo", "env_hi", "env_bound_lo", "env_bound_hi", "within_envelope",
 	"total_msgs", "msgs_per_round",
+	"delivered", "dropped", "dropped_offline", "dropped_link",
 }
 
 // CSVSink emits one row per result with a fixed header.
@@ -136,6 +143,8 @@ func (s *CSVSink) Write(res Result) error {
 		g(rec.EnvLo), g(rec.EnvHi), g(rec.EnvBoundLo), g(rec.EnvBoundHi),
 		strconv.FormatBool(rec.WithinEnvelope),
 		strconv.FormatUint(rec.TotalMsgs, 10), g(rec.MsgsPerRound),
+		strconv.FormatUint(rec.Delivered, 10), strconv.FormatUint(rec.Dropped, 10),
+		strconv.FormatUint(rec.DroppedOffline, 10), strconv.FormatUint(rec.DroppedLink, 10),
 	})
 }
 
