@@ -50,7 +50,11 @@ func scenarioTables(b *testing.B, id string) []*Table {
 	if !ok {
 		b.Fatalf("scenario %s missing", id)
 	}
-	return s.Run()
+	tables, err := s.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tables
 }
 
 // runSpec executes one harness run per iteration and reports the key
@@ -254,25 +258,44 @@ func BenchmarkNetworkBroadcast(b *testing.B) {
 // benchPulseKind tags the benchmark's round announcements.
 var benchPulseKind = network.NewKind("bench/pulse")
 
-// benchmarkPulseRound measures one full "pulse round" of the message
-// substrate: every node broadcasts one round announcement and the engine
-// drains all deliveries. This is the O(n^2) hot path of every simulated
-// resynchronization round, so allocs/op here bound the large-n cost of
-// the whole simulator. Before PR 2's typed-envelope/pooled-event refactor
-// this cost ~2 allocs per message (a closure and a heap event each);
-// BENCH_PR2.json records the trajectory.
-func benchmarkPulseRound(b *testing.B, n int) {
+// noopProbe is the cheapest possible subscriber: the probed benchmark
+// variant measures pure fan-out overhead, and the allocation assertion
+// proves the emission path itself does not allocate.
+type noopProbe struct{ events uint64 }
+
+func (p *noopProbe) OnEvent(Event) { p.events++ }
+
+// benchPulseNet builds the n-node broadcast fixture with one warm round
+// so the event/delivery pools are at steady-state size.
+func benchPulseNet(n int, probed bool) (*sim.Engine, *network.Net, *noopProbe) {
 	e := sim.New(1)
 	nt := network.New(e, n, network.Uniform{Min: 0.002, Max: 0.01}, nil)
 	for i := 0; i < n; i++ {
 		nt.Register(i, func(node.ID, network.Message) {})
 	}
-	// One untimed round warms the event/delivery pools to their
-	// steady-state size, so the measurement reflects the sustained cost.
+	var p *noopProbe
+	if probed {
+		p = &noopProbe{}
+		e.Probes().Attach(p, MessageEventTypes()...)
+	}
 	for from := 0; from < n; from++ {
 		nt.Broadcast(from, network.Message{Kind: benchPulseKind, Round: 0})
 	}
 	e.RunAll(0)
+	return e, nt, p
+}
+
+// benchmarkPulseRound measures one full "pulse round" of the message
+// substrate: every node broadcasts one round announcement and the engine
+// drains all deliveries. This is the O(n^2) hot path of every simulated
+// resynchronization round, so allocs/op here bound the large-n cost of
+// the whole simulator. Before PR 2's typed-envelope/pooled-event refactor
+// this cost ~2 allocs per message (a closure and a heap event each); the
+// probed variant attaches a no-op probe to every message event type and
+// must stay at 0 allocs/op too (BENCH_PR4.json records probe-off vs
+// probe-on, CI enforces both).
+func benchmarkPulseRound(b *testing.B, n int, probed bool) {
+	e, nt, _ := benchPulseNet(n, probed)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -286,7 +309,30 @@ func benchmarkPulseRound(b *testing.B, n int) {
 
 func BenchmarkPulseRound(b *testing.B) {
 	for _, n := range []int{8, 32, 128, 512} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkPulseRound(b, n) })
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkPulseRound(b, n, false) })
+		b.Run(fmt.Sprintf("n=%d/probed", n), func(b *testing.B) { benchmarkPulseRound(b, n, true) })
+	}
+}
+
+// TestPulseRoundZeroAllocsWithNoopProbe is the tier-1 (non-bench) guard
+// on the probed hot path: a full n=32 pulse round with a no-op probe
+// subscribed to every message event type must not allocate.
+func TestPulseRoundZeroAllocsWithNoopProbe(t *testing.T) {
+	const n = 32
+	e, nt, p := benchPulseNet(n, true)
+	round := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		round++
+		for from := 0; from < n; from++ {
+			nt.Broadcast(from, network.Message{Kind: benchPulseKind, Round: round})
+		}
+		e.RunAll(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("probed pulse round allocates %v per round", allocs)
+	}
+	if p.events == 0 {
+		t.Fatal("probe saw no events")
 	}
 }
 

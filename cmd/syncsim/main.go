@@ -28,6 +28,15 @@
 //	        -seeds 5 -store ./results
 //	syncsim campaign -axis dmax=0.004,0.008,0.012,0.016 \
 //	        -store ./results -search dmax
+//
+// Custom runs can record their full typed event trace (messages, pulses,
+// resyncs, boots, partition markers, skew samples); the trace subcommand
+// replays a recorded trace through the streaming collectors and prints
+// aggregates identical to the live run's (see trace.go):
+//
+//	syncsim -run -n 7 -horizon 30 -trace run.bin
+//	syncsim trace -in run.bin
+//	syncsim trace -in run.bin -json
 package main
 
 import (
@@ -165,6 +174,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "campaign" {
 		return runCampaignCmd(args[1:])
 	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTraceCmd(args[1:])
+	}
 
 	fs := flag.NewFlagSet("syncsim", flag.ContinueOnError)
 	var (
@@ -174,6 +186,7 @@ func run(args []string) error {
 		jsonOut = fs.Bool("json", false, "emit JSON instead of aligned tables")
 		workers = fs.Int("workers", 0, "worker pool size for experiment batches (0 = all cores)")
 		custom  = fs.Bool("run", false, "run a single custom simulation instead of an experiment")
+		trace   = fs.String("trace", "", "record the run's event trace to this file (custom runs; .bin/.trace = compact binary, else JSONL; replay with `syncsim trace -in FILE`)")
 
 		sf = addSpecFlags(fs)
 	)
@@ -197,7 +210,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runCustom(spec, *jsonOut, *csvOut)
+		return runCustom(spec, *jsonOut, *csvOut, *trace)
+	}
+	if *trace != "" {
+		return fmt.Errorf("-trace applies to custom runs (-run)")
 	}
 	if *sf.topology != "" || len(sf.partitions) > 0 {
 		return fmt.Errorf("-topology and -partition apply to custom runs (-run) and campaigns")
@@ -215,7 +231,11 @@ func run(args []string) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	for _, s := range scenarios {
-		for _, t := range s.Run() {
+		tables, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", s.ID, err)
+		}
+		for _, t := range tables {
 			switch {
 			case *jsonOut:
 				if err := enc.Encode(t); err != nil {
@@ -231,18 +251,28 @@ func run(args []string) error {
 	return nil
 }
 
-func runCustom(spec optsync.Spec, jsonOut, csvOut bool) error {
+func runCustom(spec optsync.Spec, jsonOut, csvOut bool, tracePath string) error {
+	var opts []optsync.Option
+	if tracePath != "" {
+		tw, f, err := traceWriterFor(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts = append(opts, optsync.WithTrace(tw))
+	}
+
 	// Machine-readable modes stream through the structured sinks.
 	if jsonOut || csvOut {
 		var sink optsync.Sink = optsync.NewJSONSink(os.Stdout)
 		if csvOut {
 			sink = optsync.NewCSVSink(os.Stdout)
 		}
-		_, err := optsync.Run(context.Background(), spec, optsync.WithSink(sink))
+		_, err := optsync.Run(context.Background(), spec, append(opts, optsync.WithSink(sink))...)
 		return err
 	}
 
-	res, err := optsync.Run(context.Background(), spec)
+	res, err := optsync.Run(context.Background(), spec, opts...)
 	if err != nil {
 		return err
 	}

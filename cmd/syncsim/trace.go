@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"optsync"
+)
+
+// traceCollectors is the aggregate set the trace subcommand replays into
+// — the bounded-memory collectors, in presentation order. Replaying a
+// run's trace through them reproduces the live run's aggregates exactly
+// (both trace formats round-trip float64 bit-for-bit).
+func traceCollectors() []optsync.Collector {
+	return []optsync.Collector{
+		optsync.NewSkewCollector(),
+		optsync.NewSpreadCollector(),
+		optsync.NewMsgCollector(),
+		optsync.NewReintegrationCollector(),
+	}
+}
+
+// replayAggregates replays a trace stream through fresh collectors and
+// returns them with the replayed event count.
+func replayAggregates(r io.Reader) ([]optsync.Collector, int, error) {
+	cols := traceCollectors()
+	probes := make([]optsync.Probe, len(cols))
+	for i, c := range cols {
+		probes[i] = c
+	}
+	n, err := optsync.ReplayTrace(r, probes...)
+	return cols, n, err
+}
+
+// renderAggregates renders collector aggregates as one aligned table —
+// shared by `syncsim trace` and the round-trip tests that compare live
+// and replayed output byte for byte.
+func renderAggregates(cols []optsync.Collector, events int) string {
+	t := optsync.NewTable("trace aggregates", "collector", "stat", "value")
+	for _, c := range cols {
+		for _, s := range c.Aggregate() {
+			t.AddRow(c.Name(), s.Key, optsync.F(s.Value))
+		}
+	}
+	t.AddNote("%d events replayed", events)
+	return t.Render()
+}
+
+// traceJSON is the machine-readable projection of replayed aggregates.
+type traceJSON struct {
+	Events     int                       `json:"events"`
+	Collectors map[string][]optsync.Stat `json:"collectors"`
+}
+
+// runTraceCmd implements `syncsim trace -in FILE [-json]`: replay a
+// trace recorded with `-run ... -trace FILE` back through the built-in
+// collectors and print their aggregates.
+func runTraceCmd(args []string) error {
+	fs := flag.NewFlagSet("syncsim trace", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "trace file to replay (jsonl or binary, auto-detected; - for stdin)")
+		jsonOut = fs.Bool("json", false, "emit JSON instead of an aligned table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("trace: -in FILE is required (record one with: syncsim -run ... -trace FILE)")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	cols, n, err := replayAggregates(r)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		out := traceJSON{Events: n, Collectors: make(map[string][]optsync.Stat, len(cols))}
+		for _, c := range cols {
+			out.Collectors[c.Name()] = c.Aggregate()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		return enc.Encode(out)
+	}
+	fmt.Println(renderAggregates(cols, n))
+	return nil
+}
+
+// traceWriterFor opens path and picks the framing by extension: .bin /
+// .trace for the compact binary format, anything else JSON Lines.
+func traceWriterFor(path string) (*optsync.TraceWriter, *os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	format := optsync.TraceJSONL
+	if strings.HasSuffix(path, ".bin") || strings.HasSuffix(path, ".trace") {
+		format = optsync.TraceBinary
+	}
+	return optsync.NewTraceWriter(f, format), f, nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optsync"
+)
+
+// traceRunArgs is the canonical custom run the trace tests record: small
+// but with a partition window so partition markers appear in the stream.
+func traceRunArgs(path string) []string {
+	return []string{
+		"-run", "-n", "5", "-horizon", "6", "-seed", "3",
+		"-partition", "2:4:2", "-trace", path,
+	}
+}
+
+// TestTraceRoundTripCLI is the end-to-end acceptance check: a run's
+// exported trace, replayed through `syncsim trace`, reproduces the live
+// collectors' aggregates byte-for-byte — in both framings.
+func TestTraceRoundTripCLI(t *testing.T) {
+	for _, name := range []string{"run.jsonl", "run.bin"} {
+		path := filepath.Join(t.TempDir(), name)
+		if _, err := capture(t, func() error { return run(traceRunArgs(path)) }); err != nil {
+			t.Fatal(err)
+		}
+
+		// The live reference: the same spec, collectors attached in-process.
+		sf := addSpecFlagsForTest(t, []string{"-n", "5", "-horizon", "6", "-seed", "3", "-partition", "2:4:2"})
+		spec, err := sf.spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := traceCollectors()
+		opts := make([]optsync.Option, len(live))
+		for i, c := range live {
+			opts[i] = optsync.WithCollector(c)
+		}
+		if _, err := optsync.Run(context.Background(), spec, opts...); err != nil {
+			t.Fatal(err)
+		}
+
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, n, err := replayAggregates(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("no events replayed")
+		}
+		liveOut := renderAggregates(live, n)
+		replayOut := renderAggregates(replayed, n)
+		if liveOut != replayOut {
+			t.Fatalf("%s: replayed aggregates diverge from live run\nlive:\n%s\nreplay:\n%s",
+				name, liveOut, replayOut)
+		}
+	}
+}
+
+// addSpecFlagsForTest parses spec flags the way run() does.
+func addSpecFlagsForTest(t *testing.T, args []string) *specFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	sf := addSpecFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return sf
+}
+
+func TestTraceSubcommandTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.bin")
+	if _, err := capture(t, func() error { return run(traceRunArgs(path)) }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"trace", "-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace aggregates", "skew", "p95_s", "messages", "sent", "events replayed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceSubcommandJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := capture(t, func() error { return run(traceRunArgs(path)) }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"trace", "-in", path, "-json"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Events     int                       `json:"events"`
+		Collectors map[string][]optsync.Stat `json:"collectors"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("trace -json output not JSON: %v\n%s", err, out)
+	}
+	if rep.Events == 0 || len(rep.Collectors) != 4 {
+		t.Fatalf("trace -json = %+v", rep)
+	}
+	if _, ok := rep.Collectors["skew"]; !ok {
+		t.Fatalf("skew collector missing: %v", rep.Collectors)
+	}
+}
+
+func TestTraceSubcommandErrors(t *testing.T) {
+	if err := run([]string{"trace"}); err == nil || !strings.Contains(err.Error(), "-in") {
+		t.Fatalf("missing -in not reported: %v", err)
+	}
+	if err := run([]string{"trace", "-in", "/no/such/file"}); err == nil {
+		t.Fatal("missing file not reported")
+	}
+	if err := run([]string{"-trace", "x.jsonl", "-exp", "T6"}); err == nil ||
+		!strings.Contains(err.Error(), "-trace") {
+		t.Fatalf("-trace outside -run not rejected: %v", err)
+	}
+}

@@ -41,6 +41,12 @@ type Group struct {
 	Pulses       analysis.Summary `json:"pulses"`
 	Rounds       analysis.Summary `json:"rounds"`
 	MsgsPerRound analysis.Summary `json:"msgs_per_round"`
+	// RunSkewP95 summarizes each run's *within-run* streaming 95th
+	// percentile skew (Result.SkewP95, the bounded-memory collector
+	// estimate), where Skew summarizes the runs' maxima — together they
+	// separate steady-state behaviour from worst transients without
+	// retaining any series.
+	RunSkewP95 analysis.Summary `json:"run_skew_p95"`
 	// Drops summarizes total losses per run: policy drops + offline
 	// deliveries + suppressed links.
 	Drops analysis.Summary `json:"drops"`
@@ -181,6 +187,7 @@ func aggregate(cells []Cell, results []harness.Result) []Group {
 		idx := byKey[key]
 		var (
 			skews  = make([]float64, 0, len(idx))
+			p95s   = make([]float64, 0, len(idx))
 			pulses = make([]float64, 0, len(idx))
 			rounds = make([]float64, 0, len(idx))
 			msgs   = make([]float64, 0, len(idx))
@@ -190,6 +197,7 @@ func aggregate(cells []Cell, results []harness.Result) []Group {
 		for _, i := range idx {
 			r := results[i]
 			skews = append(skews, r.MaxSkew)
+			p95s = append(p95s, r.SkewP95)
 			pulses = append(pulses, float64(r.PulseCount))
 			rounds = append(rounds, float64(r.CompleteRounds))
 			msgs = append(msgs, r.MsgsPerRound)
@@ -208,6 +216,7 @@ func aggregate(cells []Cell, results []harness.Result) []Group {
 			Rounds:       analysis.Summarize(rounds),
 			MsgsPerRound: analysis.Summarize(msgs),
 			Drops:        analysis.Summarize(drops),
+			RunSkewP95:   analysis.Summarize(p95s),
 		})
 	}
 	return groups
@@ -228,12 +237,14 @@ func (r *Report) Table() *harness.Table {
 	t := harness.NewTable(title,
 		"group", "cells", "pass_rate",
 		"skew_mean", "skew_std", "skew_p95", "skew_max", "skew_bound",
+		"run_p95_mean",
 		"pulses_mean", "rounds_mean", "msgs_per_round", "drops_mean")
 	for _, g := range r.Groups {
 		t.AddRow(
 			g.Key, fmt.Sprint(g.Cells), harness.F(g.PassRate),
 			harness.F(g.Skew.Mean), harness.F(g.Skew.Std),
 			harness.F(g.Skew.P95), harness.F(g.Skew.Max), harness.F(g.SkewBound),
+			harness.F(g.RunSkewP95.Mean),
 			harness.F(g.Pulses.Mean), harness.F(g.Rounds.Mean),
 			harness.F(g.MsgsPerRound.Mean), harness.F(g.Drops.Mean),
 		)

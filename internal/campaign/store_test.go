@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,16 @@ import (
 	"optsync/internal/core/bounds"
 	"optsync/internal/harness"
 )
+
+// mustRun executes a known-good spec for store fixtures.
+func mustRun(t *testing.T, spec harness.Spec) harness.Result {
+	t.Helper()
+	res, err := harness.RunContext(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func testSpec(seed int64) harness.Spec {
 	p := bounds.Params{
@@ -41,7 +52,7 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatalf("Get on empty store = ok=%v err=%v", ok, err)
 	}
 
-	res := harness.Run(spec)
+	res := mustRun(t, spec)
 	if err := store.Put(key, res); err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +89,7 @@ func TestStoreDoesNotPersistSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := harness.Run(spec)
+	res := mustRun(t, spec)
 	if len(res.Series) == 0 {
 		t.Fatal("run kept no series")
 	}

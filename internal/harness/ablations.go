@@ -16,7 +16,7 @@ import (
 // A1RelayAblation measures the relay-on-accept step: under selective
 // signing, disabling the relay forces non-targets to assemble full correct
 // quorums, blowing up spread and skew.
-func A1RelayAblation() []*Table {
+func A1RelayAblation() ([]*Table, error) {
 	t := NewTable("A1 (ablation): the relay step under selective signing",
 		"relay", "max_spread_s", "beta_s", "max_skew_s", "Dmax_s")
 	p := defaultParams(5, bounds.Auth)
@@ -30,7 +30,11 @@ func A1RelayAblation() []*Table {
 			Seed:         71,
 		})
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		mode := "on"
 		if res.Spec.DisableRelay {
 			mode = "OFF"
@@ -38,13 +42,13 @@ func A1RelayAblation() []*Table {
 		t.AddRow(mode, F(res.MaxSpread), F(res.SpreadBound), F(res.MaxSkew), F(res.SkewBound))
 	}
 	t.AddNote("without the relay, acceptance waits for the slowest correct signer: the spread bound is void")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // A2AlphaAblation sweeps the adjustment constant alpha: larger alpha means
 // larger forward jumps (higher worst-case rate P/(P-alpha)), smaller alpha
 // means backward jumps; the paper's choice (1+rho)*dmax centers the jump.
-func A2AlphaAblation() []*Table {
+func A2AlphaAblation() ([]*Table, error) {
 	t := NewTable("A2 (ablation): adjustment constant alpha",
 		"alpha_s", "rate_hi", "rate_bound_hi", "max_skew_s", "backward_jumps")
 	base := defaultParams(5, bounds.Auth)
@@ -60,26 +64,35 @@ func A2AlphaAblation() []*Table {
 			Seed:    72,
 		})
 	}
-	for _, res := range runAll(specs) {
-		back := countBackwardJumps(res.Spec.Params, 72)
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		back, err := countBackwardJumps(res.Spec.Params, 72)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(F(res.Spec.Params.Alpha), F(res.EnvHi), F(res.EnvBoundHi),
 			F(res.MaxSkew), fmt.Sprint(back))
 	}
 	t.AddNote("alpha ~ (1+rho)*dmax (the paper's choice) balances forward rate error against backward jumps")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // countBackwardJumps reruns the spec and counts negative adjustment deltas
 // across correct nodes.
-func countBackwardJumps(p bounds.Params, seed int64) int {
+func countBackwardJumps(p bounds.Params, seed int64) (int, error) {
 	spec := Spec{
 		Algo: AlgoAuth, Params: p,
 		FaultyCount: p.F, Attack: AttackSilent,
 		Horizon: 60 * p.Period, Seed: seed,
 	}
 	spec = spec.withDefaults()
-	cluster := mustCluster(spec)
-	cluster.Start()
+	cluster, err := startedCluster(spec)
+	if err != nil {
+		return 0, err
+	}
 	cluster.Run(spec.Horizon)
 	count := 0
 	for _, id := range correctIDs(p.N, spec.FaultyCount) {
@@ -89,13 +102,13 @@ func countBackwardJumps(p bounds.Params, seed int64) int {
 			}
 		}
 	}
-	return count
+	return count, nil
 }
 
 // A3SlewAblation compares jump adjustment with amortized (slewed)
 // adjustment: slewing keeps every logical clock strictly monotone at the
 // cost of a slightly larger transient skew.
-func A3SlewAblation() []*Table {
+func A3SlewAblation() ([]*Table, error) {
 	t := NewTable("A3 (extension): amortized adjustment (monotone clocks)",
 		"mode", "max_skew_s", "Dmax_s", "backward_clock_steps", "rounds")
 	p := defaultParams(5, bounds.Auth)
@@ -107,8 +120,10 @@ func A3SlewAblation() []*Table {
 			Seed: 73,
 		}
 		run := spec.withDefaults()
-		cluster := mustCluster(run)
-		cluster.Start()
+		cluster, err := startedCluster(run)
+		if err != nil {
+			return nil, err
+		}
 		correct := correctIDs(p.N, run.FaultyCount)
 		maxSkew := 0.0
 		for tt := 0.01; tt <= run.Horizon; tt += 0.01 {
@@ -147,14 +162,14 @@ func A3SlewAblation() []*Table {
 	}
 	t.AddNote("jump mode can step a clock backward at resynchronization; slewing (the paper's")
 	t.AddNote("amortization remark) is strictly monotone with a modest skew premium")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // T8Scale pushes both algorithms to large clusters (n up to 101, f at the
 // optimum) and confirms the bounds hold and the simulator remains
 // practical — a smoke test that the library is usable at deployment
 // sizes, not just textbook examples.
-func T8Scale() []*Table {
+func T8Scale() ([]*Table, error) {
 	t := NewTable("T8: large-cluster scale-out at optimal resilience",
 		"algo", "n", "f", "max_skew_s", "Dmax_bound_s", "within", "msgs_per_round", "pulses")
 	var specs []Spec
@@ -179,21 +194,25 @@ func T8Scale() []*Table {
 			})
 		}
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		t.AddRow(string(res.Spec.Algo), fmt.Sprint(res.Spec.Params.N),
 			fmt.Sprint(res.Spec.Params.F),
 			F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew),
 			F(res.MsgsPerRound), fmt.Sprint(res.PulseCount))
 	}
 	t.AddNote("bounds are independent of n; measured skew shrinks with n (order-statistic concentration)")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // F7ColdStart measures the initialization extension: processes boot with
 // clocks up to 100 periods wrong and no initial synchrony, establish a
 // common epoch via the awake quorum, and converge to the steady-state
 // bound.
-func F7ColdStart() []*Table {
+func F7ColdStart() ([]*Table, error) {
 	t := NewTable("F7 (extension): cold-start initialization (auth, n=5)",
 		"clock_error_max_s", "synchronized", "skew_after_5P_s", "Dmax_s", "within")
 	p := defaultParams(5, bounds.Auth)
@@ -206,8 +225,10 @@ func F7ColdStart() []*Table {
 			Seed:      seed,
 		}
 		run := spec.withDefaults()
-		cluster := mustCluster(run)
-		cluster.Start()
+		cluster, err := startedCluster(run)
+		if err != nil {
+			return nil, err
+		}
 		cluster.Run(run.Horizon)
 		correct := correctIDs(p.N, run.FaultyCount)
 		synced := 0
@@ -221,5 +242,5 @@ func F7ColdStart() []*Table {
 			F(skew), F(p.Dmax()), FmtBool(skew <= p.Dmax()))
 	}
 	t.AddNote("boot clocks are arbitrary; the f+1 awake quorum establishes a common epoch within one delay")
-	return []*Table{t}
+	return []*Table{t}, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"optsync/internal/probe"
 )
 
 // defaultWorkers is the worker count used when a batch is started with
@@ -36,6 +38,18 @@ func Workers() int {
 // the dispatch of further runs and is returned alongside the partial
 // results (unfinished entries are zero).
 func RunBatch(ctx context.Context, specs []Spec, workers int, onResult func(index int, res Result)) ([]Result, error) {
+	return RunBatchObserved(ctx, specs, workers, onResult, nil)
+}
+
+// BatchObserve attaches probes for one run of a batch: index is the
+// run's position in the expanded spec slice. It is invoked on the worker
+// goroutine executing that run, concurrently with other runs' attaches —
+// a probe shared across runs must be wrapped with probe.Synchronized
+// (the public API does this for WithProbe in batches).
+type BatchObserve func(index int, spec Spec, bus *probe.Bus)
+
+// RunBatchObserved is RunBatch with per-run observation attached.
+func RunBatchObserved(ctx context.Context, specs []Spec, workers int, onResult func(index int, res Result), attach BatchObserve) ([]Result, error) {
 	results := make([]Result, len(specs))
 	if len(specs) == 0 {
 		return results, ctx.Err()
@@ -81,7 +95,12 @@ func RunBatch(ctx context.Context, specs []Spec, workers int, onResult func(inde
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res, err := RunContext(ctx, specs[i])
+				var observe Observe
+				if attach != nil {
+					i := i
+					observe = func(spec Spec, bus *probe.Bus) { attach(i, spec, bus) }
+				}
+				res, err := RunObserved(ctx, specs[i], observe)
 				if err != nil {
 					fail(err)
 					return
@@ -104,12 +123,8 @@ func RunBatch(ctx context.Context, specs []Spec, workers int, onResult func(inde
 }
 
 // runAll is the scenario generators' batch entry point: it fans the specs
-// out over the default worker pool and panics on the malformed-spec
-// errors that, for the built-in tables, cannot happen.
-func runAll(specs []Spec) []Result {
-	results, err := RunBatch(context.Background(), specs, 0, nil)
-	if err != nil {
-		panic(err.Error())
-	}
-	return results
+// out over the default worker pool. Malformed specs surface as errors
+// through Scenario.Run rather than crashing the process.
+func runAll(specs []Spec) ([]Result, error) {
+	return RunBatch(context.Background(), specs, 0, nil)
 }

@@ -21,6 +21,7 @@ import (
 	"optsync/internal/metrics"
 	"optsync/internal/network"
 	"optsync/internal/node"
+	"optsync/internal/probe"
 )
 
 // Algorithm selects the protocol under test.
@@ -191,6 +192,11 @@ type Result struct {
 	SkewBound   float64
 	WithinSkew  bool
 	SkewSamples int
+	// SkewP50/P95/P99 are streaming (P-squared) percentile estimates of
+	// the sampled skew, computed by the built-in probe collector in O(1)
+	// memory — the per-cell distribution campaigns previously needed
+	// KeepSeries for.
+	SkewP50, SkewP95, SkewP99 float64
 
 	// Acceptance spread (core algorithms; 0 rounds for baselines means
 	// spread is measured over baseline pulses instead).
@@ -228,20 +234,17 @@ type Result struct {
 	Pulses []node.PulseRecord
 }
 
-// Run executes the spec and returns measurements. It panics on a
-// malformed spec (unknown algorithm or attack, attack/algorithm
-// mismatch); library callers wanting errors instead use RunContext.
-func Run(spec Spec) Result {
-	res, err := RunContext(context.Background(), spec)
-	if err != nil {
-		panic(err.Error())
-	}
-	return res
-}
-
 // runChunks splits a run's horizon into this many context-check slices so
 // long simulations notice cancellation without measurable overhead.
 const runChunks = 8
+
+// Observe attaches probes for one run about to execute. It is invoked
+// after the cluster is built and before the engine runs, with the
+// defaulted spec and the run's bus; everything it attaches sees the full
+// event stream. Probes observe — they must not schedule events or draw
+// randomness, and the engine gives them no handle to do either, so a
+// probed run is byte-identical to an unprobed one.
+type Observe func(spec Spec, bus *probe.Bus)
 
 // RunContext executes the spec and returns measurements. The protocol and
 // the faulty-node behaviour are resolved through the registry, so any
@@ -249,6 +252,14 @@ const runChunks = 8
 // Cancelling ctx aborts the simulation between event-processing chunks
 // and returns ctx.Err(). Results are deterministic in the spec alone.
 func RunContext(ctx context.Context, spec Spec) (Result, error) {
+	return RunObserved(ctx, spec, nil)
+}
+
+// RunObserved is RunContext with observation attached: the run's typed
+// event stream (messages, pulses, resyncs, boots, partition markers, skew
+// samples) is fanned out to whatever attach subscribes, alongside the
+// built-in collectors that produce the Result's skew statistics.
+func RunObserved(ctx context.Context, spec Spec, attach Observe) (Result, error) {
 	spec = spec.withDefaults()
 	p := spec.Params
 
@@ -259,6 +270,23 @@ func RunContext(ctx context.Context, spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+
+	// The observation pipeline: the sampler drives skew-sample events;
+	// bounded-memory collectors fold them into the Result; the full
+	// series is retained only on request, by a collector like any other.
+	bus := cluster.Engine.Probes()
+	skewStats := probe.NewSkewStats()
+	bus.AttachCollector(skewStats)
+	var series *probe.Series
+	if spec.KeepSeries {
+		series = probe.NewSeries()
+		bus.AttachCollector(series)
+	}
+	if attach != nil {
+		attach(spec, bus)
+	}
+	schedulePartitionMarkers(cluster, spec.Partitions)
+
 	cluster.Start()
 
 	correct := correctIDs(p.N, spec.FaultyCount)
@@ -274,6 +302,7 @@ func RunContext(ctx context.Context, spec Spec) (Result, error) {
 	} else {
 		sampler = metrics.NewSkewSampler(cluster, correct, spec.SampleEvery)
 	}
+	sampler.DiscardSeries() // collectors own retention now
 	for i := 1; i <= runChunks; i++ {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
@@ -289,9 +318,12 @@ func RunContext(ctx context.Context, spec Spec) (Result, error) {
 	rep := metrics.NewPulseReport(cluster.Pulses, correct)
 	res := Result{
 		Spec:        spec,
-		MaxSkew:     sampler.Max(),
+		MaxSkew:     skewStats.Max(),
 		SkewBound:   p.DmaxWithStart(),
-		SkewSamples: len(sampler.Series),
+		SkewSamples: skewStats.Count(),
+		SkewP50:     skewStats.P50(),
+		SkewP95:     skewStats.P95(),
+		SkewP99:     skewStats.P99(),
 		SpreadBound: p.Beta(),
 		MaxSpread:   rep.MaxSpread(len(correct)),
 		PulseCount:  len(cluster.Pulses),
@@ -333,10 +365,43 @@ func RunContext(ctx context.Context, spec Spec) (Result, error) {
 		res.MsgsPerRound = float64(stats.Sent) / float64(res.CompleteRounds)
 	}
 	if spec.KeepSeries {
-		res.Series = sampler.Series
+		res.Series = series.Samples
 		res.Pulses = cluster.Pulses
 	}
 	return res, nil
+}
+
+// schedulePartitionMarkers places inert marker events at every scheduled
+// cut and heal instant so traces and probes see partition churn as part
+// of the event stream. The markers draw no randomness and touch no
+// simulation state, so scheduling them never perturbs results.
+func schedulePartitionMarkers(cluster *node.Cluster, windows []Partition) {
+	bus := cluster.Engine.Probes()
+	for _, w := range windows {
+		w := w
+		at := w.At
+		if at < 0 {
+			at = 0
+		}
+		cluster.Engine.MustAt(at, func() {
+			if bus.Active(probe.TypePartitionCut) {
+				bus.Emit(probe.Event{
+					Type: probe.TypePartitionCut, From: -1, To: int32(w.LeftSize),
+					T: cluster.Engine.Now(),
+				})
+			}
+		})
+		if w.Heal > at {
+			cluster.Engine.MustAt(w.Heal, func() {
+				if bus.Active(probe.TypePartitionHeal) {
+					bus.Emit(probe.Event{
+						Type: probe.TypePartitionHeal, From: -1, To: int32(w.LeftSize),
+						T: cluster.Engine.Now(),
+					})
+				}
+			})
+		}
+	}
 }
 
 // envelopeBounds returns the admissible long-run clock rate interval for
@@ -453,12 +518,15 @@ func buildCluster(spec Spec) (*node.Cluster, error) {
 	}), nil
 }
 
-// mustCluster is buildCluster for internal callers with known-good specs
-// (scenario generators that introspect cluster state directly).
-func mustCluster(spec Spec) *node.Cluster {
+// startedCluster builds the cluster for an already-defaulted spec and
+// boots it — the entry point for scenario generators that introspect
+// cluster state directly instead of going through RunContext. Malformed
+// specs surface as errors, never panics.
+func startedCluster(spec Spec) (*node.Cluster, error) {
 	cluster, err := buildCluster(spec)
 	if err != nil {
-		panic(err.Error())
+		return nil, err
 	}
-	return cluster
+	cluster.Start()
+	return cluster, nil
 }

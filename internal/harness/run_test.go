@@ -1,0 +1,15 @@
+package harness
+
+import "context"
+
+// Run is a test-only convenience keeping the pre-PR-4 panic-on-error
+// signature for the many tests that drive known-good specs. The library
+// surface has no panicking entry point anymore: production callers go
+// through RunContext / RunObserved and handle the error.
+func Run(spec Spec) Result {
+	res, err := RunContext(context.Background(), spec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -13,11 +14,13 @@ import (
 	"optsync/internal/node"
 )
 
-// Scenario is a registered experiment.
+// Scenario is a registered experiment. Run executes it and returns its
+// tables; malformed specs and cancelled batches surface as errors (the
+// scenario suite never panics on bad input).
 type Scenario struct {
 	ID    string
 	Title string
-	Run   func() []*Table
+	Run   func() ([]*Table, error)
 }
 
 // Scenarios returns the full experiment suite in presentation order, one
@@ -73,7 +76,7 @@ func defaultParams(n int, variant bounds.Variant) bounds.Params {
 // T1AuthAgreement sweeps n, rho, and dmax at maximum tolerated silent
 // faults and checks measured skew and acceptance spread against Dmax and
 // beta. The 54-cell grid is a single parallel batch.
-func T1AuthAgreement() []*Table {
+func T1AuthAgreement() ([]*Table, error) {
 	t := NewTable("T1: agreement, authenticated, f = ceil(n/2)-1 silent",
 		"n", "f", "rho", "dmax_s", "max_skew_s", "Dmax_bound_s", "skew", "max_spread_s", "beta_s", "spread")
 	var specs []Spec
@@ -95,7 +98,11 @@ func T1AuthAgreement() []*Table {
 			}
 		}
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		p := res.Spec.Params
 		t.AddRow(
 			fmt.Sprint(p.N), fmt.Sprint(p.F), F(float64(p.Rho)), F(p.DMax),
@@ -105,11 +112,11 @@ func T1AuthAgreement() []*Table {
 		)
 	}
 	t.AddNote("paper claim: skew <= Dmax = (1+rho)*beta + alpha + drift*(resync window) at optimal resilience")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // T2PrimAgreement is T1 for the non-authenticated algorithm.
-func T2PrimAgreement() []*Table {
+func T2PrimAgreement() ([]*Table, error) {
 	t := NewTable("T2: agreement, primitive-based, f = floor((n-1)/3) silent",
 		"n", "f", "rho", "dmax_s", "max_skew_s", "Dmax_bound_s", "skew", "max_spread_s", "beta_s", "spread")
 	var specs []Spec
@@ -126,7 +133,11 @@ func T2PrimAgreement() []*Table {
 			})
 		}
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		p := res.Spec.Params
 		t.AddRow(
 			fmt.Sprint(p.N), fmt.Sprint(p.F), F(float64(p.Rho)), F(p.DMax),
@@ -136,13 +147,13 @@ func T2PrimAgreement() []*Table {
 		)
 	}
 	t.AddNote("primitive acceptance spreads over two hops: beta = 2*dmax")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // T3Accuracy compares long-run logical clock rates: the ST algorithms keep
 // the hardware envelope even with maximal silent faults, while CNV under a
 // within-threshold bias attack escapes it (its accuracy is not optimal).
-func T3Accuracy() []*Table {
+func T3Accuracy() ([]*Table, error) {
 	t := NewTable("T3: accuracy — long-run clock rate vs hardware envelope",
 		"algo", "attack", "env_lo", "env_hi", "bound_lo", "bound_hi", "within")
 	type caseSpec struct {
@@ -177,7 +188,11 @@ func T3Accuracy() []*Table {
 		}
 		specs = append(specs, spec)
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		t.AddRow(string(res.Spec.Algo), string(res.Spec.Attack),
 			F(res.EnvLo), F(res.EnvHi), F(res.EnvBoundLo), F(res.EnvBoundHi),
 			FmtBool(res.WithinEnvelope))
@@ -185,14 +200,14 @@ func T3Accuracy() []*Table {
 	t.AddNote("paper claim: ST accuracy is optimal — rates stay within the provable envelope even under attack;")
 	t.AddNote("CNV's egocentric mean is dragged ~f*Bias/n per round (rate error Theta(f*Delta/(n*P)));")
 	t.AddNote("FTM leaks only the correct-spread scale per round (~7x less here) but still escapes — neither baseline is accuracy-optimal")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // T4AuthResilience runs the rush attack at the resilience boundary: with
 // f_actual = ceil(n/2)-1 the coalition cannot forge a quorum and the run
 // stays within bounds; with one more faulty node it fires rounds at its
 // own pace, destroying the period and accuracy guarantees.
-func T4AuthResilience() []*Table {
+func T4AuthResilience() ([]*Table, error) {
 	t := NewTable("T4: authenticated resilience boundary under rush attack",
 		"n", "f_cfg", "f_actual", "min_period_s", "Pmin_bound_s", "period", "env_hi", "env_bound_hi", "accuracy")
 	var specs []Spec
@@ -209,7 +224,11 @@ func T4AuthResilience() []*Table {
 			})
 		}
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		periodOK := res.MinPeriod >= res.PminBound-1e-9
 		if res.CompleteRounds == 0 {
 			periodOK = false
@@ -222,11 +241,11 @@ func T4AuthResilience() []*Table {
 	}
 	t.AddNote("beyond f = ceil(n/2)-1 the coalition alone forges f_cfg+1-signature quorums:")
 	t.AddNote("rounds fire at the adversary's pace — periods collapse below Pmin and the clock rate leaves the envelope")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // T5PrimResilience is T4 for the primitive-based algorithm.
-func T5PrimResilience() []*Table {
+func T5PrimResilience() ([]*Table, error) {
 	t := NewTable("T5: primitive resilience boundary under rush attack",
 		"n", "f_cfg", "f_actual", "min_period_s", "Pmin_bound_s", "period", "env_hi", "env_bound_hi", "accuracy")
 	var specs []Spec
@@ -243,7 +262,11 @@ func T5PrimResilience() []*Table {
 			})
 		}
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		periodOK := res.MinPeriod >= res.PminBound-1e-9 && res.CompleteRounds > 0
 		t.AddRow(fmt.Sprint(res.Spec.Params.N), fmt.Sprint(res.Spec.Params.F),
 			fmt.Sprint(res.Spec.FaultyCount),
@@ -253,11 +276,11 @@ func T5PrimResilience() []*Table {
 	}
 	t.AddNote("f_cfg+1 colluding readies trigger the join rule at every correct process,")
 	t.AddNote("completing the 2f+1 quorum with no correct clock due")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // T7Messages measures per-round traffic against the O(n^2) bound.
-func T7Messages() []*Table {
+func T7Messages() ([]*Table, error) {
 	t := NewTable("T7: message complexity per resynchronization round",
 		"algo", "n", "msgs_per_round", "bound", "ratio_to_n2")
 	var specs []Spec
@@ -275,41 +298,48 @@ func T7Messages() []*Table {
 			})
 		}
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		p := res.Spec.Params
 		t.AddRow(string(res.Spec.Algo), fmt.Sprint(p.N),
 			F(res.MsgsPerRound), fmt.Sprint(p.MessagesPerRound()),
 			F(res.MsgsPerRound/float64(p.N*p.N)))
 	}
 	t.AddNote("each correct process broadcasts once per round (+1 relay broadcast for auth): Theta(n^2) messages")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // F1Trace produces the classic sawtooth: skew grows at the drift rate
 // between rounds and collapses at each resynchronization.
-func F1Trace() []*Table {
+func F1Trace() ([]*Table, error) {
 	p := defaultParams(5, bounds.Auth)
 	p.Rho = clock.Rho(1e-3) // exaggerate drift so the sawtooth is visible
 	p = bounds.Params{
 		N: p.N, F: p.F, Variant: p.Variant, Rho: p.Rho,
 		DMin: p.DMin, DMax: p.DMax, Period: p.Period, InitialSkew: p.InitialSkew,
 	}.WithDefaults()
-	res := Run(Spec{
+	res, err := RunContext(context.Background(), Spec{
 		Algo: AlgoAuth, Params: p,
 		FaultyCount: p.F, Attack: AttackSilent,
 		Horizon: 10 * p.Period, SampleEvery: p.Period / 10,
 		KeepSeries: true, Seed: 404,
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := NewTable("F1: skew vs time (sawtooth)", "t_s", "skew_s")
 	for _, s := range res.Series {
 		t.AddRow(F(s.T), F(s.Skew))
 	}
 	t.AddNote("skew ramps at ~2*rho between rounds and drops at each resynchronization (P = %s s)", F(p.Period))
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // F2SkewVsFaults sweeps the number of silent faults at n=13.
-func F2SkewVsFaults() []*Table {
+func F2SkewVsFaults() ([]*Table, error) {
 	t := NewTable("F2: skew vs faults (n=13, authenticated)",
 		"f", "max_skew_s", "Dmax_bound_s", "within")
 	var specs []Spec
@@ -322,19 +352,23 @@ func F2SkewVsFaults() []*Table {
 			Seed: int64(f) + 500,
 		})
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		t.AddRow(fmt.Sprint(res.Spec.Params.F),
 			F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew))
 	}
 	t.AddNote("skew stays within the bound for every f up to ceil(n/2)-1 = 6")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // F3SkewVsDelay sweeps dmax with the uncertainty u = dmax - dmin held
 // fixed: ST skew grows linearly with d (Theta(d)), FTM's with u + rho*d —
 // the separation later formalized by Lundelius-Welch/Lynch and sharpened in
 // the signature setting by Lenzen-Loss (2022).
-func F3SkewVsDelay() []*Table {
+func F3SkewVsDelay() ([]*Table, error) {
 	const u = 0.002
 	t := NewTable("F3: skew vs max delay d (uncertainty u = 2 ms fixed)",
 		"dmax_s", "u_s", "st_auth_skew_s", "st_bound_s", "ftm_skew_s")
@@ -363,18 +397,21 @@ func F3SkewVsDelay() []*Table {
 			Seed: int64(dmax*1e5) + 1,
 		})
 	}
-	results := runAll(specs)
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < len(results); i += 2 {
 		st, ftm := results[i], results[i+1]
 		t.AddRow(F(st.Spec.Params.DMax), F(u), F(st.MaxSkew), F(st.SkewBound), F(ftm.MaxSkew))
 	}
 	t.AddNote("ST pays Theta(d): faulty signers serving only half the nodes force the rest onto the relay path (one full delay);")
 	t.AddNote("FTM's midpoint pays Theta(u + rho*P): reading error only, so its skew barely moves with d")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // F5Envelope reports per-node envelope fits for a long authenticated run.
-func F5Envelope() []*Table {
+func F5Envelope() ([]*Table, error) {
 	p := defaultParams(7, bounds.Auth)
 	spec := Spec{
 		Algo: AlgoAuth, Params: p,
@@ -383,8 +420,10 @@ func F5Envelope() []*Table {
 		Seed:    606,
 	}
 	spec = spec.withDefaults()
-	cluster := mustCluster(spec)
-	cluster.Start()
+	cluster, err := startedCluster(spec)
+	if err != nil {
+		return nil, err
+	}
 	cluster.Run(spec.Horizon)
 	correct := correctIDs(p.N, spec.FaultyCount)
 
@@ -412,13 +451,13 @@ func F5Envelope() []*Table {
 		t.AddRow(fmt.Sprint(id), F(fit.Slope), F(fit.R2), fmt.Sprint(fit.N))
 	}
 	t.AddNote("hardware envelope with slack: [" + F(lo) + ", " + F(hi) + "]; all rates must fall inside")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // F6SkewVsPeriod sweeps the resynchronization period: skew grows linearly
 // in P with slope ~ relative drift (2*rho), the paper's trade-off between
 // message rate and precision.
-func F6SkewVsPeriod() []*Table {
+func F6SkewVsPeriod() ([]*Table, error) {
 	t := NewTable("F6: skew vs resynchronization period P (authenticated, n=7)",
 		"P_s", "max_skew_s", "Dmax_bound_s", "within")
 	var specs []Spec
@@ -433,12 +472,16 @@ func F6SkewVsPeriod() []*Table {
 			Seed:    int64(period * 100),
 		})
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		t.AddRow(F(res.Spec.Params.Period),
 			F(res.MaxSkew), F(res.SkewBound), FmtBool(res.WithinSkew))
 	}
 	t.AddNote("the drift term 2*rho*(1+rho)*P dominates for large P: skew is linear in P")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // castHost adapts the general broadcast primitive to the harness for T6.
@@ -491,7 +534,7 @@ func (f *forgeHost) Deliver(node.Env, node.ID, node.Message) {}
 // T6Primitive exercises the general (designated-dealer) broadcast
 // primitive under forgery attack across cluster sizes and reports property
 // violations (which must all be zero).
-func T6Primitive() []*Table {
+func T6Primitive() ([]*Table, error) {
 	t := NewTable("T6: broadcast primitive properties under forgery attack",
 		"n", "f", "broadcasts", "accept_violations", "forged_accepts", "max_spread_s", "relay_bound_s")
 	const dmax = 0.01
@@ -550,13 +593,13 @@ func T6Primitive() []*Table {
 	t.AddNote("correctness: every correct process accepts every dealer broadcast (accept_violations = 0);")
 	t.AddNote("unforgeability: no correct process accepts the forged tag (forged_accepts = 0);")
 	t.AddNote("relay: acceptance spread <= 2*dmax")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // F4Reintegration boots one node late into a running authenticated cluster
 // and measures how long it takes to synchronize (the paper's integration
 // property: within one period).
-func F4Reintegration() []*Table {
+func F4Reintegration() ([]*Table, error) {
 	t := NewTable("F4: reintegration of a late joiner (authenticated, n=5)",
 		"join_at_s", "first_pulse_s", "sync_latency_s", "one_period_bound_s", "within", "skew_after_s", "Dmax_s")
 	p := defaultParams(5, bounds.Auth)
@@ -575,7 +618,11 @@ func F4Reintegration() []*Table {
 			KeepSeries:  true,
 		})
 	}
-	for i, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		joinAt := joins[i]
 		var firstPulse float64 = -1
 		for _, rec := range res.Pulses {
@@ -595,5 +642,5 @@ func F4Reintegration() []*Table {
 			F(skewAfter), F(p.DmaxWithStart()))
 	}
 	t.AddNote("a joiner accepts the first round whose evidence it observes: synchronized within one period")
-	return []*Table{t}
+	return []*Table{t}, nil
 }

@@ -22,7 +22,7 @@ func TestT1AllRowsPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep")
 	}
-	tb := T1AuthAgreement()[0]
+	tb := firstTable(t, T1AuthAgreement)
 	skew := colIndex(t, tb, "skew")
 	spread := colIndex(t, tb, "spread")
 	if len(tb.Rows) != 6*3*3 {
@@ -39,7 +39,7 @@ func TestT2AllRowsPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep")
 	}
-	tb := T2PrimAgreement()[0]
+	tb := firstTable(t, T2PrimAgreement)
 	skew := colIndex(t, tb, "skew")
 	for _, row := range tb.Rows {
 		if row[skew] != "ok" {
@@ -52,7 +52,7 @@ func TestT3AccuracySeparation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long horizons")
 	}
-	tb := T3Accuracy()[0]
+	tb := firstTable(t, T3Accuracy)
 	within := colIndex(t, tb, "within")
 	algo := colIndex(t, tb, "algo")
 	attack := colIndex(t, tb, "attack")
@@ -92,14 +92,14 @@ func TestT4BoundaryShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	checkBoundary(t, T4AuthResilience()[0])
+	checkBoundary(t, firstTable(t, T4AuthResilience))
 }
 
 func TestT5BoundaryShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	checkBoundary(t, T5PrimResilience()[0])
+	checkBoundary(t, firstTable(t, T5PrimResilience))
 }
 
 // checkBoundary asserts the resilience-boundary shape: within resilience
@@ -122,7 +122,7 @@ func checkBoundary(t *testing.T, tb *Table) {
 }
 
 func TestT6ZeroViolations(t *testing.T) {
-	tb := T6Primitive()[0]
+	tb := firstTable(t, T6Primitive)
 	miss := colIndex(t, tb, "accept_violations")
 	forged := colIndex(t, tb, "forged_accepts")
 	spread := colIndex(t, tb, "max_spread_s")
@@ -140,7 +140,7 @@ func TestT6ZeroViolations(t *testing.T) {
 }
 
 func TestT7QuadraticShape(t *testing.T) {
-	tb := T7Messages()[0]
+	tb := firstTable(t, T7Messages)
 	ratio := colIndex(t, tb, "ratio_to_n2")
 	for _, row := range tb.Rows {
 		v, err := strconv.ParseFloat(row[ratio], 64)
@@ -159,7 +159,7 @@ func TestT8ScaleAllWithin(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large clusters")
 	}
-	tb := T8Scale()[0]
+	tb := firstTable(t, T8Scale)
 	within := colIndex(t, tb, "within")
 	for _, row := range tb.Rows {
 		if row[within] != "ok" {
@@ -172,7 +172,7 @@ func TestT8ScaleAllWithin(t *testing.T) {
 }
 
 func TestF1SawtoothHasResyncDrops(t *testing.T) {
-	tb := F1Trace()[0]
+	tb := firstTable(t, F1Trace)
 	if len(tb.Rows) < 50 {
 		t.Fatalf("trace too short: %d samples", len(tb.Rows))
 	}
@@ -203,7 +203,7 @@ func TestF2AllWithinBound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tb := F2SkewVsFaults()[0]
+	tb := firstTable(t, F2SkewVsFaults)
 	within := colIndex(t, tb, "within")
 	for _, row := range tb.Rows {
 		if row[within] != "ok" {
@@ -216,7 +216,7 @@ func TestF3LinearVsFlatSeparation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tb := F3SkewVsDelay()[0]
+	tb := firstTable(t, F3SkewVsDelay)
 	stCol := colIndex(t, tb, "st_auth_skew_s")
 	ftmCol := colIndex(t, tb, "ftm_skew_s")
 	first := tb.Rows[0]
@@ -249,7 +249,7 @@ func TestF4JoinerSynchronizes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tb := F4Reintegration()[0]
+	tb := firstTable(t, F4Reintegration)
 	within := colIndex(t, tb, "within")
 	for _, row := range tb.Rows {
 		if row[within] != "ok" {
@@ -262,7 +262,7 @@ func TestF5RatesWithinEnvelope(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long run")
 	}
-	tb := F5Envelope()[0]
+	tb := firstTable(t, F5Envelope)
 	if len(tb.Rows) == 0 {
 		t.Fatal("no per-node fits")
 	}
@@ -286,7 +286,7 @@ func TestF5RatesWithinEnvelope(t *testing.T) {
 }
 
 func TestF7ColdStartRows(t *testing.T) {
-	tb := F7ColdStart()[0]
+	tb := firstTable(t, F7ColdStart)
 	within := colIndex(t, tb, "within")
 	synced := colIndex(t, tb, "synchronized")
 	for _, row := range tb.Rows {
@@ -297,7 +297,7 @@ func TestF7ColdStartRows(t *testing.T) {
 }
 
 func TestA1RelaySeparation(t *testing.T) {
-	tb := A1RelayAblation()[0]
+	tb := firstTable(t, A1RelayAblation)
 	spread := colIndex(t, tb, "max_spread_s")
 	on, _ := strconv.ParseFloat(tb.Rows[0][spread], 64)
 	off, _ := strconv.ParseFloat(tb.Rows[1][spread], 64)
@@ -307,7 +307,7 @@ func TestA1RelaySeparation(t *testing.T) {
 }
 
 func TestA2AlphaTradeoff(t *testing.T) {
-	tb := A2AlphaAblation()[0]
+	tb := firstTable(t, A2AlphaAblation)
 	back := colIndex(t, tb, "backward_jumps")
 	rate := colIndex(t, tb, "rate_hi")
 	firstBack, _ := strconv.Atoi(tb.Rows[0][back])
@@ -323,7 +323,7 @@ func TestA2AlphaTradeoff(t *testing.T) {
 }
 
 func TestA3SlewMonotone(t *testing.T) {
-	tb := A3SlewAblation()[0]
+	tb := firstTable(t, A3SlewAblation)
 	steps := colIndex(t, tb, "backward_clock_steps")
 	jump, _ := strconv.Atoi(tb.Rows[0][steps])
 	slew, _ := strconv.Atoi(tb.Rows[1][steps])
@@ -339,7 +339,7 @@ func TestF6MonotoneBound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")
 	}
-	tb := F6SkewVsPeriod()[0]
+	tb := firstTable(t, F6SkewVsPeriod)
 	within := colIndex(t, tb, "within")
 	bound := colIndex(t, tb, "Dmax_bound_s")
 	prev := 0.0
@@ -353,4 +353,18 @@ func TestF6MonotoneBound(t *testing.T) {
 		}
 		prev = b
 	}
+}
+
+// firstTable runs a scenario generator and returns its first table,
+// failing the test on error — scenario specs are known-good.
+func firstTable(t *testing.T, run func() ([]*Table, error)) *Table {
+	t.Helper()
+	tables, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("scenario produced no tables")
+	}
+	return tables[0]
 }

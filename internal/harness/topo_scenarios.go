@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"optsync/internal/clock"
@@ -33,7 +34,7 @@ func sparseParams(n int) bounds.Params {
 // and sweeps the region count. Every inter-region hop stretches the
 // acceptance spread by the hop envelope, so skew grows with region count
 // while liveness is preserved — the mesh row (wan:1) is the control.
-func W1SkewVsRegions() []*Table {
+func W1SkewVsRegions() ([]*Table, error) {
 	t := NewTable("W1: skew vs WAN region count (st-auth, n=16, f=3, ring of cliques)",
 		"topology", "regions", "max_skew_s", "mesh_bound_s", "complete_rounds", "msgs_per_round")
 	var specs []Spec
@@ -46,7 +47,11 @@ func W1SkewVsRegions() []*Table {
 			Horizon:  20, Seed: 21,
 		})
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		t.AddRow(
 			res.Spec.Topology, res.Spec.Topology[4:],
 			F(res.MaxSkew), F(res.SkewBound),
@@ -54,7 +59,7 @@ func W1SkewVsRegions() []*Table {
 		)
 	}
 	t.AddNote("wan:1 is the full-mesh control; the mesh skew bound does not apply across regions")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // W2PartitionHeal cuts a 7-node cluster 3|4 for ten periods and measures
@@ -62,7 +67,7 @@ func W1SkewVsRegions() []*Table {
 // assemble any round quorum while cut, so its clocks free-run on
 // hardware; after the heal the relay step reintegrates it within one
 // round. The table reports the skew in each phase.
-func W2PartitionHeal() []*Table {
+func W2PartitionHeal() ([]*Table, error) {
 	const (
 		cutAt  = 10.0
 		healAt = 20.0
@@ -76,7 +81,10 @@ func W2PartitionHeal() []*Table {
 		Horizon:    35, Seed: 22,
 		KeepSeries: true,
 	}
-	res := Run(spec)
+	res, err := RunContext(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase maxima from the sampled series; the post-heal phase skips two
 	// periods so reintegration (one round plus delays) has completed.
@@ -108,7 +116,7 @@ func W2PartitionHeal() []*Table {
 	t.AddRow("during cut", F(during), F(res.SkewBound), within(during, true))
 	t.AddRow("after heal (+2P)", F(after), F(res.SkewBound), within(after, false))
 	t.AddNote("the minority side (3 < f+1) free-runs while cut — exceeding the mesh bound is the expected cost — then reintegrates via the relay step within one round of the heal")
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // W3SparseDegradation runs the authenticated algorithm on circulant
@@ -120,7 +128,7 @@ func W2PartitionHeal() []*Table {
 // accept from direct evidence alone, so rounds only complete through
 // multi-hop evidence accumulation and the skew blows far past the mesh
 // bound.
-func W3SparseDegradation() []*Table {
+func W3SparseDegradation() ([]*Table, error) {
 	const n = 16
 	t := NewTable("W3: degradation on sparse circulant graphs (st-auth, n=16, f=3)",
 		"topology", "degree", "max_skew_s", "mesh_bound_s", "complete_rounds", "msgs_per_round")
@@ -138,7 +146,11 @@ func W3SparseDegradation() []*Table {
 			Horizon:  20, Seed: 23,
 		})
 	}
-	for _, res := range runAll(specs) {
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		degree := n - 1
 		if res.Spec.Topology != "mesh" {
 			fmt.Sscanf(res.Spec.Topology, "ring:%d", &degree)
@@ -150,5 +162,5 @@ func W3SparseDegradation() []*Table {
 		)
 	}
 	t.AddNote("thinner graphs trade per-round traffic for hop-by-hop propagation latency; the mesh bound applies only to the mesh row")
-	return []*Table{t}
+	return []*Table{t}, nil
 }

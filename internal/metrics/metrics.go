@@ -9,17 +9,18 @@ import (
 
 	"optsync/internal/analysis"
 	"optsync/internal/node"
+	"optsync/internal/probe"
 )
 
-// Sample is one skew observation.
-type Sample struct {
-	T    float64 // real time
-	Skew float64 // max - min logical clock over sampled nodes
-}
+// Sample is one skew observation. It is the probe-layer sample type: a
+// retained series and a replayed trace describe skew identically.
+type Sample = probe.Sample
 
-// SkewSampler periodically records the skew among a fixed node set (or,
+// SkewSampler periodically measures the skew among a fixed node set (or,
 // for staggered boots, among whichever correct nodes have booted by each
-// tick).
+// tick). Every tick emits a probe.TypeSkewSample event on the cluster
+// engine's bus; unless DiscardSeries is called the sample is also
+// appended to Series, the pre-probe in-memory surface.
 type SkewSampler struct {
 	Series []Sample
 
@@ -28,6 +29,7 @@ type SkewSampler struct {
 	booted   bool
 	interval float64
 	stopped  bool
+	discard  bool
 }
 
 // NewSkewSampler installs a recurring sampling event on the cluster's
@@ -58,16 +60,29 @@ func (s *SkewSampler) arm() {
 		if s.booted {
 			ids = s.cluster.CorrectIDs()
 		}
-		s.Series = append(s.Series, Sample{
-			T:    s.cluster.Engine.Now(),
-			Skew: s.cluster.Skew(ids),
-		})
+		now := s.cluster.Engine.Now()
+		skew := s.cluster.Skew(ids)
+		if !s.discard {
+			s.Series = append(s.Series, Sample{T: now, Skew: skew})
+		}
+		if bus := s.cluster.Engine.Probes(); bus.Active(probe.TypeSkewSample) {
+			bus.Emit(probe.Event{
+				Type: probe.TypeSkewSample, From: -1, To: -1,
+				Round: int32(len(ids)), T: now, Value: skew,
+			})
+		}
 		s.arm()
 	})
 }
 
 // Stop ends sampling.
 func (s *SkewSampler) Stop() { s.stopped = true }
+
+// DiscardSeries stops retaining samples in Series: the sampler becomes a
+// pure probe-event driver and its memory stays O(1) regardless of the
+// horizon. Collectors on the bus (probe.SkewStats, probe.Series) take
+// over retention policy — this is what the harness does.
+func (s *SkewSampler) DiscardSeries() { s.discard = true }
 
 // Max returns the maximum observed skew (0 if no samples).
 func (s *SkewSampler) Max() float64 {

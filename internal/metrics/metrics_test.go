@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"optsync/internal/node"
+	"optsync/internal/probe"
 )
 
 type idleProto struct{}
@@ -154,5 +155,99 @@ func TestEnvelopeRatesErrors(t *testing.T) {
 	ps := []node.PulseRecord{{Node: 0, Round: 1, Real: 1}}
 	if _, _, err := EnvelopeRates(ps, []node.ID{0}); err == nil {
 		t.Fatal("single point accepted")
+	}
+}
+
+// --- probe emission and edge cases ---
+
+// TestSkewSamplerEmitsProbeEvents: every tick goes to the engine bus with
+// the sampled node count and skew, whether or not the series is retained.
+func TestSkewSamplerEmitsProbeEvents(t *testing.T) {
+	c := testCluster(2)
+	s := NewSkewSampler(c, []node.ID{0, 1}, 0.5)
+	s.DiscardSeries()
+	var got []probe.Event
+	c.Engine.Probes().Attach(probe.Func(func(ev probe.Event) {
+		got = append(got, ev)
+	}), probe.TypeSkewSample)
+	c.Nodes[1].SetLogical(0.3)
+	c.Run(2.6)
+	if len(s.Series) != 0 {
+		t.Fatalf("DiscardSeries retained %d samples", len(s.Series))
+	}
+	if len(got) != 5 {
+		t.Fatalf("bus saw %d skew samples, want 5", len(got))
+	}
+	for _, ev := range got {
+		if ev.Round != 2 || math.Abs(ev.Value-0.3) > 1e-12 || ev.From != -1 {
+			t.Fatalf("event = %+v", ev)
+		}
+	}
+}
+
+// TestSkewSamplerStopBeforeFirstTick: stopping before the first interval
+// elapses must record nothing and leave no stray events firing.
+func TestSkewSamplerStopBeforeFirstTick(t *testing.T) {
+	c := testCluster(2)
+	s := NewSkewSampler(c, []node.ID{0, 1}, 1.0)
+	events := 0
+	c.Engine.Probes().Attach(probe.Func(func(probe.Event) { events++ }), probe.TypeSkewSample)
+	c.Run(0.5)
+	s.Stop()
+	c.Run(10)
+	if len(s.Series) != 0 || events != 0 {
+		t.Fatalf("stopped-before-first-tick sampler recorded %d samples, %d events",
+			len(s.Series), events)
+	}
+	if s.Max() != 0 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+}
+
+// TestBootedSamplerZeroBootedNodes: with every correct node booting late,
+// early ticks sample an empty id set — the skew must be 0, not a panic,
+// and the tick must still be recorded (liveness of the sampling loop).
+func TestBootedSamplerZeroBootedNodes(t *testing.T) {
+	c := node.NewCluster(node.Config{
+		N: 2, F: 0, Seed: 1,
+		Protocols: func(int) node.Protocol { return idleProto{} },
+		StartAt:   map[int]float64{0: 5, 1: 5},
+	})
+	c.Start()
+	s := NewBootedSkewSampler(c, 1.0)
+	c.Run(3.5)
+	if len(s.Series) != 3 {
+		t.Fatalf("samples = %d, want 3", len(s.Series))
+	}
+	for _, smp := range s.Series {
+		if smp.Skew != 0 {
+			t.Fatalf("pre-boot sample %+v, want zero skew", smp)
+		}
+	}
+	if s.Max() != 0 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+}
+
+// TestSkewSamplerPastHorizon: Engine.Run(until) advances time to the
+// horizon even when the last tick lands beyond it; the sampler must not
+// record a sample past the last processed tick, and resuming the engine
+// must resume sampling without a gap.
+func TestSkewSamplerPastHorizon(t *testing.T) {
+	c := testCluster(2)
+	s := NewSkewSampler(c, []node.ID{0, 1}, 1.0)
+	c.Run(2.5) // ticks at 1.0 and 2.0; the 3.0 tick is pending
+	if len(s.Series) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s.Series))
+	}
+	if last := s.Series[len(s.Series)-1].T; last > 2.5 {
+		t.Fatalf("sample recorded at %v, past the horizon", last)
+	}
+	c.Run(4.5) // pending tick fires at 3.0, then 4.0
+	if len(s.Series) != 4 {
+		t.Fatalf("samples after resume = %d, want 4", len(s.Series))
+	}
+	if got := s.Series[2].T; math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("resumed tick at %v, want 3.0 (no gap, no drift)", got)
 	}
 }

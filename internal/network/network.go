@@ -14,12 +14,18 @@
 // typed values (Message), deliveries ride pooled sim message events
 // instead of per-send closures, and Broadcast schedules one batched event
 // per distinct delivery time rather than n independent heap entries.
+//
+// Observation goes through the engine's probe bus: every send, delivery,
+// and drop emits a typed probe.Event (guarded by Bus.Active, so an
+// uninstrumented run pays one predictable branch per message and an
+// instrumented one stays allocation-free).
 package network
 
 import (
 	"fmt"
 	"math/rand"
 
+	"optsync/internal/probe"
 	"optsync/internal/sim"
 )
 
@@ -50,9 +56,9 @@ type Stats struct {
 	// Dropped counts messages the delay policy refused at send time.
 	Dropped uint64
 	// DroppedOffline counts messages that reached their delivery instant
-	// with no handler registered (destination offline). The Observer saw
-	// a positive deliverAt for these — the send was genuine; the loss
-	// happened at the far end.
+	// with no handler registered (destination offline). Probes saw a
+	// TypeMessageSent with a positive delivery instant for these — the
+	// send was genuine; the loss happened at the far end.
 	DroppedOffline uint64
 	// DroppedLink counts transmissions suppressed because the topology
 	// had no usable from->to link (absent edge or active partition).
@@ -60,10 +66,6 @@ type Stats struct {
 	// BySender counts messages sent per node.
 	BySender []uint64
 }
-
-// Observer is notified of every send (for tracing / message-complexity
-// experiments). deliverAt < 0 means the message was dropped at send time.
-type Observer func(from, to NodeID, msg Message, sentAt, deliverAt sim.Time)
 
 // delivery is one scheduled transmission batch: the envelope plus every
 // recipient sharing its delivery instant. Slots live in an arena indexed
@@ -84,7 +86,7 @@ type Net struct {
 	shaper   DelayShaper // non-nil iff topo shapes delays
 	handlers []Handler
 	stats    Stats
-	observer Observer
+	probes   *probe.Bus // the engine's bus, cached to skip a pointer hop
 
 	target    int // sim dispatch target id
 	arena     []delivery
@@ -111,6 +113,7 @@ func New(engine *sim.Engine, n int, policy Policy, topo Topology) *Net {
 		handlers: make([]Handler, n),
 		stats:    Stats{BySender: make([]uint64, n)},
 		buckets:  make(map[sim.Time]uint32),
+		probes:   engine.Probes(),
 	}
 	if s, ok := topo.(DelayShaper); ok {
 		nt.shaper = s
@@ -133,8 +136,9 @@ func (nt *Net) Register(id NodeID, h Handler) {
 	nt.handlers[id] = h
 }
 
-// SetObserver installs a trace observer (nil to remove).
-func (nt *Net) SetObserver(o Observer) { nt.observer = o }
+// Probes returns the observation bus messages are reported on (the
+// engine's). Traffic probes subscribe to probe.MessageTypes().
+func (nt *Net) Probes() *probe.Bus { return nt.probes }
 
 // Stats returns a copy of the traffic counters.
 func (nt *Net) Stats() Stats {
@@ -159,14 +163,14 @@ func (nt *Net) linkDelay(from, to NodeID, now sim.Time) float64 {
 }
 
 // transmit runs the per-link send sequence shared by Send and Broadcast:
-// topology gating, traffic accounting, delay resolution, and observer
-// notification. It returns the delivery instant, or ok=false when the
+// topology gating, traffic accounting, delay resolution, and probe
+// emission. It returns the delivery instant, or ok=false when the
 // message was dropped at send time (already counted).
 func (nt *Net) transmit(from, to NodeID, now sim.Time, msg Message) (deliverAt sim.Time, ok bool) {
 	if !nt.topo.Linked(from, to, now) {
 		nt.stats.DroppedLink++
-		if nt.observer != nil {
-			nt.observer(from, to, msg, now, -1)
+		if nt.probes.Active(probe.TypeMessageDropLink) {
+			nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropLink, from, to, now, -1, msg))
 		}
 		return 0, false
 	}
@@ -175,16 +179,28 @@ func (nt *Net) transmit(from, to NodeID, now sim.Time, msg Message) (deliverAt s
 	d := nt.linkDelay(from, to, now)
 	if d < 0 {
 		nt.stats.Dropped++
-		if nt.observer != nil {
-			nt.observer(from, to, msg, now, -1)
+		if nt.probes.Active(probe.TypeMessageDropPolicy) {
+			nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropPolicy, from, to, now, -1, msg))
 		}
 		return 0, false
 	}
 	deliverAt = now + d
-	if nt.observer != nil {
-		nt.observer(from, to, msg, now, deliverAt)
+	if nt.probes.Active(probe.TypeMessageSent) {
+		nt.probes.Emit(nt.msgEvent(probe.TypeMessageSent, from, to, now, deliverAt, msg))
 	}
 	return deliverAt, true
+}
+
+// msgEvent builds the probe event for one per-message moment.
+func (nt *Net) msgEvent(t probe.Type, from, to NodeID, at sim.Time, deliverAt float64, msg Message) probe.Event {
+	return probe.Event{
+		Type: t,
+		Kind: uint16(msg.Kind),
+		From: int32(from), To: int32(to),
+		Round: int32(msg.Round),
+		T:     at,
+		Value: deliverAt,
+	}
 }
 
 // alloc takes an arena slot for a new delivery batch, reusing a recycled
@@ -202,7 +218,7 @@ func (nt *Net) alloc(from NodeID, msg Message) uint32 {
 }
 
 // Dispatch implements sim.Dispatcher: deliver one batch.
-func (nt *Net) Dispatch(_ sim.Time, m sim.Message) {
+func (nt *Net) Dispatch(now sim.Time, m sim.Message) {
 	// Copy the batch out of the arena first: handlers may send, and a
 	// reentrant send can grow the arena, invalidating the slot pointer.
 	d := &nt.arena[m.Index]
@@ -211,9 +227,15 @@ func (nt *Net) Dispatch(_ sim.Time, m sim.Message) {
 		h := nt.handlers[to]
 		if h == nil {
 			nt.stats.DroppedOffline++
+			if nt.probes.Active(probe.TypeMessageDropOffline) {
+				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropOffline, from, to, now, now, msg))
+			}
 			continue
 		}
 		nt.stats.Delivered++
+		if nt.probes.Active(probe.TypeMessageDelivered) {
+			nt.probes.Emit(nt.msgEvent(probe.TypeMessageDelivered, from, to, now, now, msg))
+		}
 		h(from, msg)
 	}
 	// Release the slot: drop payload references, keep the targets array.
@@ -252,10 +274,10 @@ func (nt *Net) Broadcast(from NodeID, msg Message) {
 	nt.checkID(from)
 	now := nt.engine.Now()
 	// Take exclusive ownership of the scratch bucket map for the duration
-	// of this call: an Observer may reenter Broadcast, and a shared map
-	// would let the inner call append recipients to the outer call's
-	// batches. A reentrant call finds nil and allocates its own (the
-	// steady-state, non-reentrant path still reuses one map forever).
+	// of this call: a probe may reenter Broadcast from OnEvent, and a
+	// shared map would let the inner call append recipients to the outer
+	// call's batches. A reentrant call finds nil and allocates its own
+	// (the steady-state, non-reentrant path still reuses one map forever).
 	buckets := nt.buckets
 	if buckets == nil {
 		buckets = make(map[sim.Time]uint32)

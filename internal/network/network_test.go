@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"optsync/internal/probe"
 	"optsync/internal/sim"
 )
 
@@ -74,12 +75,12 @@ func TestBroadcastBatchesSharedDeliveryTimes(t *testing.T) {
 	e.RunAll(0)
 }
 
-// An Observer that injects traffic by calling Broadcast reentrantly must
-// not corrupt the outer broadcast's delivery batches: with a fixed delay
-// both calls share a delivery instant, and a shared scratch bucket map
-// would merge the inner recipients into the outer batch (wrong sender,
-// wrong payload).
-func TestObserverReentrantBroadcast(t *testing.T) {
+// A probe that injects traffic by calling Broadcast reentrantly from
+// OnEvent must not corrupt the outer broadcast's delivery batches: with a
+// fixed delay both calls share a delivery instant, and a shared scratch
+// bucket map would merge the inner recipients into the outer batch
+// (wrong sender, wrong payload).
+func TestProbeReentrantBroadcast(t *testing.T) {
 	e := sim.New(1)
 	nt := New(e, 3, Fixed{D: 0.1}, nil)
 	type rec struct {
@@ -94,12 +95,12 @@ func TestObserverReentrantBroadcast(t *testing.T) {
 		})
 	}
 	injected := false
-	nt.SetObserver(func(from, to NodeID, msg Message, _, _ sim.Time) {
-		if !injected && msg.Round == 1 {
+	e.Probes().Attach(probe.Func(func(ev probe.Event) {
+		if !injected && ev.Round == 1 {
 			injected = true
-			nt.Broadcast(2, Message{Round: 2}) // probe from another sender
+			nt.Broadcast(2, Message{Round: 2}) // inject from another sender
 		}
-	})
+	}), probe.TypeMessageSent)
 	nt.Broadcast(0, Message{Round: 1})
 	e.RunAll(0)
 	if len(got) != 6 {
@@ -126,43 +127,46 @@ func TestObserverReentrantBroadcast(t *testing.T) {
 	}
 }
 
-// Both drop paths must hit their own counter: a policy drop is charged to
-// Dropped at send time (observer sees deliverAt < 0); an offline
-// destination is charged to DroppedOffline at delivery time (the observer
-// saw a genuine positive deliverAt — the old implementation folded this
-// into Dropped, contradicting the trace).
+// Both drop paths must hit their own counter and their own event type: a
+// policy drop is charged to Dropped at send time (TypeMessageDropPolicy);
+// an offline destination is charged to DroppedOffline at delivery time
+// (a genuine TypeMessageSent preceded it — the old implementation folded
+// this into Dropped, contradicting the trace).
 func TestDropPathCounters(t *testing.T) {
 	e := sim.New(1)
 
 	// Path 1: policy drop at send time.
 	nt := New(e, 2, Drop{}, nil)
 	nt.Register(1, func(NodeID, Message) {})
-	var observedDeliverAt sim.Time = 99
-	nt.SetObserver(func(_, _ NodeID, _ Message, _, deliverAt sim.Time) {
-		observedDeliverAt = deliverAt
-	})
+	var events []probe.Type
+	e.Probes().Attach(probe.Func(func(ev probe.Event) {
+		events = append(events, ev.Type)
+	}), probe.MessageTypes()...)
 	nt.Send(0, 1, Raw("m"))
 	e.RunAll(0)
 	if s := nt.Stats(); s.Dropped != 1 || s.DroppedOffline != 0 || s.Delivered != 0 {
 		t.Fatalf("policy drop stats = %+v", s)
 	}
-	if observedDeliverAt >= 0 {
-		t.Fatalf("policy drop observed with deliverAt=%v", observedDeliverAt)
+	if len(events) != 1 || events[0] != probe.TypeMessageDropPolicy {
+		t.Fatalf("policy drop emitted %v, want [message_drop_policy]", events)
 	}
 
-	// Path 2: offline destination at delivery time.
-	nt2 := New(e, 2, Fixed{D: 0.1}, nil)
-	observedDeliverAt = -99
-	nt2.SetObserver(func(_, _ NodeID, _ Message, _, deliverAt sim.Time) {
-		observedDeliverAt = deliverAt
-	})
+	// Path 2: offline destination at delivery time. A fresh engine keeps
+	// the event streams separate.
+	e2 := sim.New(1)
+	nt2 := New(e2, 2, Fixed{D: 0.1}, nil)
+	events = nil
+	e2.Probes().Attach(probe.Func(func(ev probe.Event) {
+		events = append(events, ev.Type)
+	}), probe.MessageTypes()...)
 	nt2.Send(0, 1, Raw("m")) // no handler registered for 1
-	e.RunAll(0)
+	e2.RunAll(0)
 	if s := nt2.Stats(); s.Dropped != 0 || s.DroppedOffline != 1 || s.Delivered != 0 {
 		t.Fatalf("offline drop stats = %+v", s)
 	}
-	if observedDeliverAt < 0 {
-		t.Fatalf("offline drop must be observed with its genuine deliverAt, got %v", observedDeliverAt)
+	want := []probe.Type{probe.TypeMessageSent, probe.TypeMessageDropOffline}
+	if len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("offline drop emitted %v, want %v", events, want)
 	}
 }
 
@@ -262,27 +266,33 @@ func TestPerLinkPolicy(t *testing.T) {
 	}
 }
 
-func TestObserver(t *testing.T) {
+// TestProbeMessageEvents pins the per-message event payloads: a send
+// carries its delivery instant in Value, a delivery carries the envelope
+// scalars, and the whole stream rides the engine bus.
+func TestProbeMessageEvents(t *testing.T) {
 	e := sim.New(1)
 	nt := New(e, 2, Fixed{D: 0.25}, nil)
 	nt.Register(1, func(NodeID, Message) {})
-	var seen int
-	var lastDeliver sim.Time
-	nt.SetObserver(func(from, to NodeID, msg Message, sentAt, deliverAt sim.Time) {
-		seen++
-		lastDeliver = deliverAt
-	})
-	nt.Send(0, 1, Raw("m"))
-	if seen != 1 || lastDeliver != 0.25 {
-		t.Fatalf("observer saw %d sends, deliverAt=%v", seen, lastDeliver)
+	k := NewKind("test/probe-events")
+	var got []probe.Event
+	e.Probes().Attach(probe.Func(func(ev probe.Event) {
+		got = append(got, ev)
+	}), probe.TypeMessageSent, probe.TypeMessageDelivered)
+	nt.Send(0, 1, Message{Kind: k, Round: 9})
+	e.RunAll(0)
+	if len(got) != 2 {
+		t.Fatalf("saw %d events, want sent+delivered", len(got))
 	}
-	// Dropped messages are observed with deliverAt < 0.
-	nt2 := New(e, 2, Drop{}, nil)
-	var droppedAt sim.Time = 99
-	nt2.SetObserver(func(_, _ NodeID, _ Message, _, deliverAt sim.Time) { droppedAt = deliverAt })
-	nt2.Send(0, 1, Raw("m"))
-	if droppedAt >= 0 {
-		t.Fatalf("dropped message observed with deliverAt=%v", droppedAt)
+	sent, del := got[0], got[1]
+	if sent.Type != probe.TypeMessageSent || sent.From != 0 || sent.To != 1 ||
+		sent.Kind != uint16(k) || sent.Round != 9 || sent.T != 0 || sent.Value != 0.25 {
+		t.Fatalf("sent event = %+v", sent)
+	}
+	if del.Type != probe.TypeMessageDelivered || del.T != 0.25 || del.Kind != uint16(k) {
+		t.Fatalf("delivered event = %+v", del)
+	}
+	if nt.Probes() != e.Probes() {
+		t.Fatal("Net.Probes must expose the engine bus")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"optsync/internal/clock"
 	"optsync/internal/network"
+	"optsync/internal/probe"
 	"optsync/internal/sig"
 	"optsync/internal/sim"
 )
@@ -142,7 +143,14 @@ func (nd *Node) HardwareTime() float64 {
 
 // SetLogical implements Env.
 func (nd *Node) SetLogical(value float64) {
-	nd.logical.SetAt(nd.cluster.Engine.Now(), value)
+	now := nd.cluster.Engine.Now()
+	if bus := nd.cluster.probes; bus.Active(probe.TypeResync) {
+		bus.Emit(probe.Event{
+			Type: probe.TypeResync, From: int32(nd.id), To: -1,
+			T: now, Value: value, Aux: nd.logical.Read(now),
+		})
+	}
+	nd.logical.SetAt(now, value)
 }
 
 // AtLogical implements Env.
@@ -197,6 +205,12 @@ func (nd *Node) Pulse(round int) {
 		Logical: nd.logical.Read(now),
 	}
 	nd.cluster.Pulses = append(nd.cluster.Pulses, rec)
+	if bus := nd.cluster.probes; bus.Active(probe.TypePulse) {
+		bus.Emit(probe.Event{
+			Type: probe.TypePulse, From: int32(nd.id), To: -1,
+			Round: int32(round), T: now, Value: rec.Logical,
+		})
+	}
 	if nd.cluster.OnPulse != nil {
 		nd.cluster.OnPulse(rec)
 	}
@@ -247,10 +261,14 @@ type Cluster struct {
 	Net    *network.Net
 	Nodes  []*Node
 	Pulses []PulseRecord
-	// OnPulse, if set, observes every pulse as it happens.
+	// OnPulse, if set, observes every pulse as it happens. New code
+	// should prefer a probe subscribed to probe.TypePulse on
+	// Engine.Probes(); the hook predates the bus and is kept for direct
+	// cluster embedders.
 	OnPulse func(PulseRecord)
 
-	cfg Config
+	cfg    Config
+	probes *probe.Bus
 }
 
 // NewCluster builds the cluster; call Start then Engine.Run.
@@ -272,6 +290,7 @@ func NewCluster(cfg Config) *Cluster {
 		Engine: engine,
 		Net:    network.New(engine, cfg.N, cfg.Delay, cfg.Topology),
 		cfg:    cfg,
+		probes: engine.Probes(),
 	}
 	for i := 0; i < cfg.N; i++ {
 		var hw *clock.Hardware
@@ -317,6 +336,12 @@ func (c *Cluster) Start() {
 		at := c.cfg.StartAt[nd.id]
 		c.Engine.MustAt(at, func() {
 			nd.started = true
+			if c.probes.Active(probe.TypeNodeBoot) {
+				c.probes.Emit(probe.Event{
+					Type: probe.TypeNodeBoot, From: int32(nd.id), To: -1,
+					T: c.Engine.Now(),
+				})
+			}
 			nd.proto.Start(nd)
 		})
 	}

@@ -7,6 +7,7 @@ import (
 
 	"optsync/internal/clock"
 	"optsync/internal/network"
+	"optsync/internal/probe"
 )
 
 // echoProto broadcasts one message at boot and counts deliveries.
@@ -297,5 +298,49 @@ func TestConfigValidation(t *testing.T) {
 			}()
 			NewCluster(cfg)
 		}()
+	}
+}
+
+// TestClusterProbeEvents pins the node-layer event stream: boots (with
+// late-joiner times), pulses (round + logical value), and resyncs
+// (old/new readings) all reach the engine bus.
+func TestClusterProbeEvents(t *testing.T) {
+	c := NewCluster(Config{
+		N: 2, F: 0, Seed: 1,
+		Protocols: func(int) Protocol { return protoFunc{} },
+		StartAt:   map[int]float64{1: 2.5},
+	})
+	var boots, pulses, resyncs []probe.Event
+	c.Engine.Probes().Attach(probe.Func(func(ev probe.Event) {
+		switch ev.Type {
+		case probe.TypeNodeBoot:
+			boots = append(boots, ev)
+		case probe.TypePulse:
+			pulses = append(pulses, ev)
+		case probe.TypeResync:
+			resyncs = append(resyncs, ev)
+		}
+	}), probe.TypeNodeBoot, probe.TypePulse, probe.TypeResync)
+	c.Start()
+	c.Run(1)
+	c.Nodes[0].Pulse(3)
+	c.Nodes[0].SetLogical(7.5)
+	c.Run(3)
+
+	if len(boots) != 2 || boots[0].From != 0 || boots[0].T != 0 ||
+		boots[1].From != 1 || boots[1].T != 2.5 {
+		t.Fatalf("boot events = %+v", boots)
+	}
+	if len(pulses) != 1 || pulses[0].From != 0 || pulses[0].Round != 3 ||
+		pulses[0].T != 1 || pulses[0].Value != 1 {
+		t.Fatalf("pulse events = %+v", pulses)
+	}
+	if len(resyncs) != 1 || resyncs[0].From != 0 ||
+		resyncs[0].Value != 7.5 || resyncs[0].Aux != 1 {
+		t.Fatalf("resync events = %+v", resyncs)
+	}
+	// The cluster log and the event stream must agree.
+	if len(c.Pulses) != 1 || c.Pulses[0].Round != 3 {
+		t.Fatalf("cluster pulses = %+v", c.Pulses)
 	}
 }

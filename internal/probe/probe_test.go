@@ -1,0 +1,290 @@
+package probe
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+type countingProbe struct {
+	byType map[Type]int
+}
+
+func newCountingProbe() *countingProbe { return &countingProbe{byType: make(map[Type]int)} }
+
+func (c *countingProbe) OnEvent(ev Event) { c.byType[ev.Type]++ }
+
+func TestBusFanOutByType(t *testing.T) {
+	var bus Bus
+	all := newCountingProbe()
+	msgs := newCountingProbe()
+	bus.Attach(all)
+	bus.Attach(msgs, MessageTypes()...)
+
+	if !bus.AnyActive() {
+		t.Fatal("AnyActive = false after Attach")
+	}
+	if !bus.Active(TypePulse) || !bus.Active(TypeMessageSent) {
+		t.Fatal("Active wrong")
+	}
+
+	bus.Emit(Event{Type: TypeMessageSent})
+	bus.Emit(Event{Type: TypePulse})
+	bus.Emit(Event{Type: TypeSkewSample})
+
+	if all.byType[TypeMessageSent] != 1 || all.byType[TypePulse] != 1 || all.byType[TypeSkewSample] != 1 {
+		t.Fatalf("all-types probe saw %v", all.byType)
+	}
+	if msgs.byType[TypeMessageSent] != 1 || msgs.byType[TypePulse] != 0 {
+		t.Fatalf("message probe saw %v", msgs.byType)
+	}
+}
+
+func TestBusEmptyIsInert(t *testing.T) {
+	var bus Bus
+	if bus.AnyActive() || bus.Active(TypePulse) {
+		t.Fatal("empty bus reports active")
+	}
+	bus.Emit(Event{Type: TypePulse}) // must not panic
+}
+
+func TestBusAttachValidation(t *testing.T) {
+	var bus Bus
+	for _, fn := range []func(){
+		func() { bus.Attach(nil) },
+		func() { bus.Attach(Func(func(Event) {}), Type(0)) },
+		func() { bus.Attach(Func(func(Event) {}), numTypes) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestEmitDoesNotAllocate pins the core promise: delivering events to an
+// attached probe performs no heap allocation.
+func TestEmitDoesNotAllocate(t *testing.T) {
+	var bus Bus
+	sink := 0
+	bus.Attach(Func(func(ev Event) { sink += int(ev.Round) }), MessageTypes()...)
+	ev := Event{Type: TypeMessageSent, From: 1, To: 2, Round: 3, T: 0.5, Value: 0.51}
+	allocs := testing.AllocsPerRun(1000, func() { bus.Emit(ev) })
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %v per call", allocs)
+	}
+	_ = sink
+}
+
+func TestSkewStats(t *testing.T) {
+	s := NewSkewStats()
+	if s.Count() != 0 || s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.P50() != 0 {
+		t.Fatal("empty SkewStats not zero")
+	}
+	values := []float64{0.003, 0.001, 0.002, 0.005, 0.004}
+	for _, v := range values {
+		s.OnEvent(Event{Type: TypeSkewSample, Value: v})
+		s.OnEvent(Event{Type: TypePulse, Value: 99}) // ignored
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Max() != 0.005 || s.Min() != 0.001 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Mean()-0.003) > 1e-15 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.P50() != 0.003 {
+		t.Fatalf("P50 of 5 exact samples = %v, want the median 0.003", s.P50())
+	}
+	hist := s.Histogram()
+	total := uint64(0)
+	for _, c := range hist {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("histogram holds %d samples, want 5", total)
+	}
+}
+
+// TestSkewStatsQuantileAccuracy checks the P² estimates against exact
+// quantiles on a deterministic pseudo-random stream.
+func TestSkewStatsQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSkewStats()
+	values := make([]float64, 5000)
+	for i := range values {
+		v := rng.Float64() * 0.01
+		values[i] = v
+		s.OnEvent(Event{Type: TypeSkewSample, Value: v})
+	}
+	sort.Float64s(values)
+	exact := func(q float64) float64 { return values[int(q*float64(len(values)-1))] }
+	for _, tc := range []struct {
+		got, want float64
+		name      string
+	}{
+		{s.P50(), exact(0.50), "p50"},
+		{s.P95(), exact(0.95), "p95"},
+		{s.P99(), exact(0.99), "p99"},
+	} {
+		// P² on a uniform stream of 5000 samples is accurate to well
+		// under 2% of the range here.
+		if math.Abs(tc.got-tc.want) > 0.0002 {
+			t.Errorf("%s = %v, exact %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestHistBucket(t *testing.T) {
+	if histBucket(0) != 0 || histBucket(-1) != 0 {
+		t.Fatal("non-positive values must land in bucket 0")
+	}
+	// v = 1.0 has Frexp exponent 1 (1.0 = 0.5 * 2^1): bucket 42 covers [1, 2).
+	if b := histBucket(1.0); b != 42 {
+		t.Fatalf("bucket(1.0) = %d", b)
+	}
+	if b := histBucket(1.99); b != 42 {
+		t.Fatalf("bucket(1.99) = %d", b)
+	}
+	if histBucket(math.SmallestNonzeroFloat64) != 1 {
+		t.Fatal("tiny values must clamp to bucket 1")
+	}
+	if histBucket(math.MaxFloat64) != skewHistBuckets-1 {
+		t.Fatal("huge values must clamp to the top bucket")
+	}
+}
+
+func TestSpreadStats(t *testing.T) {
+	s := NewSpreadStats()
+	// Round 1: three acceptances spread over 4 ms; round 2: two.
+	for _, p := range []struct {
+		round int32
+		at    float64
+	}{{1, 1.000}, {1, 1.003}, {1, 1.004}, {2, 2.000}, {2, 2.010}} {
+		s.OnEvent(Event{Type: TypePulse, Round: p.round, T: p.at, From: 0})
+	}
+	if s.Rounds() != 2 {
+		t.Fatalf("Rounds = %d", s.Rounds())
+	}
+	if s.CompleteRounds(3) != 1 || s.CompleteRounds(2) != 1 {
+		t.Fatal("CompleteRounds wrong")
+	}
+	if got := s.MaxSpread(3); math.Abs(got-0.004) > 1e-12 {
+		t.Fatalf("MaxSpread(3) = %v", got)
+	}
+	if got := s.MaxSpread(0); math.Abs(got-0.010) > 1e-12 {
+		t.Fatalf("MaxSpread(0) = %v", got)
+	}
+	agg := s.Aggregate()
+	if agg[0].Key != "rounds" || agg[0].Value != 2 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+func TestMsgStats(t *testing.T) {
+	s := NewMsgStats()
+	for i := 0; i < 3; i++ {
+		s.OnEvent(Event{Type: TypeMessageSent, Round: 1})
+	}
+	s.OnEvent(Event{Type: TypeMessageSent, Round: 2})
+	s.OnEvent(Event{Type: TypeMessageDelivered})
+	s.OnEvent(Event{Type: TypeMessageDropPolicy})
+	s.OnEvent(Event{Type: TypeMessageDropOffline})
+	s.OnEvent(Event{Type: TypeMessageDropLink})
+	if s.Sent() != 4 || s.Delivered() != 1 {
+		t.Fatalf("sent/delivered = %d/%d", s.Sent(), s.Delivered())
+	}
+	per := s.PerRound()
+	if len(per) != 2 || per[0].Key != "round_1" || per[0].Value != 3 || per[1].Value != 1 {
+		t.Fatalf("PerRound = %+v", per)
+	}
+	want := []Stat{
+		{"sent", 4}, {"delivered", 1},
+		{"drop_policy", 1}, {"drop_offline", 1}, {"drop_link", 1},
+		{"rounds", 2}, {"sent_per_round", 2},
+	}
+	got := s.Aggregate()
+	if len(got) != len(want) {
+		t.Fatalf("aggregate = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aggregate[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReintegrationWindows(t *testing.T) {
+	s := NewReintegrationWindows()
+	s.OnEvent(Event{Type: TypeNodeBoot, From: 0, T: 0})   // boots at zero: not a joiner
+	s.OnEvent(Event{Type: TypeNodeBoot, From: 4, T: 5.5}) // late joiner
+	s.OnEvent(Event{Type: TypePulse, From: 0, T: 1.0})
+	s.OnEvent(Event{Type: TypePulse, From: 4, T: 6.25})
+	s.OnEvent(Event{Type: TypePulse, From: 4, T: 7.25}) // later pulses ignored
+	w := s.Windows()
+	if len(w) != 1 || w[0].Key != "node_4" || math.Abs(w[0].Value-0.75) > 1e-12 {
+		t.Fatalf("Windows = %+v", w)
+	}
+	agg := s.Aggregate()
+	if agg[0] != (Stat{"joiners", 1}) || agg[1] != (Stat{"synced", 1}) {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if math.Abs(agg[2].Value-0.75) > 1e-12 || math.Abs(agg[3].Value-0.75) > 1e-12 {
+		t.Fatalf("window stats = %+v", agg)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries()
+	s.OnEvent(Event{Type: TypeSkewSample, T: 1, Value: 0.001})
+	s.OnEvent(Event{Type: TypeSkewSample, T: 2, Value: 0.002})
+	s.OnEvent(Event{Type: TypePulse, T: 3, Value: 9}) // ignored
+	if len(s.Samples) != 2 || s.Samples[1] != (Sample{T: 2, Skew: 0.002}) {
+		t.Fatalf("Samples = %+v", s.Samples)
+	}
+	agg := s.Aggregate()
+	if agg[0].Value != 2 || agg[1].Value != 0.002 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+// TestSynchronized hammers a wrapped probe from several goroutines; run
+// with -race this proves the serialization contract.
+func TestSynchronized(t *testing.T) {
+	sum := 0
+	p := Synchronized(Func(func(ev Event) { sum += int(ev.Round) }))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.OnEvent(Event{Type: TypePulse, Round: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if sum != 8000 {
+		t.Fatalf("sum = %d, want 8000", sum)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeMessageSent.String() != "message_sent" || TypeSkewSample.String() != "skew_sample" {
+		t.Fatal("type names drifted (they are the JSONL wire format)")
+	}
+	if Type(200).String() != "invalid" || Type(0).String() != "invalid" {
+		t.Fatal("out-of-range types must stringify as invalid")
+	}
+	if len(AllTypes()) != int(numTypes)-1 {
+		t.Fatal("AllTypes incomplete")
+	}
+}

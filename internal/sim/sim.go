@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"optsync/internal/probe"
 )
 
 // Time is virtual real time in seconds since the start of the simulation.
@@ -83,6 +85,10 @@ type Engine struct {
 	// through AtMsg are pooled: closure events escape to callers (for
 	// Cancel), so recycling them could resurrect a stale handle.
 	free []*Event
+	// probes is the run's observation bus. The engine owns it so every
+	// layer sharing the engine (network, nodes, samplers) shares one
+	// event stream; the engine itself emits nothing.
+	probes probe.Bus
 	// Trap, if non-nil, is invoked with every panic message raised via
 	// Fatalf; by default Fatalf panics.
 	Trap func(format string, args ...any)
@@ -99,6 +105,11 @@ func New(seed int64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Probes returns the engine's observation bus. Attach probes before the
+// engine runs; emission sites across sim/network/node guard with
+// Bus.Active so an empty bus costs nothing.
+func (e *Engine) Probes() *probe.Bus { return &e.probes }
 
 // Rand returns the engine's deterministic random source. All randomness in
 // a simulation must come from this source (or sources derived from it) to

@@ -1,5 +1,7 @@
 package optsync
 
+import "optsync/internal/probe"
+
 // Option configures Run and RunBatch. Options replace the old pattern of
 // threading every knob through a growing Spec struct: runner concerns
 // (parallelism, replication, observation, output) stay out of the
@@ -17,12 +19,20 @@ type ProgressEvent struct {
 	Result Result
 }
 
+// probeReg is one probe registration: the probe plus its subscription.
+type probeReg struct {
+	p     probe.Probe
+	types []probe.Type
+}
+
 type config struct {
 	workers  int
 	seeds    int
 	progress func(ProgressEvent)
 	sinks    []Sink
 	specOpts []func(*Spec)
+	probes   []probeReg
+	traces   []*probe.Writer
 }
 
 func newConfig(opts []Option) *config {
@@ -55,7 +65,23 @@ func (c *config) flushSinks() error {
 			first = err
 		}
 	}
+	for _, t := range c.traces {
+		if err := t.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
+}
+
+// synchronizedProbes wraps every registered probe once (one mutex per
+// probe for the whole batch), so a single probe can observe all runs of
+// a batch with serialized calls.
+func (c *config) synchronizedProbes() []probeReg {
+	out := make([]probeReg, len(c.probes))
+	for i, r := range c.probes {
+		out[i] = probeReg{p: probe.Synchronized(r.p), types: r.types}
+	}
+	return out
 }
 
 // WithWorkers bounds the batch worker pool. n <= 0 (and the default)
@@ -74,8 +100,13 @@ func WithSeeds(k int) Option {
 	return func(c *config) { c.seeds = k }
 }
 
-// WithProgress installs a callback invoked serially after each finished
-// run. It must not block: it runs under the batch lock.
+// WithProgress installs a callback invoked after each finished run.
+//
+// Concurrency contract: whatever WithWorkers says, calls are serialized
+// under the batch lock and happen-before RunBatch returns — the callback
+// may touch shared state without its own locking (a -race test pins
+// this). Completion order is not input order when workers > 1. It must
+// not block: every worker's result delivery waits on the same lock.
 func WithProgress(fn func(ProgressEvent)) Option {
 	return func(c *config) { c.progress = fn }
 }
@@ -83,8 +114,48 @@ func WithProgress(fn func(ProgressEvent)) Option {
 // WithSink streams results to s in input order, independent of worker
 // scheduling. Sinks are flushed before Run/RunBatch returns. May be
 // given multiple times.
+//
+// Concurrency contract: Sink.Write and Sink.Flush are always invoked
+// serially (under the batch lock, in input order) and happen-before
+// RunBatch returns, so sinks need no locking of their own even with
+// WithWorkers(n > 1).
 func WithSink(s Sink) Option {
 	return func(c *config) { c.sinks = append(c.sinks, s) }
+}
+
+// WithProbe subscribes p to the run's typed event stream — every message
+// send/delivery/drop, pulse, resync, node boot, partition cut/heal, and
+// skew sample, as value events with zero allocation on the hot path. No
+// types means every type; pass a subset (e.g. MessageEventTypes()...) to
+// keep high-rate events away from a slow probe.
+//
+// In Run, p observes the single run inline. In RunBatch, the same p
+// observes every run of the batch: calls are serialized through a mutex,
+// but events from concurrently executing runs interleave — aggregate
+// across the batch with a Collector, or key on Event fields. Probes
+// observe; they cannot perturb the simulation, and results stay
+// byte-identical with any probes installed.
+func WithProbe(p Probe, types ...EventType) Option {
+	return func(c *config) { c.probes = append(c.probes, probeReg{p: p, types: types}) }
+}
+
+// WithCollector subscribes a collector to exactly the event types it
+// declares. Read its aggregate after Run/RunBatch returns. Same batch
+// semantics as WithProbe (one collector folds the whole batch).
+func WithCollector(col Collector) Option {
+	return func(c *config) { c.probes = append(c.probes, probeReg{p: col, types: col.Types()}) }
+}
+
+// WithTrace records the full event stream to t (see NewTraceWriter).
+// The writer is flushed before Run/RunBatch returns and its first I/O
+// error is returned. In a batch the trace interleaves events of
+// concurrent runs; trace single runs (or WithWorkers(1)) when replay
+// must reproduce per-run aggregates.
+func WithTrace(t *TraceWriter) Option {
+	return func(c *config) {
+		c.traces = append(c.traces, t)
+		c.probes = append(c.probes, probeReg{p: t})
+	}
 }
 
 // WithSeed sets every spec's base seed.

@@ -2,7 +2,7 @@
 // Srikanth-Toueg "Optimal Clock Synchronization" (PODC 1985)
 // reproduction.
 //
-// It exposes three things:
+// It exposes four things:
 //
 //   - a registry: RegisterProtocol / RegisterAttack make algorithms and
 //     faulty-node behaviours pluggable constructors, resolved by name
@@ -16,6 +16,12 @@
 //     context cancellation.
 //   - structured result sinks: Table, CSV, and JSON implementations of
 //     the Sink interface stream Results to machine-readable output.
+//   - a typed observation stream: WithProbe / WithCollector / WithTrace
+//     subscribe probes, bounded-memory streaming collectors, and trace
+//     writers to every event of a run (messages, pulses, resyncs, boots,
+//     partition churn, skew samples) with zero hot-path allocation;
+//     ReplayTrace feeds a recorded trace back through collectors to
+//     bit-identical aggregates (see probe.go).
 //
 // Quick example:
 //
@@ -43,6 +49,7 @@ import (
 	"optsync/internal/metrics"
 	"optsync/internal/network"
 	"optsync/internal/node"
+	"optsync/internal/probe"
 )
 
 // The experiment vocabulary, re-exported as aliases so values flow
@@ -206,13 +213,22 @@ func F(v float64) string { return harness.F(v) }
 func FmtBool(ok bool) string { return harness.FmtBool(ok) }
 
 // Run executes one spec and returns its measurements. Options that only
-// make sense for batches (WithWorkers, WithSeeds) are ignored; sink and
-// progress options apply. Results are deterministic in the spec alone.
+// make sense for batches (WithWorkers, WithSeeds) are ignored; sink,
+// probe, collector, trace, and progress options apply. Results are
+// deterministic in the spec alone — probes observe without perturbing.
 // Cancelling ctx aborts the simulation and returns ctx.Err().
 func Run(ctx context.Context, spec Spec, opts ...Option) (Result, error) {
 	cfg := newConfig(opts)
 	cfg.applySpec(&spec)
-	res, err := harness.RunContext(ctx, spec)
+	var attach harness.Observe
+	if len(cfg.probes) > 0 {
+		attach = func(_ Spec, bus *probe.Bus) {
+			for _, r := range cfg.probes {
+				bus.Attach(r.p, r.types...)
+			}
+		}
+	}
+	res, err := harness.RunObserved(ctx, spec, attach)
 	if err != nil {
 		return Result{}, err
 	}
@@ -251,6 +267,20 @@ func RunBatch(ctx context.Context, specs []Spec, opts ...Option) ([]Result, erro
 		}
 	}
 
+	// One probe set observes the whole batch: each probe is wrapped with
+	// a single mutex so calls from concurrently executing runs are
+	// serialized (events still interleave across runs — that is the
+	// documented batch semantics of WithProbe/WithCollector/WithTrace).
+	var attach harness.BatchObserve
+	if len(cfg.probes) > 0 {
+		shared := cfg.synchronizedProbes()
+		attach = func(_ int, _ Spec, bus *probe.Bus) {
+			for _, r := range shared {
+				bus.Attach(r.p, r.types...)
+			}
+		}
+	}
+
 	// Stream to sinks strictly in input order: a finished run is held
 	// until every earlier run has been written, so sink output does not
 	// depend on scheduling. onResult runs under the batch lock. A sink
@@ -284,7 +314,7 @@ func RunBatch(ctx context.Context, specs []Spec, opts ...Option) ([]Result, erro
 		}
 	}
 
-	results, err := harness.RunBatch(ctx, runs, cfg.workers, onResult)
+	results, err := harness.RunBatchObserved(ctx, runs, cfg.workers, onResult, attach)
 	if sinkErr != nil && (err == nil || errors.Is(err, context.Canceled)) {
 		// The cancellation above surfaces as ctx.Err from the batch;
 		// report the root cause instead (without masking a real run error).

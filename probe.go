@@ -1,0 +1,111 @@
+package optsync
+
+import (
+	"io"
+
+	"optsync/internal/probe"
+)
+
+// The probe vocabulary, re-exported as aliases so probes and collectors
+// flow between this package and extension code without conversion.
+type (
+	// Event is one typed observation of a run: a message sent, delivered,
+	// or dropped; a pulse; a resync; a node boot; a partition cut or
+	// heal; a skew sample. Events are plain values — recording them is a
+	// fixed-width frame, and emitting them allocates nothing.
+	Event = probe.Event
+	// EventType discriminates events (EventMessageSent, EventPulse, ...).
+	EventType = probe.Type
+	// Probe consumes events inline at the emission site. A probe runs on
+	// the simulation goroutine of one run; in a batch, WithProbe wraps it
+	// so calls from concurrent runs are serialized.
+	Probe = probe.Probe
+	// ProbeFunc adapts a function to the Probe interface.
+	ProbeFunc = probe.Func
+	// Collector is a probe that folds its subscription into a named,
+	// bounded-memory aggregate, deterministic in the event sequence.
+	Collector = probe.Collector
+	// Stat is one named aggregate value of a Collector.
+	Stat = probe.Stat
+	// SkewStats / SpreadStats / MsgStats / ReintegrationWindows / Series
+	// are the built-in streaming collectors.
+	SkewStats            = probe.SkewStats
+	SpreadStats          = probe.SpreadStats
+	MsgStats             = probe.MsgStats
+	ReintegrationWindows = probe.ReintegrationWindows
+	Series               = probe.Series
+	// TraceWriter records the event stream it observes (a Probe).
+	TraceWriter = probe.Writer
+	// TraceFormat selects the trace encoding.
+	TraceFormat = probe.Format
+)
+
+// Event types.
+const (
+	EventMessageSent        = probe.TypeMessageSent
+	EventMessageDelivered   = probe.TypeMessageDelivered
+	EventMessageDropPolicy  = probe.TypeMessageDropPolicy
+	EventMessageDropOffline = probe.TypeMessageDropOffline
+	EventMessageDropLink    = probe.TypeMessageDropLink
+	EventPulse              = probe.TypePulse
+	EventResync             = probe.TypeResync
+	EventNodeBoot           = probe.TypeNodeBoot
+	EventPartitionCut       = probe.TypePartitionCut
+	EventPartitionHeal      = probe.TypePartitionHeal
+	EventSkewSample         = probe.TypeSkewSample
+
+	// TraceJSONL is one self-describing JSON object per event;
+	// TraceBinary is a compact fixed-width framing (~4x denser). Both
+	// round-trip float64 values exactly, so replay is bit-faithful.
+	TraceJSONL  = probe.FormatJSONL
+	TraceBinary = probe.FormatBinary
+)
+
+// MessageEventTypes lists the five per-message event types — the hot-path
+// subscription for traffic probes.
+func MessageEventTypes() []EventType { return probe.MessageTypes() }
+
+// AllEventTypes lists every event type.
+func AllEventTypes() []EventType { return probe.AllTypes() }
+
+// NewSkewCollector returns a streaming skew collector: count/min/max/mean,
+// P² percentile estimates (p50/p95/p99), and an exponential histogram, in
+// O(1) memory. Subscribe with WithCollector.
+func NewSkewCollector() *SkewStats { return probe.NewSkewStats() }
+
+// NewSpreadCollector returns a per-round acceptance-spread collector.
+func NewSpreadCollector() *SpreadStats { return probe.NewSpreadStats() }
+
+// NewMsgCollector returns a message-complexity collector: traffic
+// counters plus per-protocol-round send counts.
+func NewMsgCollector() *MsgStats { return probe.NewMsgStats() }
+
+// NewReintegrationCollector returns a collector tracking each late
+// joiner's boot-to-first-pulse window.
+func NewReintegrationCollector() *ReintegrationWindows { return probe.NewReintegrationWindows() }
+
+// NewSeriesCollector returns the full-series collector behind
+// WithKeepSeries — O(samples) memory, for when the whole trace matters.
+func NewSeriesCollector() *Series { return probe.NewSeries() }
+
+// NewTraceWriter returns a trace writer emitting the given format to w.
+// Install it with WithTrace; the run entry points flush it and surface
+// its I/O errors.
+func NewTraceWriter(w io.Writer, format TraceFormat) *TraceWriter {
+	return probe.NewWriter(w, format)
+}
+
+// ReplayTrace feeds a recorded trace (either format, auto-detected) back
+// through probes in recorded order and returns the number of events
+// replayed. Collectors fed a replayed trace reproduce the aggregates of
+// the original run exactly — `syncsim trace` is this function with the
+// built-in collectors.
+func ReplayTrace(r io.Reader, probes ...Probe) (int, error) {
+	return probe.Replay(r, probes...)
+}
+
+// SynchronizedProbe wraps p so OnEvent calls are serialized by a mutex —
+// what WithProbe does automatically when a batch shares one probe across
+// concurrent runs. Use it directly when attaching a shared probe through
+// lower-level APIs.
+func SynchronizedProbe(p Probe) Probe { return probe.Synchronized(p) }

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Fold `go test -bench BenchmarkPulseRound` output into BENCH_PR2.json.
+"""Fold `go test -bench BenchmarkPulseRound` output into a trajectory file.
 
-Usage: bench_to_json.py <bench.out> <BENCH_PR2.json>
+Usage: bench_to_json.py <bench.out> <BENCH_PRx.json>
 
-Parses the benchmark lines, records them under the "ci_latest" key of the
-trajectory file, and exits non-zero if any steady-state pulse round
-allocated — the allocation-light message path is a regression-tested
-property, not an aspiration.
+Parses the benchmark lines — including the `/probed` variants that run
+with a no-op probe attached to every message event type — records them
+under the "ci_latest" key of the trajectory file, and exits non-zero if
+any steady-state pulse round allocated (probed or not): the
+allocation-light message path is a regression-tested property, not an
+aspiration.
 """
 import json
 import re
@@ -20,7 +22,7 @@ def main() -> int:
     bench_out, traj_path = sys.argv[1], sys.argv[2]
 
     line_re = re.compile(
-        r"^BenchmarkPulseRound/(n=\d+)\S*\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
+        r"^BenchmarkPulseRound/(n=\d+(?:/probed)?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
         r".*?\s(\d+) B/op\s+(\d+) allocs/op"
     )
     results = {}

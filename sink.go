@@ -31,6 +31,9 @@ type resultRecord struct {
 	MaxSkew    float64 `json:"max_skew_s"`
 	SkewBound  float64 `json:"skew_bound_s"`
 	WithinSkew bool    `json:"within_skew"`
+	SkewP50    float64 `json:"skew_p50_s"`
+	SkewP95    float64 `json:"skew_p95_s"`
+	SkewP99    float64 `json:"skew_p99_s"`
 
 	MaxSpread   float64 `json:"max_spread_s"`
 	SpreadBound float64 `json:"spread_bound_s"`
@@ -68,6 +71,7 @@ func record(r Result) resultRecord {
 		Faulty: r.Spec.FaultyCount,
 		Seed:   r.Spec.Seed, Horizon: r.Spec.Horizon,
 		MaxSkew: r.MaxSkew, SkewBound: r.SkewBound, WithinSkew: r.WithinSkew,
+		SkewP50: r.SkewP50, SkewP95: r.SkewP95, SkewP99: r.SkewP99,
 		MaxSpread: r.MaxSpread, SpreadBound: r.SpreadBound,
 		CompleteRounds: r.CompleteRounds, PulseCount: r.PulseCount,
 		MinPeriod: r.MinPeriod, MaxPeriod: r.MaxPeriod,
@@ -109,6 +113,7 @@ var csvColumns = []string{
 	"env_lo", "env_hi", "env_bound_lo", "env_bound_hi", "within_envelope",
 	"total_msgs", "msgs_per_round",
 	"delivered", "dropped", "dropped_offline", "dropped_link",
+	"skew_p50_s", "skew_p95_s", "skew_p99_s",
 }
 
 // CSVSink emits one row per result with a fixed header.
@@ -145,6 +150,7 @@ func (s *CSVSink) Write(res Result) error {
 		strconv.FormatUint(rec.TotalMsgs, 10), g(rec.MsgsPerRound),
 		strconv.FormatUint(rec.Delivered, 10), strconv.FormatUint(rec.Dropped, 10),
 		strconv.FormatUint(rec.DroppedOffline, 10), strconv.FormatUint(rec.DroppedLink, 10),
+		g(rec.SkewP50), g(rec.SkewP95), g(rec.SkewP99),
 	})
 }
 
