@@ -48,6 +48,8 @@ func Scenarios() []Scenario {
 		{"W1", "Topology: skew vs WAN region count (extension)", W1SkewVsRegions},
 		{"W2", "Topology: convergence across a healed partition (extension)", W2PartitionHeal},
 		{"W3", "Topology: degradation on sparse graphs (extension)", W3SparseDegradation},
+		{"L1", "Scaling tier: n=2048 on sparse rings (extension)", L1Scale},
+		{"L2", "Scaling tier: n=4096 on sparse rings (extension)", L2Scale},
 	}
 }
 

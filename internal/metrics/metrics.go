@@ -52,7 +52,7 @@ func NewBootedSkewSampler(c *node.Cluster, interval float64) *SkewSampler {
 }
 
 func (s *SkewSampler) arm() {
-	s.cluster.Engine.After(s.interval, func() {
+	_, err := s.cluster.Engine.After(s.interval, func() {
 		if s.stopped {
 			return
 		}
@@ -73,6 +73,9 @@ func (s *SkewSampler) arm() {
 		}
 		s.arm()
 	})
+	if err != nil {
+		s.cluster.Engine.Fatalf("metrics: invalid sampling interval %v: %v", s.interval, err)
+	}
 }
 
 // Stop ends sampling.

@@ -11,19 +11,23 @@
 // Connectivity is produced by a pluggable Topology (full mesh by default;
 // WAN regions, sparse graphs, and scheduled partition churn are built in —
 // see topology.go). The message path is allocation-light: envelopes are
-// typed values (Message), deliveries ride pooled sim message events
+// typed values (Message), deliveries ride value-inline sim message events
 // instead of per-send closures, and Broadcast schedules one batched event
-// per distinct delivery time rather than n independent heap entries.
+// per distinct delivery time rather than n independent queue entries
+// (recipients are grouped through a sorted scratch array, not a hash map,
+// so the per-broadcast cost is a contiguous sort instead of n map probes).
 //
 // Observation goes through the engine's probe bus: every send, delivery,
-// and drop emits a typed probe.Event (guarded by Bus.Active, so an
-// uninstrumented run pays one predictable branch per message and an
-// instrumented one stays allocation-free).
+// and drop emits a typed probe.Event. The Bus.Active guards are hoisted
+// out of the per-recipient loops, so an uninstrumented run pays one
+// predictable branch per message on a cached local and an instrumented
+// one stays allocation-free.
 package network
 
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"optsync/internal/probe"
 	"optsync/internal/sim"
@@ -77,6 +81,33 @@ type delivery struct {
 	targets []NodeID
 }
 
+// sendRec is one accepted transmission of a broadcast, before grouping:
+// a plain 16-byte value sorted by (delivery instant, recipient).
+type sendRec struct {
+	at sim.Time
+	to int32
+}
+
+// arenaTrimCap is the arena size (in delivery slots) above which a fully
+// idle arena is released when the burst that just drained used less than
+// a quarter of it: long runs and campaign batches do not retain one
+// worst-case round's batch memory forever.
+const arenaTrimCap = 4096
+
+// msgInline marks a sim.Message whose scalar fields carry the whole
+// envelope: Kind/Round/Value inline, no arena slot, exactly one
+// recipient (To). Scalar-only envelopes — nil Payload, zero Src, Round
+// within int32 — take this path, which is the entire traffic of the
+// O(n^2) pulse rounds: delivery reads one self-contained 32-byte value
+// instead of chasing an arena slot and its targets array.
+const msgInline uint16 = 1
+
+// inlinable reports whether msg can ride a sim event inline.
+func inlinable(msg Message) bool {
+	return msg.Payload == nil && msg.Src == 0 &&
+		int64(msg.Round) == int64(int32(msg.Round))
+}
+
 // Net is the simulated network.
 type Net struct {
 	engine   *sim.Engine
@@ -84,6 +115,7 @@ type Net struct {
 	policy   Policy
 	topo     Topology
 	shaper   DelayShaper // non-nil iff topo shapes delays
+	mesh     bool        // topo is the full mesh: skip per-recipient Linked calls
 	handlers []Handler
 	stats    Stats
 	probes   *probe.Bus // the engine's bus, cached to skip a pointer hop
@@ -91,7 +123,9 @@ type Net struct {
 	target    int // sim dispatch target id
 	arena     []delivery
 	freeSlots []uint32
-	buckets   map[sim.Time]uint32 // scratch: deliverAt -> arena slot
+	inUse     int // arena slots currently holding scheduled batches
+	peakInUse int // max inUse since the arena was last fully idle
+	scratch   []sendRec
 }
 
 // New creates a network of n endpoints over the engine with the given
@@ -112,12 +146,12 @@ func New(engine *sim.Engine, n int, policy Policy, topo Topology) *Net {
 		topo:     topo,
 		handlers: make([]Handler, n),
 		stats:    Stats{BySender: make([]uint64, n)},
-		buckets:  make(map[sim.Time]uint32),
 		probes:   engine.Probes(),
 	}
 	if s, ok := topo.(DelayShaper); ok {
 		nt.shaper = s
 	}
+	_, nt.mesh = topo.(FullMesh)
 	nt.target = engine.RegisterDispatcher(nt)
 	return nt
 }
@@ -167,7 +201,7 @@ func (nt *Net) linkDelay(from, to NodeID, now sim.Time) float64 {
 // emission. It returns the delivery instant, or ok=false when the
 // message was dropped at send time (already counted).
 func (nt *Net) transmit(from, to NodeID, now sim.Time, msg Message) (deliverAt sim.Time, ok bool) {
-	if !nt.topo.Linked(from, to, now) {
+	if !nt.mesh && !nt.topo.Linked(from, to, now) {
 		nt.stats.DroppedLink++
 		if nt.probes.Active(probe.TypeMessageDropLink) {
 			nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropLink, from, to, now, -1, msg))
@@ -206,6 +240,10 @@ func (nt *Net) msgEvent(t probe.Type, from, to NodeID, at sim.Time, deliverAt fl
 // alloc takes an arena slot for a new delivery batch, reusing a recycled
 // slot (and its targets backing array) when one is free.
 func (nt *Net) alloc(from NodeID, msg Message) uint32 {
+	nt.inUse++
+	if nt.inUse > nt.peakInUse {
+		nt.peakInUse = nt.inUse
+	}
 	if k := len(nt.freeSlots); k > 0 {
 		idx := nt.freeSlots[k-1]
 		nt.freeSlots = nt.freeSlots[:k-1]
@@ -217,32 +255,76 @@ func (nt *Net) alloc(from NodeID, msg Message) uint32 {
 	return uint32(len(nt.arena) - 1)
 }
 
-// Dispatch implements sim.Dispatcher: deliver one batch.
+// release recycles an arena slot after its batch delivered, and — when
+// the arena goes fully idle far below its high-water mark — drops the
+// arena entirely so one oversized burst does not pin memory for the rest
+// of the run.
+func (nt *Net) release(idx uint32, targets []NodeID) {
+	d := &nt.arena[idx]
+	d.msg = Message{}
+	d.targets = targets[:0]
+	nt.inUse--
+	if nt.inUse == 0 {
+		if len(nt.arena) > arenaTrimCap && nt.peakInUse*4 < len(nt.arena) {
+			nt.arena = nil
+			nt.freeSlots = nil
+		} else {
+			nt.freeSlots = append(nt.freeSlots, idx)
+		}
+		nt.peakInUse = 0
+		return
+	}
+	nt.freeSlots = append(nt.freeSlots, idx)
+}
+
+// Dispatch implements sim.Dispatcher: deliver one inline message or one
+// arena batch.
 func (nt *Net) Dispatch(now sim.Time, m sim.Message) {
-	// Copy the batch out of the arena first: handlers may send, and a
-	// reentrant send can grow the arena, invalidating the slot pointer.
-	d := &nt.arena[m.Index]
-	from, msg, targets := d.from, d.msg, d.targets
-	for _, to := range targets {
+	if m.Flags&msgInline != 0 {
+		from, to := NodeID(m.From), NodeID(m.To)
+		msg := Message{Kind: Kind(m.Kind), Round: int(m.Round), Value: m.Value}
 		h := nt.handlers[to]
 		if h == nil {
 			nt.stats.DroppedOffline++
 			if nt.probes.Active(probe.TypeMessageDropOffline) {
 				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropOffline, from, to, now, now, msg))
 			}
-			continue
+			return
 		}
 		nt.stats.Delivered++
 		if nt.probes.Active(probe.TypeMessageDelivered) {
 			nt.probes.Emit(nt.msgEvent(probe.TypeMessageDelivered, from, to, now, now, msg))
 		}
 		h(from, msg)
+		return
 	}
-	// Release the slot: drop payload references, keep the targets array.
-	d = &nt.arena[m.Index]
-	d.msg = Message{}
-	d.targets = targets[:0]
-	nt.freeSlots = append(nt.freeSlots, uint32(m.Index))
+	// Copy the batch out of the arena first: handlers may send, and a
+	// reentrant send can grow the arena, invalidating the slot pointer.
+	d := &nt.arena[m.Index]
+	from, msg, targets := d.from, d.msg, d.targets
+	// Hoist the probe guards and counters out of the per-delivery loop:
+	// the common unobserved run pays two local bool tests per batch.
+	deliveredActive := nt.probes.Active(probe.TypeMessageDelivered)
+	offlineActive := nt.probes.Active(probe.TypeMessageDropOffline)
+	var delivered, offline uint64
+	for _, to := range targets {
+		h := nt.handlers[to]
+		if h == nil {
+			offline++
+			if offlineActive {
+				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropOffline, from, to, now, now, msg))
+			}
+			continue
+		}
+		delivered++
+		if deliveredActive {
+			nt.probes.Emit(nt.msgEvent(probe.TypeMessageDelivered, from, to, now, now, msg))
+		}
+		h(from, msg)
+	}
+	nt.stats.Delivered += delivered
+	nt.stats.DroppedOffline += offline
+	nt.release(m.Index, targets)
 }
 
 // Send transmits msg from -> to. Delivery is scheduled according to the
@@ -257,6 +339,13 @@ func (nt *Net) Send(from, to NodeID, msg Message) {
 	if !ok {
 		return
 	}
+	if inlinable(msg) {
+		nt.engine.MustAtMsg(deliverAt, nt.target, sim.Message{
+			From: int32(from), To: int32(to), Kind: uint16(msg.Kind),
+			Flags: msgInline, Round: int32(msg.Round), Value: msg.Value,
+		})
+		return
+	}
 	idx := nt.alloc(from, msg)
 	nt.arena[idx].targets = append(nt.arena[idx].targets, to)
 	nt.engine.MustAtMsg(deliverAt, nt.target, sim.Message{
@@ -268,38 +357,138 @@ func (nt *Net) Send(from, to NodeID, msg Message) {
 // sender, including the sender itself ("sends to all" in the paper
 // includes the sender; self-delivery obeys the same delay bounds, which is
 // the conservative reading). Recipients sharing a delivery instant ride a
-// single batched event, so a fixed-delay broadcast costs one heap push
-// instead of n.
+// single batched event, so a fixed-delay broadcast costs one queue entry
+// instead of n. Grouping runs over a sorted scratch array of (instant,
+// recipient) values; batches are scheduled in ascending delivery order,
+// which yields the exact delivery sequence of per-recipient scheduling
+// (recipient order breaks ties within an instant, broadcast order across
+// calls) without a hash map on the hot path.
 func (nt *Net) Broadcast(from NodeID, msg Message) {
 	nt.checkID(from)
 	now := nt.engine.Now()
-	// Take exclusive ownership of the scratch bucket map for the duration
-	// of this call: a probe may reenter Broadcast from OnEvent, and a
-	// shared map would let the inner call append recipients to the outer
-	// call's batches. A reentrant call finds nil and allocates its own
-	// (the steady-state, non-reentrant path still reuses one map forever).
-	buckets := nt.buckets
-	if buckets == nil {
-		buckets = make(map[sim.Time]uint32)
+	if inlinable(msg) {
+		nt.broadcastInline(from, msg, now)
+		return
 	}
-	nt.buckets = nil
+	// Take exclusive ownership of the scratch array for the duration of
+	// this call: a probe may reenter Broadcast from OnEvent, and a shared
+	// scratch would let the inner call corrupt the outer call's batches.
+	// A reentrant call finds nil and allocates its own (the steady-state,
+	// non-reentrant path reuses one array forever).
+	scratch := nt.scratch
+	if scratch == nil {
+		scratch = make([]sendRec, 0, nt.n)
+	}
+	nt.scratch = nil
+	scratch = scratch[:0]
+	// Per-recipient transmit sequence with the topology fast path and
+	// probe guards hoisted out of the loop. Event emission (and the rng
+	// draw order) is identical to calling transmit per recipient.
+	mesh := nt.mesh
+	linkActive := nt.probes.Active(probe.TypeMessageDropLink)
+	policyActive := nt.probes.Active(probe.TypeMessageDropPolicy)
+	sentActive := nt.probes.Active(probe.TypeMessageSent)
+	sent, droppedLink, droppedPolicy := uint64(0), uint64(0), uint64(0)
 	for to := 0; to < nt.n; to++ {
-		deliverAt, ok := nt.transmit(from, to, now, msg)
-		if !ok {
+		if !mesh && !nt.topo.Linked(from, to, now) {
+			droppedLink++
+			if linkActive {
+				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropLink, from, to, now, -1, msg))
+			}
 			continue
 		}
-		idx, seen := buckets[deliverAt]
-		if !seen {
-			idx = nt.alloc(from, msg)
-			buckets[deliverAt] = idx
-			nt.engine.MustAtMsg(deliverAt, nt.target, sim.Message{
-				From: int32(from), To: -1, Index: idx,
-			})
+		sent++
+		d := nt.linkDelay(from, to, now)
+		if d < 0 {
+			droppedPolicy++
+			if policyActive {
+				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropPolicy, from, to, now, -1, msg))
+			}
+			continue
 		}
-		nt.arena[idx].targets = append(nt.arena[idx].targets, to)
+		deliverAt := now + d
+		if sentActive {
+			nt.probes.Emit(nt.msgEvent(probe.TypeMessageSent, from, to, now, deliverAt, msg))
+		}
+		scratch = append(scratch, sendRec{at: deliverAt, to: int32(to)})
 	}
-	clear(buckets)
-	nt.buckets = buckets
+	nt.stats.Sent += sent
+	nt.stats.BySender[from] += sent
+	nt.stats.DroppedLink += droppedLink
+	nt.stats.Dropped += droppedPolicy
+	// Group recipients into one batch per distinct delivery instant.
+	// (at, to) pairs are unique, so the sort needs no stability.
+	slices.SortFunc(scratch, func(a, b sendRec) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		return int(a.to) - int(b.to)
+	})
+	for i := 0; i < len(scratch); {
+		j := i + 1
+		for j < len(scratch) && scratch[j].at == scratch[i].at {
+			j++
+		}
+		idx := nt.alloc(from, msg)
+		d := &nt.arena[idx]
+		for k := i; k < j; k++ {
+			d.targets = append(d.targets, NodeID(scratch[k].to))
+		}
+		nt.engine.MustAtMsg(scratch[i].at, nt.target, sim.Message{
+			From: int32(from), To: -1, Index: idx,
+		})
+		i = j
+	}
+	nt.scratch = scratch[:0]
+}
+
+// broadcastInline is Broadcast for scalar-only envelopes: every accepted
+// recipient gets one self-contained inline event, so the fan-out needs no
+// scratch array, no sort, and no arena slot — and delivery needs no
+// arena load. Per-recipient event order equals the batched order exactly:
+// the global (time, seq) order delivers by (instant, broadcast call,
+// recipient id), the same key the batch path sorts by.
+func (nt *Net) broadcastInline(from NodeID, msg Message, now sim.Time) {
+	mesh := nt.mesh
+	linkActive := nt.probes.Active(probe.TypeMessageDropLink)
+	policyActive := nt.probes.Active(probe.TypeMessageDropPolicy)
+	sentActive := nt.probes.Active(probe.TypeMessageSent)
+	proto := sim.Message{
+		From: int32(from), Kind: uint16(msg.Kind),
+		Flags: msgInline, Round: int32(msg.Round), Value: msg.Value,
+	}
+	sent, droppedLink, droppedPolicy := uint64(0), uint64(0), uint64(0)
+	for to := 0; to < nt.n; to++ {
+		if !mesh && !nt.topo.Linked(from, to, now) {
+			droppedLink++
+			if linkActive {
+				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropLink, from, to, now, -1, msg))
+			}
+			continue
+		}
+		sent++
+		d := nt.linkDelay(from, to, now)
+		if d < 0 {
+			droppedPolicy++
+			if policyActive {
+				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropPolicy, from, to, now, -1, msg))
+			}
+			continue
+		}
+		deliverAt := now + d
+		if sentActive {
+			nt.probes.Emit(nt.msgEvent(probe.TypeMessageSent, from, to, now, deliverAt, msg))
+		}
+		proto.To = int32(to)
+		nt.engine.MustAtMsg(deliverAt, nt.target, proto)
+	}
+	nt.stats.Sent += sent
+	nt.stats.BySender[from] += sent
+	nt.stats.DroppedLink += droppedLink
+	nt.stats.Dropped += droppedPolicy
 }
 
 func (nt *Net) checkID(id NodeID) {

@@ -160,7 +160,17 @@ func (nd *Node) AtLogical(value float64, fn func()) Timer {
 	if t < now {
 		t = now
 	}
-	return nd.cluster.Engine.MustAt(t, fn)
+	// Schedule through the validated API: a protocol asking for a NaN or
+	// infinite logical instant (a divergent clock inversion, a NaN from
+	// upstream arithmetic) is a simulation error, reported through the
+	// engine's trap rather than a bare scheduling panic.
+	ev, err := nd.cluster.Engine.At(t, fn)
+	if err != nil {
+		nd.cluster.Engine.Fatalf("node %d: AtLogical(%v) resolves to unschedulable instant %v: %v",
+			nd.id, value, t, err)
+		return nil
+	}
+	return ev
 }
 
 // Cancel implements Env.

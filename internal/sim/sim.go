@@ -1,13 +1,16 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual "real time" clock (float64 seconds) and a
-// priority queue of events. Events scheduled for the same instant are
-// executed in scheduling order (FIFO), which together with a seeded random
-// source makes every simulation fully reproducible.
+// The engine maintains a virtual "real time" clock (float64 seconds) and
+// two event tiers sharing one global (time, sequence) order: a two-level
+// ladder/calendar queue of value-inline message events (the O(n^2)
+// steady-state path — see ladder.go) and a binary heap of closure events
+// (timers), which escape to callers and support Cancel. Events scheduled
+// for the same instant execute in scheduling order (FIFO), which together
+// with a seeded random source makes every simulation fully reproducible.
 //
-// The engine is single-threaded by design: distributed-system "concurrency"
-// is modelled by event interleaving, not goroutines, so simulations are
-// deterministic and race-free.
+// The engine is single-threaded by design: distributed-system
+// "concurrency" is modelled by event interleaving, not goroutines, so
+// simulations are deterministic and race-free.
 package sim
 
 import (
@@ -26,16 +29,25 @@ type Time = float64
 // Message is a value-typed event payload routed to a registered
 // Dispatcher instead of a heap-allocated closure. The engine treats every
 // field as opaque; by convention From/To are endpoint ids and Index is a
-// slot in a dispatcher-owned arena holding the real payload, so the
-// steady-state message path stays allocation-free.
+// slot in a dispatcher-owned arena holding the real payload — or, when
+// the dispatcher's Flags say so, the scalar fields carry the entire
+// payload inline and the event never touches an arena at all. Either
+// way the steady-state message path stays allocation-free.
 type Message struct {
 	// From and To are endpoint hints (dispatcher-defined; To < 0 for
 	// batched deliveries that fan out inside the dispatcher).
 	From, To int32
 	// Kind is a dispatcher-defined discriminator.
 	Kind uint16
+	// Flags carries dispatcher-defined bits (e.g. "payload is inline").
+	Flags uint16
 	// Index addresses the payload in the dispatcher's arena.
 	Index uint32
+	// Round and Value are dispatcher-defined inline payload scalars:
+	// envelopes that fit them skip the arena and ride the event queue
+	// as one self-contained value.
+	Round int32
+	Value float64
 }
 
 // Dispatcher consumes value-typed message events at their delivery time.
@@ -45,14 +57,13 @@ type Dispatcher interface {
 }
 
 // Event is a scheduled callback. It is returned by the scheduling methods
-// so that callers can cancel it before it fires.
+// so that callers can cancel it before it fires. Message events (AtMsg)
+// ride the ladder queue as inline values instead and have no handle.
 type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	msg      Message
-	target   int32 // dispatcher id, -1 for closure events
-	index    int   // heap index, -1 when not queued
+	index    int // heap index, -1 when not queued
 	canceled bool
 }
 
@@ -73,18 +84,19 @@ var ErrPastTime = errors.New("sim: schedule time is in the past")
 //
 // The zero value is not usable; construct with New.
 type Engine struct {
-	now         Time
-	seed        int64
-	seq         uint64
-	queue       eventQueue
+	now  Time
+	seed int64
+	// seq is the global scheduling sequence, shared by both event tiers:
+	// (at, seq) totally orders every pending event.
+	seq uint64
+	// closures is the heap tier: cancellable callback events only.
+	closures eventQueue
+	// ladder is the message tier: value-inline, near-O(1) scheduling.
+	ladder      ladder
 	rng         *rand.Rand
 	perID       map[int]*rand.Rand
 	processed   uint64
 	dispatchers []Dispatcher
-	// free is the reuse list for message events. Only events scheduled
-	// through AtMsg are pooled: closure events escape to callers (for
-	// Cancel), so recycling them could resurrect a stale handle.
-	free []*Event
 	// probes is the run's observation bus. The engine owns it so every
 	// layer sharing the engine (network, nodes, samplers) shares one
 	// event stream; the engine itself emits nothing.
@@ -151,7 +163,7 @@ func (e *Engine) RegisterDispatcher(d Dispatcher) int {
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.closures) + e.ladder.count }
 
 // At schedules fn to run at virtual time t. Scheduling at the current time
 // is allowed (the event runs after all previously scheduled events for that
@@ -163,17 +175,18 @@ func (e *Engine) At(t Time, fn func()) (*Event, error) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		return nil, fmt.Errorf("sim: invalid event time %v", t)
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, target: -1, index: -1}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	heap.Push(&e.closures, ev)
 	return ev, nil
 }
 
 // AtMsg schedules a value-typed message event for virtual time t, to be
 // delivered to the dispatcher registered under target. Message events are
-// pooled: in steady state AtMsg performs no heap allocation. They cannot
-// be individually canceled (no handle escapes); cancellation belongs to
-// the dispatcher's own arena bookkeeping.
+// stored inline in the ladder queue: in steady state AtMsg performs no
+// heap allocation and no heap reorganization. They cannot be individually
+// canceled (no handle escapes); cancellation belongs to the dispatcher's
+// own arena bookkeeping.
 func (e *Engine) AtMsg(t Time, target int, m Message) error {
 	if t < e.now {
 		return fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, e.now)
@@ -184,17 +197,8 @@ func (e *Engine) AtMsg(t Time, target int, m Message) error {
 	if target < 0 || target >= len(e.dispatchers) {
 		return fmt.Errorf("sim: unknown dispatch target %d", target)
 	}
-	var ev *Event
-	if k := len(e.free); k > 0 {
-		ev = e.free[k-1]
-		e.free[k-1] = nil
-		e.free = e.free[:k-1]
-	} else {
-		ev = &Event{}
-	}
-	*ev = Event{at: t, seq: e.seq, msg: m, target: int32(target), index: -1}
+	e.ladder.push(e.now, msgEvent{at: t, seq: e.seq, msg: m, target: int32(target)})
 	e.seq++
-	heap.Push(&e.queue, ev)
 	return nil
 }
 
@@ -215,12 +219,27 @@ func (e *Engine) MustAt(t Time, fn func()) *Event {
 	return ev
 }
 
-// After schedules fn to run d seconds of virtual time from now.
-func (e *Engine) After(d Time, fn func()) *Event {
+// After schedules fn to run d seconds of virtual time from now. Negative
+// delays clamp to zero (run after the already-scheduled events for the
+// current instant); NaN and infinite delays are errors.
+func (e *Engine) After(d Time, fn func()) (*Event, error) {
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return nil, fmt.Errorf("sim: invalid delay %v", d)
+	}
 	if d < 0 {
 		d = 0
 	}
-	return e.MustAt(e.now+d, fn)
+	return e.At(e.now+d, fn)
+}
+
+// MustAfter is After for callers that have already validated d; it panics
+// on error.
+func (e *Engine) MustAfter(d Time, fn func()) *Event {
+	ev, err := e.After(d, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
 }
 
 // Cancel removes a pending event so that it never fires. Canceling a fired
@@ -230,36 +249,52 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	heap.Remove(&e.closures, ev.index)
 }
 
 // Step executes the single next event, advancing virtual time to it.
 // It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
-		return false
-	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
-	e.processed++
-	if ev.target >= 0 {
-		d, m := e.dispatchers[ev.target], ev.msg
-		// Recycle before dispatching so events scheduled from inside the
-		// dispatch can already reuse the slot.
-		*ev = Event{index: -1, target: -1}
-		e.free = append(e.free, ev)
-		d.Dispatch(e.now, m)
+	m, okM := e.ladder.peek()
+	if len(e.closures) == 0 {
+		if !okM {
+			return false
+		}
+	} else if c := e.closures[0]; !okM || c.at < m.at || (c.at == m.at && c.seq < m.seq) {
+		heap.Pop(&e.closures)
+		e.now = c.at
+		e.processed++
+		c.fn()
 		return true
 	}
-	ev.fn()
+	e.ladder.pop()
+	e.now = m.at
+	e.processed++
+	e.dispatchers[m.target].Dispatch(e.now, m.msg)
 	return true
+}
+
+// nextAt returns the instant of the earliest pending event.
+func (e *Engine) nextAt() (Time, bool) {
+	m, okM := e.ladder.peek()
+	if len(e.closures) == 0 {
+		return m.at, okM
+	}
+	if c := e.closures[0]; !okM || c.at < m.at {
+		return c.at, true
+	}
+	return m.at, true
 }
 
 // Run executes events until the queue is empty or the next event is
 // strictly after until. Virtual time is advanced to until at the end, so
 // subsequent scheduling is relative to the horizon.
 func (e *Engine) Run(until Time) {
-	for e.queue.Len() > 0 && e.queue[0].at <= until {
+	for {
+		at, ok := e.nextAt()
+		if !ok || at > until {
+			break
+		}
 		e.Step()
 	}
 	if e.now < until {
@@ -272,7 +307,7 @@ func (e *Engine) Run(until Time) {
 // limit of 0 means no limit.
 func (e *Engine) RunAll(limit uint64) uint64 {
 	var count uint64
-	for e.queue.Len() > 0 {
+	for e.Pending() > 0 {
 		if limit > 0 && count >= limit {
 			break
 		}
@@ -292,7 +327,7 @@ func (e *Engine) Fatalf(format string, args ...any) {
 	panic(fmt.Sprintf("sim: "+format, args...))
 }
 
-// eventQueue is a binary heap ordered by (time, sequence).
+// eventQueue is a binary heap of closure events ordered by (time, sequence).
 type eventQueue []*Event
 
 var _ heap.Interface = (*eventQueue)(nil)

@@ -83,8 +83,9 @@ type funcDispatcher struct {
 
 func (d *funcDispatcher) Dispatch(now Time, m Message) { d.fn(now, m) }
 
-// Steady-state message events must be served from the free list: after a
-// warm-up round, scheduling another batch allocates nothing.
+// Steady-state message events must reuse retained ladder bucket
+// capacity (the old engine's free list is gone — events are values now):
+// after a warm-up round, scheduling another batch allocates nothing.
 func TestMsgEventPoolReuse(t *testing.T) {
 	e := New(1)
 	target := e.RegisterDispatcher(&recorder{})
@@ -103,8 +104,8 @@ func TestMsgEventPoolReuse(t *testing.T) {
 	}
 }
 
-// A dispatcher that schedules from inside Dispatch may immediately reuse
-// the just-recycled event; the engine must hand it out safely.
+// A dispatcher that schedules from inside Dispatch inserts behind the
+// ladder's drain point; the engine must order the follow-up correctly.
 func TestDispatchReschedulesFromPool(t *testing.T) {
 	e := New(1)
 	var seen []uint32
@@ -220,9 +221,9 @@ func TestRunAllLimitWithSelfScheduling(t *testing.T) {
 	var loop func()
 	loop = func() {
 		count++
-		e.After(1, loop) // every event schedules its successor
+		e.MustAfter(1, loop) // every event schedules its successor
 	}
-	e.After(0, loop)
+	e.MustAfter(0, loop)
 	if n := e.RunAll(7); n != 7 {
 		t.Fatalf("RunAll(7) processed %d", n)
 	}

@@ -139,7 +139,7 @@ func TestEngineAfter(t *testing.T) {
 	e := New(1)
 	var at Time
 	e.MustAt(5, func() {
-		e.After(2.5, func() { at = e.Now() })
+		e.MustAfter(2.5, func() { at = e.Now() })
 	})
 	e.RunAll(0)
 	if at != 7.5 {
@@ -147,7 +147,7 @@ func TestEngineAfter(t *testing.T) {
 	}
 	// Negative delays clamp to "now".
 	fired := false
-	e.After(-1, func() { fired = true })
+	e.MustAfter(-1, func() { fired = true })
 	e.RunAll(0)
 	if !fired {
 		t.Fatal("negative-delay event did not fire")
@@ -166,7 +166,7 @@ func TestEngineDeterminism(t *testing.T) {
 			}
 			n++
 			d := e.Rand().Float64()
-			e.After(d, func() {
+			e.MustAfter(d, func() {
 				got = append(got, e.Now())
 				schedule()
 			})

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# bench_compare.sh — gate the pulse-round hot path against the committed
+# benchmark record.
+#
+# Usage: scripts/bench_compare.sh [bench.out] [BENCH_PRx.json]
+#
+#   bench.out      `go test -bench BenchmarkPulseRound -benchmem` output;
+#                  when omitted, the benchmark is run fresh (benchtime 3x).
+#   BENCH_PRx.json committed trajectory file (default BENCH_PR5.json);
+#                  its probe_off results are the regression baseline.
+#
+# Fails when:
+#   - any BenchmarkPulseRound size allocates (probed or not), or
+#   - the fresh n=512 probe-off ns/op regresses more than 10% against the
+#     committed record.
+#
+# When benchstat (golang.org/x/perf) is on PATH, a baseline bench file is
+# synthesized from the JSON and a full benchstat delta report is printed;
+# without it the script falls back to a plain ratio table. benchstat is a
+# nicety for humans — the gate itself needs only python3.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_OUT="${1:-}"
+BASELINE="${2:-BENCH_PR5.json}"
+TOLERANCE="${BENCH_TOLERANCE:-1.10}"
+
+if [[ -z "$BENCH_OUT" ]]; then
+    BENCH_OUT="$(mktemp)"
+    echo "bench_compare: running BenchmarkPulseRound (benchtime 3x)..." >&2
+    go test -run xxx -bench BenchmarkPulseRound -benchtime 3x -benchmem . | tee "$BENCH_OUT"
+fi
+
+if command -v benchstat >/dev/null 2>&1; then
+    OLD="$(mktemp)"
+    python3 - "$BASELINE" > "$OLD" <<'PY'
+import json, sys
+traj = json.load(open(sys.argv[1]))
+for name, r in sorted(traj["probe_off"]["results"].items()):
+    print(f"BenchmarkPulseRound/{name}-1 1 {r['ns_per_op']} ns/op")
+PY
+    echo "--- benchstat (committed ${BASELINE} probe-off vs fresh run) ---"
+    benchstat "$OLD" "$BENCH_OUT" || true
+fi
+
+python3 - "$BENCH_OUT" "$BASELINE" "$TOLERANCE" <<'PY'
+import json, re, sys
+
+bench_out, baseline_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+line_re = re.compile(
+    r"^BenchmarkPulseRound/(n=\d+(?:/probed)?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
+    r".*?\s(\d+) B/op\s+(\d+) allocs/op"
+)
+fresh = {}
+for line in open(bench_out):
+    m = line_re.match(line.strip())
+    if m:
+        fresh[m.group(1)] = {
+            "ns_per_op": float(m.group(2)),
+            "allocs_per_op": int(m.group(4)),
+        }
+if not fresh:
+    sys.exit("bench_compare: no BenchmarkPulseRound lines in " + bench_out)
+
+failures = []
+leaks = {n: r["allocs_per_op"] for n, r in fresh.items() if r["allocs_per_op"] > 0}
+if leaks:
+    failures.append(f"steady-state allocations regressed: {leaks}")
+
+committed = json.load(open(baseline_path))["probe_off"]["results"]
+print(f"{'size':>16} {'committed ns/op':>16} {'fresh ns/op':>14} {'ratio':>7}")
+for name, base in sorted(committed.items()):
+    got = fresh.get(name)
+    if got is None:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    ratio = got["ns_per_op"] / base["ns_per_op"]
+    print(f"{name:>16} {base['ns_per_op']:>16.0f} {got['ns_per_op']:>14.0f} {ratio:>6.2f}x")
+
+gate = "n=512"
+if gate in fresh and gate in committed:
+    ratio = fresh[gate]["ns_per_op"] / committed[gate]["ns_per_op"]
+    if ratio > tolerance:
+        failures.append(
+            f"{gate} probe-off regressed {ratio:.2f}x vs committed "
+            f"{baseline_path} (tolerance {tolerance:.2f}x)"
+        )
+
+if failures:
+    for f in failures:
+        print("bench_compare: FAIL:", f, file=sys.stderr)
+    sys.exit(1)
+print("bench_compare: OK (no allocations; n=512 within tolerance)")
+PY

@@ -8,7 +8,9 @@ with a no-op probe attached to every message event type — records them
 under the "ci_latest" key of the trajectory file, and exits non-zero if
 any steady-state pulse round allocated (probed or not): the
 allocation-light message path is a regression-tested property, not an
-aspiration.
+aspiration. The required tier set includes the n=2048 scaling tier
+(PR 5): a run that silently dropped the large-n regime must not pass.
+ns/op regression gating lives in bench_compare.sh.
 """
 import json
 import re
@@ -37,6 +39,13 @@ def main() -> int:
                 }
     if not results:
         print("bench_to_json: no BenchmarkPulseRound lines found", file=sys.stderr)
+        return 1
+
+    required = {"n=512", "n=512/probed", "n=2048", "n=2048/probed"}
+    missing = required - results.keys()
+    if missing:
+        print(f"bench_to_json: required tiers missing from the run: {sorted(missing)}",
+              file=sys.stderr)
         return 1
 
     with open(traj_path) as f:
