@@ -29,6 +29,17 @@
 //	syncsim campaign -axis dmax=0.004,0.008,0.012,0.016 \
 //	        -store ./results -search dmax
 //
+// Campaigns also run distributed: the serve subcommand starts a
+// coordinator that leases cells to stateless work processes over HTTP
+// and stores their reports in the shared result store (see fabric.go).
+// Workers can be killed and restarted freely; the coordinator reclaims
+// expired leases, and SIGINT on either side shuts down gracefully with
+// all settled cells durable:
+//
+//	syncsim serve -axis faulty=0,1,2 -seeds 5 -store ./results
+//	syncsim work -coordinator http://127.0.0.1:9190
+//	syncsim work -coordinator http://127.0.0.1:9190   # as many as you like
+//
 // Custom runs can record their full typed event trace (messages, pulses,
 // resyncs, boots, partition markers, skew samples); the trace subcommand
 // replays a recorded trace through the streaming collectors and prints
@@ -171,11 +182,17 @@ func (sf *specFlags) spec() (optsync.Spec, error) {
 }
 
 func run(args []string) error {
-	if len(args) > 0 && args[0] == "campaign" {
-		return runCampaignCmd(args[1:])
-	}
-	if len(args) > 0 && args[0] == "trace" {
-		return runTraceCmd(args[1:])
+	if len(args) > 0 {
+		switch args[0] {
+		case "campaign":
+			return runCampaignCmd(args[1:])
+		case "trace":
+			return runTraceCmd(args[1:])
+		case "serve":
+			return runServeCmd(args[1:])
+		case "work":
+			return runWorkCmd(args[1:])
+		}
 	}
 
 	fs := flag.NewFlagSet("syncsim", flag.ContinueOnError)

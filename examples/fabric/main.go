@@ -1,0 +1,122 @@
+// Fabric: a three-worker local fleet in one process. A coordinator
+// serves a (faulty x dmax) campaign over loopback HTTP while three
+// stateless workers lease cells, simulate them, and report back — one
+// of them "crashes" (its context is cut) partway through to show that
+// nothing is lost: its expired leases re-queue and the survivors finish
+// the campaign. The final aggregates are byte-identical to what a
+// single-process optsync.RunCampaign produces for the same sweep,
+// because every cell is content-addressed and every simulation is
+// deterministic.
+//
+//	go run ./examples/fabric                # first pass executes
+//	go run ./examples/fabric                # second pass is all cache hits
+//	rm -r fabric-store                      # start fresh
+//
+// The same topology works across real processes and machines:
+//
+//	syncsim serve -axis faulty=0,1,2,3 -axis dmax=0.006,0.010,0.014 \
+//	        -seeds 3 -store ./fabric-store -addr :9190
+//	syncsim work -coordinator http://COORDINATOR:9190   # on each box
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"optsync"
+)
+
+func main() {
+	p := optsync.Params{
+		N: 7, F: 3, Variant: optsync.Auth,
+		Rho:  optsync.Rho(1e-4),
+		DMin: 0.002, DMax: 0.010,
+		Period:      1.0,
+		InitialSkew: 0.005,
+	}.WithDefaults()
+	c := optsync.Campaign{
+		Name: "fabric-demo",
+		Base: optsync.Spec{
+			Algo: optsync.AlgoAuth, Params: p,
+			Attack: optsync.AttackSilent, Horizon: 12, Seed: 1,
+		},
+		Axes: []optsync.Axis{
+			{Field: "faulty", Values: optsync.Ints(0, 1, 2, 3)},
+			{Field: "dmax", Values: optsync.Floats(0.006, 0.010, 0.014)},
+		},
+		Seeds: 3,
+	}
+
+	store, err := optsync.OpenStore("fabric-store")
+	if err != nil {
+		panic(err)
+	}
+
+	// Coordinator: binds loopback, hands the bound address to the
+	// workers through the Ready hook, compacts the store on exit.
+	ready := make(chan string, 1)
+	type served struct {
+		report *optsync.CampaignReport
+		err    error
+	}
+	done := make(chan served, 1)
+	go func() {
+		report, err := optsync.ServeCampaign(context.Background(), c, store,
+			optsync.FabricServeOptions{
+				ServerOptions: optsync.FabricServerOptions{
+					LeaseTTL:   2 * time.Second, // crashed leases re-queue fast
+					LeaseBatch: 2,
+					Progress: func(done, total int) {
+						fmt.Fprintf(os.Stderr, "\rcoordinator: %d/%d cells settled", done, total)
+					},
+				},
+				Ready:         func(addr string) { ready <- "http://" + addr },
+				Linger:        200 * time.Millisecond,
+				CompactOnExit: true,
+			})
+		done <- served{report, err}
+	}()
+	url := <-ready
+
+	// Three workers; worker 0 is doomed — its context dies after one
+	// second, mid-campaign, like a spot instance being reclaimed.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		i := i
+		ctx := context.Background()
+		if i == 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Second)
+			defer cancel()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := optsync.RunWorker(ctx, url, optsync.FabricWorkerOptions{
+				Name:         fmt.Sprintf("worker-%d", i),
+				Batch:        2,
+				PollInterval: 50 * time.Millisecond,
+			})
+			fmt.Fprintf(os.Stderr, "\nworker-%d: %d cells executed (%v)", i, stats.Executed, err)
+		}()
+	}
+	wg.Wait()
+
+	res := <-done
+	if res.err != nil {
+		panic(res.err)
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Println(res.report.Table().Render())
+
+	// The fleet's aggregates are exactly what one process would compute.
+	single, err := optsync.RunCampaign(context.Background(), c, optsync.WithStore(store))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fleet == single-process aggregates: %v (resume executed %d cells)\n",
+		single.Table().CSV() == res.report.Table().CSV(), single.Executed)
+}

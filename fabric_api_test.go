@@ -1,0 +1,119 @@
+package optsync
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFabricThroughPublicAPI drives the whole distributed surface from
+// the facade alone: ServeCampaign + two RunWorker loops settle a
+// campaign, and the resulting aggregates are identical to a
+// single-process RunCampaign of the same campaign.
+func TestFabricThroughPublicAPI(t *testing.T) {
+	single, err := RunCampaign(context.Background(), testCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenStore(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	type out struct {
+		report *CampaignReport
+		err    error
+	}
+	served := make(chan out, 1)
+	go func() {
+		report, err := ServeCampaign(context.Background(), testCampaign(t), store, FabricServeOptions{
+			Ready:         func(addr string) { ready <- addr },
+			Linger:        50 * time.Millisecond,
+			CompactOnExit: true,
+		})
+		served <- out{report, err}
+	}()
+	var url string
+	select {
+	case addr := <-ready:
+		url = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never became ready")
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for wi := range errs {
+		wi := wi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[wi] = RunWorker(context.Background(), url, FabricWorkerOptions{
+				Name:         fmt.Sprintf("api-w%d", wi),
+				Batch:        1,
+				PollInterval: 2 * time.Millisecond,
+			})
+		}()
+	}
+	wg.Wait()
+	for wi, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", wi, werr)
+		}
+	}
+
+	res := <-served
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.report.Total != 4 || res.report.Executed != 4 {
+		t.Fatalf("fleet accounting: %s", res.report.Summary())
+	}
+	if !reflect.DeepEqual(res.report.Groups, single.Groups) {
+		t.Fatalf("fleet aggregates diverge from single-process:\n got  %+v\n want %+v",
+			res.report.Groups, single.Groups)
+	}
+
+	// CompactOnExit flushed the store into the segment tier; a plain
+	// RunCampaign over the same store answers without executing.
+	resumed, err := RunCampaign(context.Background(), testCampaign(t), WithStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Executed != 0 || resumed.CacheHits != 4 {
+		t.Fatalf("resume over served store recomputed: %s", resumed.Summary())
+	}
+	if !reflect.DeepEqual(resumed.Groups, single.Groups) {
+		t.Fatal("resumed aggregates diverge")
+	}
+}
+
+// TestCompactStoreThroughPublicAPI exercises the store compaction
+// facade on a store populated by RunCampaign.
+func TestCompactStoreThroughPublicAPI(t *testing.T) {
+	store, err := OpenStore(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaign(context.Background(), testCampaign(t), WithStore(store)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := CompactStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compacted != 4 {
+		t.Fatalf("compacted %d cells, want 4", stats.Compacted)
+	}
+	resumed, err := RunCampaign(context.Background(), testCampaign(t), WithStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Executed != 0 || resumed.CacheHits != 4 {
+		t.Fatalf("resume over compacted store recomputed: %s", resumed.Summary())
+	}
+}

@@ -1,0 +1,259 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"optsync/internal/harness"
+)
+
+// The segment tier. A campaign stores one JSON file per finished cell —
+// perfect for atomicity, miserable for million-cell fleets (a million
+// inodes, a million opens on every resume). Compact folds finished
+// loose cells into append-only segment files of one JSON line per cell,
+// addressed by a single index:
+//
+//	<dir>/segments/seg-NNNNNN.jsonl   cells, one cellFile line each
+//	<dir>/segments/index.json         key -> (segment, offset, length)
+//
+// The ordering contract that makes compaction safe while workers keep
+// reporting: a cell's index entry is durable *before* its loose file is
+// unlinked, and Get consults the loose tier first, the index second. A
+// reader therefore always finds the cell in at least one tier, and both
+// tiers hold byte-identical documents (results are content-addressed),
+// so it never matters which one answers.
+const indexVersion = 1
+
+// segRef locates one compacted cell inside a segment file.
+type segRef struct {
+	Segment string `json:"seg"`
+	Offset  int64  `json:"off"`
+	Length  int64  `json:"len"`
+}
+
+// indexFile is the on-disk segment index, rewritten atomically by every
+// compaction.
+type indexFile struct {
+	Version int               `json:"version"`
+	LastSeq int               `json:"last_seq"`
+	Entries map[string]segRef `json:"entries"`
+}
+
+func (s *Store) indexPath() string {
+	return filepath.Join(s.dir, "segments", "index.json")
+}
+
+func (s *Store) segmentPath(name string) string {
+	return filepath.Join(s.dir, "segments", name)
+}
+
+// loadIndex reads the segment index into memory at Open. A corrupt
+// index is recoverable damage, not a dead store: the loose tier and the
+// next compaction rebuild coverage, so it is logged and treated as
+// empty. (Cells referenced only by the lost index re-run; their fresh
+// results land in the loose tier and re-compact later.)
+func (s *Store) loadIndex() error {
+	data, err := os.ReadFile(s.indexPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		s.idx = make(map[string]segRef)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("campaign: reading segment index: %w", err)
+	}
+	var idx indexFile
+	if uerr := json.Unmarshal(data, &idx); uerr != nil || idx.Version != indexVersion {
+		if uerr == nil {
+			uerr = fmt.Errorf("index version %d, this binary speaks %d", idx.Version, indexVersion)
+		}
+		s.warn("campaign: store %s: corrupt segment index (%v); treating compacted cells as missing", s.dir, uerr)
+		s.idx = make(map[string]segRef)
+		return nil
+	}
+	if idx.Entries == nil {
+		idx.Entries = make(map[string]segRef)
+	}
+	s.idx = idx.Entries
+	s.seq = idx.LastSeq
+	return nil
+}
+
+// getCompacted serves key from the segment tier. Damage at any layer —
+// a vanished segment, a short read, a corrupt line — is logged and
+// reported as a miss so the cell re-runs.
+func (s *Store) getCompacted(key string) (harness.Result, bool, error) {
+	s.mu.Lock()
+	ref, ok := s.idx[key]
+	s.mu.Unlock()
+	if !ok {
+		return harness.Result{}, false, nil
+	}
+	f, err := os.Open(s.segmentPath(ref.Segment))
+	if err != nil {
+		s.warnf("campaign: store %s: segment %s unreadable for cell %s (%v); treating as missing", s.dir, ref.Segment, key, err)
+		return harness.Result{}, false, nil
+	}
+	defer f.Close()
+	buf := make([]byte, ref.Length)
+	if _, err := f.ReadAt(buf, ref.Offset); err != nil {
+		s.warnf("campaign: store %s: truncated segment %s at cell %s (%v); treating as missing", s.dir, ref.Segment, key, err)
+		return harness.Result{}, false, nil
+	}
+	res, err := decodeCell(buf, key)
+	if err != nil {
+		s.warnf("campaign: store %s: corrupt compacted cell %s in %s (%v); treating as missing", s.dir, key, ref.Segment, err)
+		return harness.Result{}, false, nil
+	}
+	return res, true, nil
+}
+
+// CompactStats reports what one Compact pass did.
+type CompactStats struct {
+	// Compacted cells moved from the loose tier into the new segment.
+	Compacted int
+	// Skipped loose cells left in place: already indexed duplicates or
+	// corrupt files (corrupt ones are logged and removed so they re-run).
+	Skipped int
+	// Segment is the file the pass appended, "" if nothing to do.
+	Segment string
+}
+
+// Compact folds every finished loose cell into a new append-only
+// segment and removes the loose files. It is safe to run while the
+// store keeps accepting Put calls (a coordinator under live report
+// traffic): only the loose files present when the pass started are
+// touched, each is indexed before it is unlinked, and a concurrent Put
+// of the same key writes an identical document by construction.
+func (s *Store) Compact() (CompactStats, error) {
+	var stats CompactStats
+	loose, err := s.looseCells()
+	if err != nil {
+		return stats, err
+	}
+	// Work on a sorted snapshot so segment layout is deterministic in
+	// the store contents.
+	sort.Slice(loose, func(i, j int) bool { return loose[i][0] < loose[j][0] })
+
+	type entry struct {
+		key  string
+		path string
+		line []byte
+	}
+	var entries []entry
+	for _, kp := range loose {
+		key, path := kp[0], kp[1]
+		s.mu.Lock()
+		_, dup := s.idx[key]
+		s.mu.Unlock()
+		if dup {
+			// Already compacted (a duplicate report re-created the loose
+			// file after a previous pass); the segment copy is identical,
+			// so just drop the loose one.
+			os.Remove(path)
+			stats.Skipped++
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // raced with nothing we own; ignore
+			}
+			return stats, fmt.Errorf("campaign: compacting cell %s: %w", key, err)
+		}
+		if _, derr := decodeCell(data, key); derr != nil {
+			s.warnf("campaign: store %s: corrupt cell %s (%v); dropping it from compaction, it will be re-run", s.dir, key, derr)
+			os.Remove(path)
+			stats.Skipped++
+			continue
+		}
+		if data[len(data)-1] != '\n' {
+			data = append(data, '\n')
+		}
+		entries = append(entries, entry{key: key, path: path, line: data})
+	}
+	if len(entries) == 0 {
+		return stats, nil
+	}
+
+	s.mu.Lock()
+	s.seq++
+	segName := fmt.Sprintf("seg-%06d.jsonl", s.seq)
+	s.mu.Unlock()
+	segPath := s.segmentPath(segName)
+	f, err := os.OpenFile(segPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, storeFileMode)
+	if err != nil {
+		return stats, fmt.Errorf("campaign: creating segment: %w", err)
+	}
+	refs := make(map[string]segRef, len(entries))
+	var off int64
+	for _, e := range entries {
+		n, err := f.Write(e.line)
+		if err != nil {
+			f.Close()
+			os.Remove(segPath)
+			return stats, fmt.Errorf("campaign: writing segment: %w", err)
+		}
+		refs[e.key] = segRef{Segment: segName, Offset: off, Length: int64(n)}
+		off += int64(n)
+	}
+	// The segment must be durable before the index points into it.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(segPath)
+		return stats, fmt.Errorf("campaign: syncing segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(segPath)
+		return stats, fmt.Errorf("campaign: closing segment: %w", err)
+	}
+
+	// Publish the merged index atomically, then — and only then —
+	// unlink the loose files it supersedes.
+	s.mu.Lock()
+	for k, r := range refs {
+		s.idx[k] = r
+	}
+	if err := s.writeIndexLocked(); err != nil {
+		// Roll the in-memory merge back: the on-disk index still serves
+		// the old view and the loose files all survive.
+		for k := range refs {
+			delete(s.idx, k)
+		}
+		s.mu.Unlock()
+		os.Remove(segPath)
+		return stats, err
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		os.Remove(e.path)
+	}
+	stats.Compacted = len(entries)
+	stats.Segment = segName
+	return stats, nil
+}
+
+// writeIndexLocked persists the in-memory index atomically; the caller
+// holds s.mu.
+func (s *Store) writeIndexLocked() error {
+	blob, err := json.Marshal(indexFile{Version: indexVersion, LastSeq: s.seq, Entries: s.idx})
+	if err != nil {
+		return fmt.Errorf("campaign: encoding segment index: %w", err)
+	}
+	if err := writeAtomic(s.indexPath(), append(blob, '\n')); err != nil {
+		return fmt.Errorf("campaign: writing segment index: %w", err)
+	}
+	return nil
+}
+
+// CompactedLen counts the cells served by the segment tier (tests and
+// progress endpoints).
+func (s *Store) CompactedLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}

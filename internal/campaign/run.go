@@ -165,15 +165,15 @@ func Run(ctx context.Context, c Campaign, opts Options) (*Report, error) {
 		Total:     len(cells),
 		Executed:  ct.executed,
 		CacheHits: ct.cached,
-		Groups:    aggregate(cells, results),
+		Groups:    Aggregate(cells, results),
 		Cells:     cells,
 		Results:   results,
 	}, nil
 }
 
-// aggregate folds cell results into per-group summaries, preserving
+// Aggregate folds cell results into per-group summaries, preserving
 // first-occurrence group order.
-func aggregate(cells []Cell, results []harness.Result) []Group {
+func Aggregate(cells []Cell, results []harness.Result) []Group {
 	var order []string
 	byKey := make(map[string][]int)
 	for i, cell := range cells {

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -118,8 +119,59 @@ func TestStoreRefusesForeignVersion(t *testing.T) {
 	}
 }
 
-func TestStoreCorruptCellIsErrorNotMiss(t *testing.T) {
+// TestStoreCorruptCellIsMissWithWarning is the regression test for the
+// truncated-cell robustness fix: a torn or corrupt cell file must not
+// take the whole campaign down — it is logged, treated as missing, and
+// the re-run overwrites the damage.
+func TestStoreCorruptCellIsMissWithWarning(t *testing.T) {
 	store, err := Open(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	store.SetWarn(func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	})
+	spec := testSpec(1)
+	key, err := harness.SpecKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(key, harness.Result{Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(store.Dir(), "cells", key[:2], key+".json")
+	// Deliberately truncate the finished cell mid-document, the exact
+	// artifact a crashed copy or torn filesystem leaves behind.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := store.Get(key); err != nil || ok {
+		t.Fatalf("truncated cell: Get = ok=%v err=%v, want miss without error", ok, err)
+	}
+	if len(warnings) == 0 || !strings.Contains(warnings[0], "corrupt cell") {
+		t.Fatalf("no corruption warning logged: %q", warnings)
+	}
+	// Re-running the cell heals the store in place.
+	res := mustRun(t, spec)
+	if err := store.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := store.Get(key); err != nil || !ok || got.MaxSkew != res.MaxSkew {
+		t.Fatalf("healed cell unreadable: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestStoreDirCreationIsNormalized pins the ensureStoreDir contract:
+// parent directories are created, and every directory and published
+// file carries the one consistent store mode.
+func TestStoreDirCreationIsNormalized(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "deep", "nested", "store")
+	store, err := Open(dir) // parents "deep/nested" must be created too
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,12 +183,23 @@ func TestStoreCorruptCellIsErrorNotMiss(t *testing.T) {
 	if err := store.Put(key, harness.Result{Spec: spec}); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(store.Dir(), "cells", key[:2], key+".json")
-	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
-		t.Fatal(err)
+	for _, sub := range []string{"", "cells", "segments", filepath.Join("cells", key[:2])} {
+		info, err := os.Stat(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := info.Mode().Perm(); got != 0o755 {
+			t.Fatalf("dir %q mode = %o, want 755", sub, got)
+		}
 	}
-	if _, _, err := store.Get(key); err == nil {
-		t.Fatal("corrupt cell served as a miss")
+	for _, file := range []string{"meta.json", filepath.Join("cells", key[:2], key+".json")} {
+		info, err := os.Stat(filepath.Join(dir, file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := info.Mode().Perm(); got != 0o644 {
+			t.Fatalf("file %q mode = %o, want 644", file, got)
+		}
 	}
 }
 

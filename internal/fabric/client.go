@@ -1,0 +1,322 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"optsync/internal/harness"
+)
+
+// Worker defaults; all overridable through WorkerOptions.
+const (
+	DefaultWorkerBatch  = 16
+	DefaultPollInterval = 200 * time.Millisecond
+	DefaultBackoffBase  = 100 * time.Millisecond
+	DefaultBackoffMax   = 5 * time.Second
+	DefaultMaxAttempts  = 8
+	DefaultReportGrace  = 5 * time.Second
+)
+
+// WorkerOptions configures a stateless worker.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator bookkeeping and logs
+	// ("" derives host-pid).
+	Name string
+	// Batch is how many cells to request per lease (0:
+	// DefaultWorkerBatch).
+	Batch int
+	// Workers bounds the local simulation pool a leased batch fans out
+	// over (<= 0: GOMAXPROCS).
+	Workers int
+	// PollInterval is the base wait between lease attempts while the
+	// campaign has work leased elsewhere but nothing pending (0:
+	// DefaultPollInterval). Jittered so a worker fleet does not beat on
+	// the coordinator in lockstep.
+	PollInterval time.Duration
+	// BackoffBase/BackoffMax/MaxAttempts shape per-RPC retry:
+	// exponential backoff doubling from Base to Max with uniform jitter,
+	// giving up after MaxAttempts.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	MaxAttempts int
+	// ReportGrace is how long a finished batch may still be reported
+	// after ctx is cancelled (0: DefaultReportGrace). Graceful shutdown
+	// should not throw away simulations that already completed — the
+	// report is one small RPC; only if it too fails does the lease
+	// expire and the work re-run elsewhere.
+	ReportGrace time.Duration
+	// HTTPClient overrides the transport (tests); nil uses a client
+	// with sane timeouts.
+	HTTPClient *http.Client
+	// Progress, if non-nil, is invoked after every reported batch with
+	// cumulative executed-cell and campaign-done counts.
+	Progress func(executed, done, total int)
+}
+
+// WorkerStats summarizes one worker's run.
+type WorkerStats struct {
+	// Executed counts cells this worker simulated and reported.
+	Executed int
+	// Leases counts successful lease RPCs that returned work.
+	Leases int
+	// Retries counts RPC attempts beyond the first, across all calls.
+	Retries int
+}
+
+// Worker pulls cell leases from a coordinator, executes them through
+// the harness worker pool, and reports results back, retrying transport
+// failures with exponential backoff and jitter. It holds no state the
+// coordinator cannot reconstruct: kill -9 a worker at any instant and
+// the only consequence is a lease expiring.
+type Worker struct {
+	base  string
+	opts  WorkerOptions
+	httpc *http.Client
+	rng   *rand.Rand
+	stats WorkerStats
+}
+
+// NewWorker creates a worker against the coordinator's base URL
+// (e.g. "http://127.0.0.1:9190").
+func NewWorker(coordinatorURL string, opts WorkerOptions) *Worker {
+	if opts.Name == "" {
+		host, _ := os.Hostname()
+		opts.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = DefaultWorkerBatch
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = DefaultPollInterval
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = DefaultBackoffBase
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = DefaultBackoffMax
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.ReportGrace <= 0 {
+		opts.ReportGrace = DefaultReportGrace
+	}
+	httpc := opts.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Worker{
+		base:  strings.TrimSuffix(coordinatorURL, "/"),
+		opts:  opts,
+		httpc: httpc,
+		// Jitter quality does not affect results, only politeness; seed
+		// from the wall clock deliberately.
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Run pulls, executes, and reports cells until the campaign completes
+// (returns nil), ctx is cancelled (returns ctx.Err()), or the
+// coordinator stays unreachable past the retry budget.
+func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return w.stats, err
+		}
+		var lease LeaseResponse
+		if err := w.call(ctx, "/lease", LeaseRequest{Worker: w.opts.Name, Max: w.opts.Batch}, &lease); err != nil {
+			return w.stats, err
+		}
+		if len(lease.Cells) == 0 {
+			if lease.Complete {
+				return w.stats, nil
+			}
+			// Nothing pending right now (work is leased elsewhere, or a
+			// reclaim has not fired yet): poll again after a jittered
+			// interval instead of spinning.
+			if err := w.sleep(ctx, w.jittered(w.opts.PollInterval)); err != nil {
+				return w.stats, err
+			}
+			continue
+		}
+		w.stats.Leases++
+
+		specs := make([]harness.Spec, len(lease.Cells))
+		for i, cell := range lease.Cells {
+			specs[i] = cell.Spec
+		}
+		results, err := harness.RunBatch(ctx, specs, w.opts.Workers, nil)
+		if err != nil {
+			return w.stats, err
+		}
+		report := ReportRequest{Worker: w.opts.Name, Cells: make([]CellReport, len(lease.Cells))}
+		for i, cell := range lease.Cells {
+			report.Cells[i] = CellReport{Index: cell.Index, Key: cell.Key, Result: results[i]}
+		}
+		// Report under a grace context: a SIGINT that lands after the
+		// batch finished simulating must not discard it one RPC short of
+		// durable.
+		rctx, rcancel := graceContext(ctx, w.opts.ReportGrace)
+		var ack ReportResponse
+		err = w.call(rctx, "/report", report, &ack)
+		rcancel()
+		if err != nil {
+			return w.stats, err
+		}
+		if ack.Rejected > 0 {
+			return w.stats, fmt.Errorf("fabric: coordinator rejected %d of %d reported cells (campaign definition mismatch?)",
+				ack.Rejected, len(report.Cells))
+		}
+		w.stats.Executed += len(lease.Cells)
+		if w.opts.Progress != nil {
+			var prog Progress
+			// Best-effort: progress display must not fail the worker.
+			_ = w.get(ctx, "/progress", &prog)
+			w.opts.Progress(w.stats.Executed, prog.Done, prog.Total)
+		}
+		if ack.Complete {
+			return w.stats, nil
+		}
+		if err := ctx.Err(); err != nil {
+			// The grace window reported the finished batch; now honor the
+			// shutdown.
+			return w.stats, err
+		}
+	}
+}
+
+// graceContext returns a context that stays live until grace has passed
+// after parent's cancellation (or until its own cancel), so shutdown
+// can still flush completed work.
+func graceContext(parent context.Context, grace time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := context.AfterFunc(parent, func() {
+		timer := time.AfterFunc(grace, cancel)
+		// Tie the timer to ctx so a normal cancel releases it.
+		context.AfterFunc(ctx, func() { timer.Stop() })
+	})
+	return ctx, func() { stop(); cancel() }
+}
+
+// call POSTs a JSON request and decodes the JSON response, retrying
+// transport failures and 5xx responses with exponential backoff and
+// jitter. 4xx responses are permanent (a client bug), not retried.
+func (w *Worker) call(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("fabric: encoding %s: %w", path, err)
+	}
+	return w.retry(ctx, path, func() error {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+		if err != nil {
+			return permanent(err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return w.do(hreq, resp)
+	})
+}
+
+// get GETs a JSON endpoint with the same retry policy.
+func (w *Worker) get(ctx context.Context, path string, resp any) error {
+	return w.retry(ctx, path, func() error {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+path, nil)
+		if err != nil {
+			return permanent(err)
+		}
+		return w.do(hreq, resp)
+	})
+}
+
+func (w *Worker) do(hreq *http.Request, resp any) error {
+	hresp, err := w.httpc.Do(hreq)
+	if err != nil {
+		return err // transport: retryable
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		var we wireError
+		msg := hresp.Status
+		if json.NewDecoder(io.LimitReader(hresp.Body, 4096)).Decode(&we) == nil && we.Error != "" {
+			msg = we.Error
+		}
+		err := fmt.Errorf("fabric: %s: %s", hreq.URL.Path, msg)
+		if hresp.StatusCode >= 500 {
+			return err // coordinator hiccup: retryable
+		}
+		return permanent(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("fabric: decoding %s response: %w", hreq.URL.Path, err)
+	}
+	return nil
+}
+
+// permanentError marks an error that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+func permanent(err error) error { return permanentError{err: err} }
+
+// retry runs fn with exponential backoff + jitter until it succeeds,
+// returns a permanent error, exhausts MaxAttempts, or ctx ends.
+func (w *Worker) retry(ctx context.Context, what string, fn func() error) error {
+	delay := w.opts.BackoffBase
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+		if attempt >= w.opts.MaxAttempts {
+			return fmt.Errorf("fabric: %s failed after %d attempts: %w", what, attempt, lastErr)
+		}
+		w.stats.Retries++
+		if serr := w.sleep(ctx, w.jittered(delay)); serr != nil {
+			return serr
+		}
+		delay *= 2
+		if delay > w.opts.BackoffMax {
+			delay = w.opts.BackoffMax
+		}
+	}
+}
+
+// jittered spreads d uniformly over [d/2, d): full-jitter style, so a
+// fleet of workers retrying against a recovering coordinator does not
+// arrive as one synchronized thundering herd.
+func (w *Worker) jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(w.rng.Int63n(int64(d/2)))
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,162 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// Cell lifecycle inside the lease table. Exactly one of the three holds
+// for every cell at every instant, so Total = Done + Leased + Pending
+// is a checked invariant, not an aspiration.
+type cellState uint8
+
+const (
+	statePending cellState = iota // waiting in the queue
+	stateLeased                   // checked out, deadline pending
+	stateDone                     // result durably stored
+)
+
+// lease records one outstanding checkout.
+type lease struct {
+	worker   string
+	deadline time.Time
+}
+
+// leaseTable tracks every campaign cell through pending -> leased ->
+// done, with TTL-based reclaim. Done is terminal and idempotent: a cell
+// reported twice (expired lease, racing workers) settles once; a lease
+// that expires returns its cells to the back of the pending queue. Time
+// is injected so tests drive expiry deterministically.
+type leaseTable struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	now    func() time.Time
+	state  []cellState
+	queue  []int // pending cells, FIFO
+	leases map[int]lease
+	done   int
+}
+
+func newLeaseTable(n int, ttl time.Duration, now func() time.Time) *leaseTable {
+	if now == nil {
+		now = time.Now
+	}
+	t := &leaseTable{
+		ttl:    ttl,
+		now:    now,
+		state:  make([]cellState, n),
+		queue:  make([]int, n),
+		leases: make(map[int]lease),
+	}
+	for i := range t.queue {
+		t.queue[i] = i
+	}
+	return t
+}
+
+// markDone settles a cell outside the lease flow (store preload at
+// startup). Reports whether the cell was newly settled.
+func (t *leaseTable) markDone(i int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.settleLocked(i)
+}
+
+// settleLocked moves cell i to done from any state, scrubbing it from
+// whichever structure held it.
+func (t *leaseTable) settleLocked(i int) bool {
+	switch t.state[i] {
+	case stateDone:
+		return false
+	case stateLeased:
+		delete(t.leases, i)
+	case statePending:
+		for qi, c := range t.queue {
+			if c == i {
+				t.queue = append(t.queue[:qi], t.queue[qi+1:]...)
+				break
+			}
+		}
+	}
+	t.state[i] = stateDone
+	t.done++
+	return true
+}
+
+// reclaimLocked returns every expired lease's cells to the pending
+// queue.
+func (t *leaseTable) reclaimLocked() int {
+	if len(t.leases) == 0 {
+		return 0
+	}
+	now := t.now()
+	n := 0
+	for i, l := range t.leases {
+		if now.After(l.deadline) {
+			delete(t.leases, i)
+			t.state[i] = statePending
+			t.queue = append(t.queue, i)
+			n++
+		}
+	}
+	return n
+}
+
+// lease checks out up to max pending cells to worker, reclaiming
+// expired leases first. FIFO order keeps the fleet working through the
+// campaign front-to-back, which keeps partial aggregates representative
+// of a prefix rather than a random scatter.
+func (t *leaseTable) lease(worker string, max int) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reclaimLocked()
+	if max > len(t.queue) {
+		max = len(t.queue)
+	}
+	if max <= 0 {
+		return nil
+	}
+	deadline := t.now().Add(t.ttl)
+	out := make([]int, max)
+	copy(out, t.queue[:max])
+	t.queue = append(t.queue[:0], t.queue[max:]...)
+	for _, i := range out {
+		t.state[i] = stateLeased
+		t.leases[i] = lease{worker: worker, deadline: deadline}
+	}
+	return out
+}
+
+// report settles cell i from a worker report. It accepts the result no
+// matter the cell's state — leased by this worker, expired and
+// re-pending, even leased by someone else: the result is a pure
+// function of the spec, so whoever computed it first wins and everyone
+// else is a duplicate. Reports whether the cell was newly settled.
+func (t *leaseTable) report(i int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.settleLocked(i)
+}
+
+// counts returns the (done, leased, pending) partition after reclaiming
+// expired leases.
+func (t *leaseTable) counts() (done, leased, pending int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reclaimLocked()
+	return t.done, len(t.leases), len(t.queue)
+}
+
+// doneCount returns the settled-cell count.
+func (t *leaseTable) doneCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// complete reports whether every cell is done.
+func (t *leaseTable) complete() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done == len(t.state)
+}

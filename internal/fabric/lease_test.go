@@ -1,0 +1,212 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable lease clock tests advance by hand.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// invariant checks the state partition: Total = Done + Leased + Pending.
+func checkPartition(t *testing.T, lt *leaseTable, total int) {
+	t.Helper()
+	done, leased, pending := lt.counts()
+	if done+leased+pending != total {
+		t.Fatalf("partition broken: done=%d leased=%d pending=%d total=%d",
+			done, leased, pending, total)
+	}
+}
+
+func TestLeaseTableBasicFlow(t *testing.T) {
+	clk := newFakeClock()
+	lt := newLeaseTable(10, time.Minute, clk.Now)
+	checkPartition(t, lt, 10)
+
+	got := lt.lease("w1", 4)
+	if len(got) != 4 {
+		t.Fatalf("leased %d cells, want 4", len(got))
+	}
+	checkPartition(t, lt, 10)
+	for _, i := range got {
+		if !lt.report(i) {
+			t.Fatalf("first report of cell %d not accepted", i)
+		}
+		if lt.report(i) {
+			t.Fatalf("duplicate report of cell %d double-counted", i)
+		}
+	}
+	if done, _, _ := lt.counts(); done != 4 {
+		t.Fatalf("done = %d, want 4", done)
+	}
+	// Lease far more than remains: get exactly the remainder.
+	rest := lt.lease("w2", 100)
+	if len(rest) != 6 {
+		t.Fatalf("leased %d cells, want the remaining 6", len(rest))
+	}
+	for _, i := range rest {
+		lt.report(i)
+	}
+	if !lt.complete() {
+		t.Fatal("table not complete after all cells reported")
+	}
+	if lt.lease("w3", 1) != nil {
+		t.Fatal("lease on a complete table returned cells")
+	}
+}
+
+func TestLeaseExpiryReclaims(t *testing.T) {
+	clk := newFakeClock()
+	lt := newLeaseTable(4, 30*time.Second, clk.Now)
+	crashed := lt.lease("doomed", 3)
+	if len(crashed) != 3 {
+		t.Fatal("setup lease failed")
+	}
+	// Within TTL nothing comes back.
+	clk.Advance(29 * time.Second)
+	if got := lt.lease("w2", 4); len(got) != 1 {
+		t.Fatalf("pre-expiry lease got %d cells, want only the 1 never leased", len(got))
+	}
+	// Past TTL the crashed worker's cells are reclaimed, FIFO at the back.
+	clk.Advance(2 * time.Second)
+	got := lt.lease("w2", 4)
+	if len(got) != 3 {
+		t.Fatalf("post-expiry lease got %d cells, want the 3 reclaimed", len(got))
+	}
+	checkPartition(t, lt, 4)
+}
+
+func TestLateReportAfterExpiryStillCounts(t *testing.T) {
+	clk := newFakeClock()
+	lt := newLeaseTable(2, time.Second, clk.Now)
+	cells := lt.lease("slow", 2)
+	clk.Advance(2 * time.Second)
+	// Another worker picks the reclaimed cells up...
+	again := lt.lease("fast", 2)
+	if len(again) != 2 {
+		t.Fatal("reclaim failed")
+	}
+	// ...but the slow worker's (valid!) results arrive first.
+	if !lt.report(cells[0]) || !lt.report(cells[1]) {
+		t.Fatal("late report after expiry rejected")
+	}
+	// The fast worker's duplicates are no-ops.
+	if lt.report(again[0]) || lt.report(again[1]) {
+		t.Fatal("racing duplicate double-counted")
+	}
+	if !lt.complete() {
+		t.Fatal("table not complete")
+	}
+}
+
+// TestLeaseTableInterleavingProperty drives random interleavings of
+// lease, report, duplicate report, worker crash (a lease that never
+// reports), and clock advance past TTL, and checks after every step
+// that no cell is ever lost (the partition always sums to Total) and
+// none is double-counted (done only grows by accepted first reports —
+// exactly Total of them over the whole run).
+func TestLeaseTableInterleavingProperty(t *testing.T) {
+	const total = 37
+	ttl := 10 * time.Second
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			clk := newFakeClock()
+			lt := newLeaseTable(total, ttl, clk.Now)
+			// outstanding tracks live (not crashed) leases per worker.
+			outstanding := map[string][]int{}
+			accepted := 0
+			settled := make([]bool, total)
+			workers := []string{"w1", "w2", "w3"}
+
+			step := func() {
+				switch op := rng.Intn(10); {
+				case op < 4: // lease a batch to a random worker
+					w := workers[rng.Intn(len(workers))]
+					got := lt.lease(w, 1+rng.Intn(5))
+					outstanding[w] = append(outstanding[w], got...)
+				case op < 7: // a worker reports one of its cells
+					w := workers[rng.Intn(len(workers))]
+					if n := len(outstanding[w]); n > 0 {
+						i := outstanding[w][rng.Intn(n)]
+						if lt.report(i) {
+							if settled[i] {
+								t.Fatalf("cell %d double-counted", i)
+							}
+							settled[i] = true
+							accepted++
+						}
+					}
+				case op < 8: // duplicate report of an already settled cell
+					for i, s := range settled {
+						if s {
+							if lt.report(i) {
+								t.Fatalf("duplicate report of settled cell %d accepted", i)
+							}
+							break
+						}
+					}
+				case op < 9: // a worker crashes: its leases are simply forgotten
+					w := workers[rng.Intn(len(workers))]
+					outstanding[w] = nil
+				default: // time passes; expired leases reclaim
+					clk.Advance(ttl/2 + time.Duration(rng.Intn(int(ttl))))
+				}
+				checkPartition(t, lt, total)
+			}
+			for i := 0; i < 400 && !lt.complete(); i++ {
+				step()
+			}
+			// Drain deterministically: expire everything outstanding and
+			// have one worker finish the campaign; crashes and duplicates
+			// above must not have lost a single cell.
+			clk.Advance(2 * ttl)
+			for !lt.complete() {
+				got := lt.lease("sweeper", 8)
+				if len(got) == 0 {
+					clk.Advance(2 * ttl) // some cells still leased to the forgetful
+					continue
+				}
+				for _, i := range got {
+					if lt.report(i) {
+						if settled[i] {
+							t.Fatalf("cell %d double-counted in drain", i)
+						}
+						settled[i] = true
+						accepted++
+					}
+				}
+			}
+			if accepted != total {
+				t.Fatalf("accepted %d first reports, want exactly %d", accepted, total)
+			}
+			done, leased, pending := lt.counts()
+			if done != total || leased != 0 || pending != 0 {
+				t.Fatalf("final state done=%d leased=%d pending=%d", done, leased, pending)
+			}
+		})
+	}
+}

@@ -1,0 +1,321 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"optsync/internal/campaign"
+	"optsync/internal/harness"
+)
+
+// DefaultLeaseTTL is the lease lifetime when ServerOptions leaves it
+// zero: long enough for a worker to finish a realistic batch, short
+// enough that a crashed worker's cells come back quickly.
+const DefaultLeaseTTL = 60 * time.Second
+
+// DefaultLeaseBatch caps how many cells one lease hands out when
+// ServerOptions leaves it zero.
+const DefaultLeaseBatch = 64
+
+// ServerOptions configures a coordinator.
+type ServerOptions struct {
+	// LeaseTTL is how long a worker holds leased cells before they are
+	// reclaimed (0: DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// LeaseBatch caps cells per lease regardless of what the worker
+	// asks for (0: DefaultLeaseBatch).
+	LeaseBatch int
+	// CompactEvery folds loose cells into an indexed segment after this
+	// many worker-reported cells (0: only on Close/explicit Compact).
+	// Compaction runs in the background, concurrent with reports — the
+	// store's ordering contract makes that safe.
+	CompactEvery int
+	// Progress, if non-nil, is invoked after every newly settled cell.
+	Progress func(done, total int)
+	// Now injects the lease clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Warn receives recoverable-damage log lines (nil: log.Printf).
+	Warn func(format string, args ...any)
+}
+
+// Server is the campaign coordinator: it owns the expanded cell list,
+// the lease table, and the result store, and serves the fabric wire
+// protocol as an http.Handler:
+//
+//	POST /lease       check out a batch of pending cells with a TTL
+//	POST /report      submit finished cells (idempotent)
+//	GET  /progress    live execution accounting
+//	GET  /aggregates  live grouped summaries over settled cells
+//	GET  /healthz     liveness
+//
+// The server never simulates anything itself; it is pure bookkeeping
+// around the store, which is why thousands of lease/report RPCs per
+// second cost it nothing measurable.
+type Server struct {
+	cells []campaign.Cell
+	store *campaign.Store
+	table *leaseTable
+	opts  ServerOptions
+	mux   *http.ServeMux
+
+	mu        sync.Mutex
+	results   []harness.Result
+	settled   []bool
+	executed  int // settled by worker reports
+	preloaded int // settled from the store at startup
+	sinceComp int // reports since the last background compaction
+	compactng bool
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+
+	name string
+}
+
+// NewServer expands the campaign, preloads every cell the store already
+// answers (exactly the single-process resume semantics), and returns a
+// ready-to-serve coordinator.
+func NewServer(c campaign.Campaign, store *campaign.Store, opts ServerOptions) (*Server, error) {
+	if store == nil {
+		return nil, errors.New("fabric: coordinator needs a store (results must be durable before cells settle)")
+	}
+	cells, err := c.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.LeaseBatch <= 0 {
+		opts.LeaseBatch = DefaultLeaseBatch
+	}
+	if opts.Warn == nil {
+		opts.Warn = log.Printf
+	}
+	s := &Server{
+		cells:   cells,
+		store:   store,
+		table:   newLeaseTable(len(cells), opts.LeaseTTL, opts.Now),
+		opts:    opts,
+		results: make([]harness.Result, len(cells)),
+		settled: make([]bool, len(cells)),
+		doneCh:  make(chan struct{}),
+		name:    c.Name,
+	}
+	for i, cell := range cells {
+		res, ok, err := store.Get(cell.Key)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		res.Spec.Name = cell.Spec.Name
+		s.results[i] = res
+		s.settled[i] = true
+		s.table.markDone(i)
+		s.preloaded++
+	}
+	if s.table.complete() {
+		s.doneOnce.Do(func() { close(s.doneCh) })
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lease", s.handleLease)
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/aggregates", s.handleAggregates)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Done is closed when every campaign cell has settled.
+func (s *Server) Done() <-chan struct{} { return s.doneCh }
+
+// Complete reports whether every campaign cell has settled.
+func (s *Server) Complete() bool { return s.table.complete() }
+
+// Cells returns the number of campaign cells.
+func (s *Server) Cells() int { return len(s.cells) }
+
+// Report assembles the final campaign report. It is meaningful any time
+// (partial aggregates over settled cells) but canonical once Complete:
+// then Groups is byte-identical to what the single-process campaign run
+// produces for the same campaign and store.
+func (s *Server) Report() *campaign.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cells, results := s.settledSnapshotLocked()
+	return &campaign.Report{
+		Name:      s.name,
+		Total:     len(s.cells),
+		Executed:  s.executed,
+		CacheHits: s.preloaded,
+		Groups:    campaign.Aggregate(cells, results),
+		Cells:     cells,
+		Results:   results,
+	}
+}
+
+// settledSnapshotLocked returns the settled prefix-preserving subset of
+// (cells, results), aligned index-for-index.
+func (s *Server) settledSnapshotLocked() ([]campaign.Cell, []harness.Result) {
+	cells := make([]campaign.Cell, 0, len(s.cells))
+	results := make([]harness.Result, 0, len(s.cells))
+	for i := range s.cells {
+		if s.settled[i] {
+			cells = append(cells, s.cells[i])
+			results = append(results, s.results[i])
+		}
+	}
+	return cells, results
+}
+
+// Compact folds finished loose cells into the store's segment tier.
+func (s *Server) Compact() (campaign.CompactStats, error) { return s.store.Compact() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, wireError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /lease")
+		return
+	}
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "lease: %v", err)
+		return
+	}
+	max := req.Max
+	if max <= 0 || max > s.opts.LeaseBatch {
+		max = s.opts.LeaseBatch
+	}
+	leased := s.table.lease(req.Worker, max)
+	resp := LeaseResponse{
+		Cells:     make([]LeasedCell, len(leased)),
+		TTLMillis: s.opts.LeaseTTL.Milliseconds(),
+		Complete:  s.table.complete(),
+	}
+	for bi, i := range leased {
+		resp.Cells[bi] = LeasedCell{Index: i, Key: s.cells[i].Key, Spec: s.cells[i].Spec}
+	}
+	_, _, resp.Pending = s.table.counts()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST /report")
+		return
+	}
+	var req ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "report: %v", err)
+		return
+	}
+	var resp ReportResponse
+	for _, cr := range req.Cells {
+		if cr.Index < 0 || cr.Index >= len(s.cells) || s.cells[cr.Index].Key != cr.Key {
+			// An index/key mismatch is a client bug or a stale campaign
+			// definition — never silently store it under the wrong key.
+			s.opts.Warn("fabric: worker %s reported cell %d with key %.8s (mismatch); rejected", req.Worker, cr.Index, cr.Key)
+			resp.Rejected++
+			continue
+		}
+		// Durability before accounting: the store write lands before the
+		// lease table (and the live aggregates) count the cell as done,
+		// so a coordinator crash between the two re-serves the cell from
+		// the store on restart instead of losing it.
+		if err := s.store.Put(cr.Key, cr.Result); err != nil {
+			writeErr(w, http.StatusInternalServerError, "storing cell %d: %v", cr.Index, err)
+			return
+		}
+		if !s.table.report(cr.Index) {
+			resp.Duplicates++
+			continue
+		}
+		s.mu.Lock()
+		s.results[cr.Index] = cr.Result
+		s.settled[cr.Index] = true
+		s.executed++
+		s.sinceComp++
+		compact := s.opts.CompactEvery > 0 && s.sinceComp >= s.opts.CompactEvery && !s.compactng
+		if compact {
+			s.sinceComp = 0
+			s.compactng = true
+		}
+		s.mu.Unlock()
+		resp.Accepted++
+		if s.opts.Progress != nil {
+			s.opts.Progress(s.table.doneCount(), len(s.cells))
+		}
+		if compact {
+			go s.backgroundCompact()
+		}
+	}
+	resp.Complete = s.table.complete()
+	if resp.Complete {
+		s.doneOnce.Do(func() { close(s.doneCh) })
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) backgroundCompact() {
+	if _, err := s.store.Compact(); err != nil {
+		s.opts.Warn("fabric: background compaction: %v", err)
+	}
+	s.mu.Lock()
+	s.compactng = false
+	s.mu.Unlock()
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	done, leased, pending := s.table.counts()
+	s.mu.Lock()
+	executed, preloaded := s.executed, s.preloaded
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Progress{
+		Campaign:  s.name,
+		Total:     len(s.cells),
+		Done:      done,
+		Leased:    leased,
+		Pending:   pending,
+		Executed:  executed,
+		CacheHits: preloaded,
+		Complete:  done == len(s.cells),
+	})
+}
+
+func (s *Server) handleAggregates(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cells, results := s.settledSnapshotLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Aggregates{
+		Campaign: s.name,
+		Total:    len(s.cells),
+		Done:     len(cells),
+		Complete: len(cells) == len(s.cells),
+		Groups:   campaign.Aggregate(cells, results),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}

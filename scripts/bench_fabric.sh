@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# bench_fabric.sh — measure and gate the campaign coordinator's loopback
+# RPC throughput, and record it as BENCH_PR6.json.
+#
+# Usage: scripts/bench_fabric.sh [bench.out]
+#
+#   bench.out  `go test -bench BenchmarkCoordinatorRPC -benchmem` output;
+#              when omitted, the benchmark is run fresh (benchtime 2s).
+#
+# One benchmark op is a full worker round-trip: one /lease RPC plus one
+# /report RPC (JSON decode, key check, durable store write, lease
+# settle). RPCs/sec is therefore 2e9 / (ns/op).
+#
+# Fails when throughput lands below the floor (default 2000 RPC/s,
+# override with FABRIC_RPC_FLOOR). Writes BENCH_PR6.json next to the
+# other trajectory records unless BENCH_JSON_OUT says otherwise; set
+# BENCH_JSON_OUT=/dev/null to skip recording (CI compares against the
+# committed file instead of overwriting it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_OUT="${1:-}"
+FLOOR="${FABRIC_RPC_FLOOR:-2000}"
+JSON_OUT="${BENCH_JSON_OUT:-BENCH_PR6.json}"
+
+if [[ -z "$BENCH_OUT" ]]; then
+    BENCH_OUT="$(mktemp)"
+    echo "bench_fabric: running BenchmarkCoordinatorRPC (benchtime 2s)..." >&2
+    go test -run xxx -bench BenchmarkCoordinatorRPC -benchtime 2s -benchmem \
+        ./internal/fabric/ | tee "$BENCH_OUT"
+fi
+
+python3 - "$BENCH_OUT" "$FLOOR" "$JSON_OUT" <<'PY'
+import json, re, sys
+
+bench_out, floor, json_out = sys.argv[1], float(sys.argv[2]), sys.argv[3]
+line_re = re.compile(
+    r"^BenchmarkCoordinatorRPC(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
+    r"(?:\s+(\d+) B/op\s+(\d+) allocs/op)?"
+)
+ns_per_op = None
+for line in open(bench_out):
+    m = line_re.match(line.strip())
+    if m:
+        ns_per_op = float(m.group(1))
+        bytes_per_op = int(m.group(2)) if m.group(2) else None
+        allocs_per_op = int(m.group(3)) if m.group(3) else None
+if ns_per_op is None:
+    sys.exit("bench_fabric: no BenchmarkCoordinatorRPC line in " + bench_out)
+
+RPCS_PER_OP = 2  # one /lease + one /report
+rpc_per_sec = RPCS_PER_OP * 1e9 / ns_per_op
+print(f"bench_fabric: {ns_per_op:.0f} ns/op "
+      f"({RPCS_PER_OP} RPCs/op) -> {rpc_per_sec:.0f} RPC/s (floor {floor:.0f})")
+
+record = {
+    "benchmark": "BenchmarkCoordinatorRPC",
+    "description": "coordinator loopback throughput; one op = one /lease + one /report",
+    "rpcs_per_op": RPCS_PER_OP,
+    "ns_per_op": ns_per_op,
+    "rpc_per_sec": round(rpc_per_sec, 1),
+    "floor_rpc_per_sec": floor,
+}
+if bytes_per_op is not None:
+    record["bytes_per_op"] = bytes_per_op
+    record["allocs_per_op"] = allocs_per_op
+if json_out != "/dev/null":
+    with open(json_out, "w") as f:
+        json.dump(record, f, indent=2)
+        f.write("\n")
+    print(f"bench_fabric: recorded {json_out}")
+
+if rpc_per_sec < floor:
+    sys.exit(f"bench_fabric: FAIL: {rpc_per_sec:.0f} RPC/s below the "
+             f"{floor:.0f} RPC/s floor")
+print("bench_fabric: OK")
+PY
