@@ -355,6 +355,119 @@ func TestPulseRoundZeroAllocsWithNoopProbe(t *testing.T) {
 	}
 }
 
+// benchShardKick turns a kick event into a round announcement from the
+// sender it names. The benchmark injects one kick per node per round with
+// an explicit key on the sender's lane (Cause = At = the round instant,
+// which no engine-assigned key can collide with, since real deliveries
+// always have At > Cause); rebinding the exec lane before Broadcast makes
+// the fan-out consume the sender's own lane sequence, exactly as node
+// code does.
+type benchShardKick struct {
+	eng *sim.Engine
+	nt  *network.Net
+}
+
+func (k *benchShardKick) Dispatch(_ sim.Time, m sim.Message) {
+	k.eng.SetExecLane(m.From)
+	k.nt.Broadcast(int(m.From), network.Message{Kind: benchPulseKind, Round: int(m.Round)})
+}
+
+// shardedPulseFixture is benchPulseNet for the conservative parallel
+// engine: n nodes striped over k shard engines with persistent parked
+// workers, a kick dispatcher per shard, and the Uniform LAN policy whose
+// 2ms floor is the lookahead.
+type shardedPulseFixture struct {
+	coord *sim.Shards
+	engs  []*sim.Engine
+	tgt   []int
+	owner []int32
+	n     int
+	round int
+}
+
+func benchPulseNetSharded(n, k int) *shardedPulseFixture {
+	coord := sim.NewShards(1, k, 0.002)
+	owner := make([]int32, n)
+	for i := range owner {
+		owner[i] = int32(i * k / n)
+	}
+	nets := network.NewSharded(coord, n, network.Uniform{Min: 0.002, Max: 0.01}, nil, owner)
+	for _, nt := range nets {
+		for i := 0; i < n; i++ {
+			nt.Register(i, func(node.ID, network.Message) {})
+		}
+	}
+	f := &shardedPulseFixture{coord: coord, owner: owner, n: n}
+	for i := 0; i < k; i++ {
+		eng := coord.Shard(i)
+		f.engs = append(f.engs, eng)
+		f.tgt = append(f.tgt, eng.RegisterDispatcher(&benchShardKick{eng: eng, nt: nets[i]}))
+	}
+	// Same warm-up shape as benchPulseNet: one double-fan round, then a
+	// few steady rounds, so buckets, mailboxes, and merge scratch reach
+	// their high-water capacity before measurement.
+	f.kickRound(2)
+	for i := 0; i < 3; i++ {
+		f.kickRound(1)
+	}
+	return f
+}
+
+// kickRound schedules fan broadcasts per node at the next whole-second
+// round instant and drains the window machinery to quiescence.
+func (f *shardedPulseFixture) kickRound(fan int) {
+	f.round++
+	at := float64(f.round)
+	for from := 0; from < f.n; from++ {
+		sh := f.owner[from]
+		for c := 0; c < fan; c++ {
+			f.engs[sh].ScheduleMsg(
+				sim.Key{At: at, Cause: at, Lane: int32(from), Seq: uint32(c)},
+				f.tgt[sh],
+				sim.Message{From: int32(from), Round: int32(f.round)},
+			)
+		}
+	}
+	f.coord.Drain()
+}
+
+// BenchmarkPulseRoundSharded is BenchmarkPulseRound on the sharded
+// engine: one op is a full n-wide pulse round (n^2 messages) through k
+// worker shards, window barriers and cross-shard mailboxes included.
+// shards=1 runs the identical machinery with no remote traffic, so the
+// shards=8/shards=1 ratio isolates the parallel speedup; on a single
+// hardware thread the ratio instead prices the coordination overhead.
+// Steady state must stay 0 allocs/op at every shard count, like the
+// serial engine (BENCH_PR7.json records the matrix, CI gates it).
+func BenchmarkPulseRoundSharded(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		for _, k := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/shards=%d", n, k), func(b *testing.B) {
+				f := benchPulseNetSharded(n, k)
+				b.Cleanup(f.coord.Close)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f.kickRound(1)
+				}
+				b.ReportMetric(float64(n*n), "msgs/op")
+			})
+		}
+	}
+}
+
+// TestShardedPulseRoundZeroAllocs is the tier-1 guard on the sharded hot
+// path: a full pulse round across 4 shards — kicks, fan-out, cross-shard
+// exchange, barriers — must not allocate once warm.
+func TestShardedPulseRoundZeroAllocs(t *testing.T) {
+	f := benchPulseNetSharded(32, 4)
+	defer f.coord.Close()
+	allocs := testing.AllocsPerRun(20, func() { f.kickRound(1) })
+	if allocs != 0 {
+		t.Fatalf("sharded pulse round allocates %v per round", allocs)
+	}
+}
+
 // BenchmarkSignHMAC / BenchmarkSignEd25519 compare the signature schemes.
 func BenchmarkSignHMAC(b *testing.B) {
 	s := sig.NewHMAC(4, 1)

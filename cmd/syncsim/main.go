@@ -122,6 +122,7 @@ type specFlags struct {
 	attack          *string
 	seed            *int64
 	topology        *string
+	shards          *int
 	partitions      stringList
 }
 
@@ -139,6 +140,8 @@ func addSpecFlags(fs *flag.FlagSet) *specFlags {
 		attack:   fs.String("attack", "silent", attackUsage()),
 		seed:     fs.Int64("seed", 1, "simulation seed"),
 		topology: fs.String("topology", "", topologyUsage()),
+		shards: fs.Int("shards", 0,
+			"parallel engine shard workers (0 = auto: serial below n=1024, else up to min(GOMAXPROCS,8); 1 = force serial; results are bit-identical at every count)"),
 	}
 	fs.Var(&sf.partitions, "partition",
 		"scheduled partition window at:heal:leftSize (repeatable; heal 0 = never)")
@@ -173,11 +176,15 @@ func (sf *specFlags) spec() (optsync.Spec, error) {
 	if err != nil {
 		return optsync.Spec{}, err
 	}
+	if *sf.shards < 0 {
+		return optsync.Spec{}, fmt.Errorf("-shards %d invalid (0 auto-picks, 1 forces serial, k>1 runs k shard workers)", *sf.shards)
+	}
 	return optsync.Spec{
 		Algo: optsync.Algorithm(*sf.algo), Params: p,
 		FaultyCount: faulty, Attack: optsync.Attack(*sf.attack),
 		Horizon: *sf.horizon, Seed: *sf.seed,
 		Topology: *sf.topology, Partitions: windows,
+		Shards: *sf.shards,
 	}, nil
 }
 

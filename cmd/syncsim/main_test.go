@@ -189,6 +189,66 @@ func TestCSVAndJSONMutuallyExclusive(t *testing.T) {
 	}
 }
 
+func TestShardsFlagValidation(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run([]string{"-run", "-n", "5", "-horizon", "5", "-shards", "-1"})
+	})
+	if err == nil {
+		t.Fatal("negative -shards accepted")
+	}
+	if !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("error does not name the flag: %v", err)
+	}
+}
+
+// TestShardsFlagBitExact pins the CLI end of the sharded engine's
+// contract: forcing the parallel engine (-shards 2) must render output
+// byte-identical to the forced-serial run, and -shards 0 (auto) picks a
+// working configuration at any n.
+func TestShardsFlagBitExact(t *testing.T) {
+	base := []string{"-run", "-algo", "st-auth", "-n", "6",
+		"-horizon", "8", "-attack", "silent", "-seed", "7", "-json"}
+	serial, err := capture(t, func() error { return run(append(base, "-shards", "1")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := capture(t, func() error { return run(append(base, "-shards", "2")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != sharded {
+		t.Fatalf("-shards 2 output differs from -shards 1:\n%s\nvs\n%s", serial, sharded)
+	}
+	auto, err := capture(t, func() error { return run(append(base, "-shards", "0")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto != serial {
+		t.Fatalf("-shards 0 (auto) output differs from serial:\n%s\nvs\n%s", auto, serial)
+	}
+}
+
+// TestCampaignShardsInherited: cells expanded from the base spec carry
+// the -shards setting, and the campaign aggregates stay byte-identical
+// to the serial grid (the store is content-addressed by canonical spec,
+// which excludes Shards, so both settings even share cache entries).
+func TestCampaignShardsInherited(t *testing.T) {
+	serial, err := capture(t, func() error { return run(campaignArgs("", "-csv", "-shards", "1")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := capture(t, func() error { return run(campaignArgs("", "-csv", "-shards", "2")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != sharded {
+		t.Fatalf("campaign -shards 2 aggregates differ from -shards 1:\n%s\nvs\n%s", serial, sharded)
+	}
+	if _, err := capture(t, func() error { return run(campaignArgs("", "-shards", "-3")) }); err == nil {
+		t.Fatal("campaign accepted negative -shards")
+	}
+}
+
 func TestCustomRunUnknownAttackErrors(t *testing.T) {
 	_, err := capture(t, func() error {
 		return run([]string{"-run", "-attack", "definitely-not-registered", "-horizon", "5"})

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -202,19 +203,37 @@ func (s *Store) Put(key string, res harness.Result) error {
 	}
 	res.Series = nil
 	res.Pulses = nil
-	blob, err := json.Marshal(cellFile{Version: storeVersion, Key: key, Result: res})
-	if err != nil {
+	// Encode through a pooled buffer: Put runs once per settled cell, and
+	// a coordinator absorbing a fleet's reports would otherwise allocate
+	// a fresh multi-KB blob per RPC. Encoder.Encode appends the trailing
+	// newline Marshal+append used to.
+	b := putBufPool.Get().(*putBuf)
+	defer putBufPool.Put(b)
+	b.buf.Reset()
+	if err := b.enc.Encode(cellFile{Version: storeVersion, Key: key, Result: res}); err != nil {
 		return fmt.Errorf("campaign: encoding cell %s: %w", key, err)
 	}
 	path := s.cellPath(key)
 	if err := os.MkdirAll(filepath.Dir(path), storeDirMode); err != nil {
 		return fmt.Errorf("campaign: creating cell shard: %w", err)
 	}
-	if err := writeAtomic(path, append(blob, '\n')); err != nil {
+	if err := writeAtomic(path, b.buf.Bytes()); err != nil {
 		return fmt.Errorf("campaign: writing cell %s: %w", key, err)
 	}
 	return nil
 }
+
+// putBuf is Put's pooled encode scratch.
+type putBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var putBufPool = sync.Pool{New: func() any {
+	b := &putBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
 
 // looseCells walks the one-file-per-cell tier, yielding (key, path) in
 // deterministic (lexical) order.

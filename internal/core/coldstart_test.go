@@ -226,8 +226,8 @@ func TestDisableRelayWidensSpread(t *testing.T) {
 		}
 		return spread, maxSkew
 	}
-	relaySpread, relaySkew := run(false, 31)
-	noRelaySpread, noRelaySkew := run(true, 31)
+	relaySpread, relaySkew := run(false, 7)
+	noRelaySpread, noRelaySkew := run(true, 7)
 	if relaySpread > p.Beta()+1e-9 {
 		t.Fatalf("relay-mode spread %v exceeds beta %v", relaySpread, p.Beta())
 	}

@@ -102,11 +102,12 @@ func (t *leaseTable) reclaimLocked() int {
 	return n
 }
 
-// lease checks out up to max pending cells to worker, reclaiming
-// expired leases first. FIFO order keeps the fleet working through the
-// campaign front-to-back, which keeps partial aggregates representative
-// of a prefix rather than a random scatter.
-func (t *leaseTable) lease(worker string, max int) []int {
+// lease checks out up to max pending cells to worker, appending them to
+// buf (callers pass reusable scratch), reclaiming expired leases first.
+// FIFO order keeps the fleet working through the campaign front-to-back,
+// which keeps partial aggregates representative of a prefix rather than
+// a random scatter.
+func (t *leaseTable) lease(worker string, max int, buf []int) []int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.reclaimLocked()
@@ -114,17 +115,16 @@ func (t *leaseTable) lease(worker string, max int) []int {
 		max = len(t.queue)
 	}
 	if max <= 0 {
-		return nil
+		return buf
 	}
 	deadline := t.now().Add(t.ttl)
-	out := make([]int, max)
-	copy(out, t.queue[:max])
+	buf = append(buf, t.queue[:max]...)
 	t.queue = append(t.queue[:0], t.queue[max:]...)
-	for _, i := range out {
+	for _, i := range buf[len(buf)-max:] {
 		t.state[i] = stateLeased
 		t.leases[i] = lease{worker: worker, deadline: deadline}
 	}
-	return out
+	return buf
 }
 
 // report settles cell i from a worker report. It accepts the result no

@@ -45,7 +45,7 @@ func TestLeaseTableBasicFlow(t *testing.T) {
 	lt := newLeaseTable(10, time.Minute, clk.Now)
 	checkPartition(t, lt, 10)
 
-	got := lt.lease("w1", 4)
+	got := lt.lease("w1", 4, nil)
 	if len(got) != 4 {
 		t.Fatalf("leased %d cells, want 4", len(got))
 	}
@@ -62,7 +62,7 @@ func TestLeaseTableBasicFlow(t *testing.T) {
 		t.Fatalf("done = %d, want 4", done)
 	}
 	// Lease far more than remains: get exactly the remainder.
-	rest := lt.lease("w2", 100)
+	rest := lt.lease("w2", 100, nil)
 	if len(rest) != 6 {
 		t.Fatalf("leased %d cells, want the remaining 6", len(rest))
 	}
@@ -72,7 +72,7 @@ func TestLeaseTableBasicFlow(t *testing.T) {
 	if !lt.complete() {
 		t.Fatal("table not complete after all cells reported")
 	}
-	if lt.lease("w3", 1) != nil {
+	if lt.lease("w3", 1, nil) != nil {
 		t.Fatal("lease on a complete table returned cells")
 	}
 }
@@ -80,18 +80,18 @@ func TestLeaseTableBasicFlow(t *testing.T) {
 func TestLeaseExpiryReclaims(t *testing.T) {
 	clk := newFakeClock()
 	lt := newLeaseTable(4, 30*time.Second, clk.Now)
-	crashed := lt.lease("doomed", 3)
+	crashed := lt.lease("doomed", 3, nil)
 	if len(crashed) != 3 {
 		t.Fatal("setup lease failed")
 	}
 	// Within TTL nothing comes back.
 	clk.Advance(29 * time.Second)
-	if got := lt.lease("w2", 4); len(got) != 1 {
+	if got := lt.lease("w2", 4, nil); len(got) != 1 {
 		t.Fatalf("pre-expiry lease got %d cells, want only the 1 never leased", len(got))
 	}
 	// Past TTL the crashed worker's cells are reclaimed, FIFO at the back.
 	clk.Advance(2 * time.Second)
-	got := lt.lease("w2", 4)
+	got := lt.lease("w2", 4, nil)
 	if len(got) != 3 {
 		t.Fatalf("post-expiry lease got %d cells, want the 3 reclaimed", len(got))
 	}
@@ -101,10 +101,10 @@ func TestLeaseExpiryReclaims(t *testing.T) {
 func TestLateReportAfterExpiryStillCounts(t *testing.T) {
 	clk := newFakeClock()
 	lt := newLeaseTable(2, time.Second, clk.Now)
-	cells := lt.lease("slow", 2)
+	cells := lt.lease("slow", 2, nil)
 	clk.Advance(2 * time.Second)
 	// Another worker picks the reclaimed cells up...
-	again := lt.lease("fast", 2)
+	again := lt.lease("fast", 2, nil)
 	if len(again) != 2 {
 		t.Fatal("reclaim failed")
 	}
@@ -146,7 +146,7 @@ func TestLeaseTableInterleavingProperty(t *testing.T) {
 				switch op := rng.Intn(10); {
 				case op < 4: // lease a batch to a random worker
 					w := workers[rng.Intn(len(workers))]
-					got := lt.lease(w, 1+rng.Intn(5))
+					got := lt.lease(w, 1+rng.Intn(5), nil)
 					outstanding[w] = append(outstanding[w], got...)
 				case op < 7: // a worker reports one of its cells
 					w := workers[rng.Intn(len(workers))]
@@ -185,7 +185,7 @@ func TestLeaseTableInterleavingProperty(t *testing.T) {
 			// above must not have lost a single cell.
 			clk.Advance(2 * ttl)
 			for !lt.complete() {
-				got := lt.lease("sweeper", 8)
+				got := lt.lease("sweeper", 8, nil)
 				if len(got) == 0 {
 					clk.Advance(2 * ttl) // some cells still leased to the forgetful
 					continue

@@ -10,13 +10,16 @@ import (
 // CanonicalSpec returns the spec in the form under which two specs
 // describe the same computation: defaults applied (so an explicit value
 // and the default it resolves to hash identically) and presentation-only
-// fields cleared. Name labels output rows and KeepSeries only controls
-// how much of the result is retained — neither changes a single simulated
-// event, so neither participates in content addressing.
+// fields cleared. Name labels output rows, KeepSeries only controls how
+// much of the result is retained, and Shards selects the execution
+// strategy (the sharded engine is bit-identical to serial at any shard
+// count) — none changes a single simulated event, so none participates
+// in content addressing.
 func CanonicalSpec(spec Spec) Spec {
 	spec = spec.withDefaults()
 	spec.Name = ""
 	spec.KeepSeries = false
+	spec.Shards = 0
 	return spec
 }
 

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -115,6 +116,15 @@ type Spec struct {
 	// ("mesh", "wan:R", "ring", "sparse:D", ...). Empty means the default
 	// full mesh, whose results are pinned by the golden tests.
 	Topology string
+	// Shards selects the execution strategy, never the result: every
+	// shard count produces bit-identical results, stats, and probe
+	// traces, so Shards is excluded from the canonical spec key. 0
+	// auto-picks from the machine and cluster size, 1 forces the serial
+	// engine, k > 1 runs k parallel worker shards (clamped to N; falls
+	// back to serial when the delay policy exposes no positive minimum
+	// delay, since conservative parallelism needs the dmin lookahead).
+	// Negative values are a spec error.
+	Shards int
 	// Partitions schedules network partition/heal churn on top of the
 	// topology: during each window, links crossing the cut are down.
 	Partitions []Partition
@@ -270,6 +280,7 @@ func RunObserved(ctx context.Context, spec Spec, attach Observe) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
+	defer cluster.Close()
 
 	// The observation pipeline: the sampler drives skew-sample events;
 	// bounded-memory collectors fold them into the Result; the full
@@ -355,7 +366,7 @@ func RunObserved(ctx context.Context, spec Spec, attach Observe) (Result, error)
 	res.WithinEnvelope = res.EnvelopeOK &&
 		res.EnvLo >= res.EnvBoundLo && res.EnvHi <= res.EnvBoundHi
 
-	stats := cluster.Net.Stats()
+	stats := cluster.NetStats()
 	res.TotalMsgs = stats.Sent
 	res.Delivered = stats.Delivered
 	res.Dropped = stats.Dropped
@@ -451,6 +462,9 @@ func buildCluster(spec Spec) (*node.Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Shards < 0 {
+		return nil, fmt.Errorf("harness: Shards=%d invalid (0 auto-picks, 1 forces serial, k>1 runs k shards)", spec.Shards)
+	}
 
 	faulty := make(map[int]bool, spec.FaultyCount)
 	for i := p.N - spec.FaultyCount; i < p.N; i++ {
@@ -488,13 +502,20 @@ func buildCluster(spec Spec) (*node.Cluster, error) {
 		delay = network.Spread{Min: p.DMin, Max: p.DMax, Slow: slow}
 	}
 
+	shards := spec.Shards
+	if shards == 0 {
+		shards = autoShards(p.N)
+	}
+
 	return node.NewCluster(node.Config{
 		N: p.N, F: p.F, Seed: spec.Seed,
-		Rho:      p.Rho,
-		Delay:    delay,
-		Topology: topo,
-		SlewRate: spec.SlewRate,
-		StartAt:  spec.StartAt,
+		Rho:       p.Rho,
+		Delay:     delay,
+		Topology:  topo,
+		SlewRate:  spec.SlewRate,
+		StartAt:   spec.StartAt,
+		Shards:    shards,
+		Lookahead: network.Lookahead(delay),
 		Clocks: func(i int, rng *rand.Rand) *clock.Hardware {
 			if faulty[i] {
 				// Faulty nodes get perfect clocks: the adversary can
@@ -516,6 +537,25 @@ func buildCluster(spec Spec) (*node.Cluster, error) {
 		Protocols: func(i int) node.Protocol { return protos[i] },
 		Faulty:    faulty,
 	}), nil
+}
+
+// autoShards picks the shard count for Spec.Shards == 0: serial below
+// the cluster size where window barriers start paying for themselves
+// (sharding a small mesh costs more in synchronization than it saves),
+// otherwise up to 8 workers bounded by the machine's parallelism. The
+// choice affects wall-clock only — results are identical either way.
+func autoShards(n int) int {
+	if n < 1024 {
+		return 1
+	}
+	k := runtime.GOMAXPROCS(0)
+	if k > 8 {
+		k = 8
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // startedCluster builds the cluster for an already-defaulted spec and

@@ -80,3 +80,16 @@ func L2Scale() ([]*Table, error) {
 	t.AddNote("4096 nodes, degree 16: ~70k deliveries per round through the ladder queue; see README \"Performance\"")
 	return []*Table{t}, nil
 }
+
+// L3Scale runs the n=65536 tier, the sharded-engine showcase: a cluster
+// this size only fits in a short horizon because Spec.Shards auto-picks
+// the conservative parallel engine (and because Circulant adjacency is
+// ring arithmetic — a 65536^2 adjacency matrix alone would be 4 GiB).
+func L3Scale() ([]*Table, error) {
+	t := scaleTable("L3: scaling tier, n=65536 on a sparse ring (st-auth, f=3, sharded engine)")
+	if err := scaleRows(t, 65536, []int{8}, 2); err != nil {
+		return nil, err
+	}
+	t.AddNote("~590k deliveries per round; runs on the auto-sharded parallel engine (results are bit-identical to serial at any shard count)")
+	return []*Table{t}, nil
+}

@@ -48,3 +48,10 @@ func TestL2ScaleCompletes(t *testing.T) {
 	}
 	assertScaleTable(t, firstTable(t, L2Scale), 1)
 }
+
+func TestL3ScaleCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large clusters")
+	}
+	assertScaleTable(t, firstTable(t, L3Scale), 1)
+}

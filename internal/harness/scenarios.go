@@ -50,6 +50,7 @@ func Scenarios() []Scenario {
 		{"W3", "Topology: degradation on sparse graphs (extension)", W3SparseDegradation},
 		{"L1", "Scaling tier: n=2048 on sparse rings (extension)", L1Scale},
 		{"L2", "Scaling tier: n=4096 on sparse rings (extension)", L2Scale},
+		{"L3", "Scaling tier: n=65536 sparse ring, sharded engine (extension)", L3Scale},
 	}
 }
 

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"optsync/internal/core/bounds"
+	"optsync/internal/probe"
+)
+
+// runTraced runs a spec and returns both the Result and the binary probe
+// trace of every event the run emitted. The trace is the strictest
+// equality witness available: it pins the order, timing, and payload of
+// each observable event, not just the aggregate report.
+func runTraced(t *testing.T, spec Spec) (Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := probe.NewWriter(&buf, probe.FormatBinary)
+	res, err := RunObserved(context.Background(), spec, func(_ Spec, bus *probe.Bus) {
+		bus.Attach(w)
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", spec.Name, err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("%s: flushing trace: %v", spec.Name, err)
+	}
+	return res, buf.Bytes()
+}
+
+// shardPropertySpecs spans the spec dimensions that stress distinct
+// sharded-engine mechanisms: topologies exercise the remote-routing and
+// neighbor-list broadcast paths, attacks exercise adversary state
+// co-location and payload (non-inline) messages, partitions exercise
+// global-lane marker events splitting windows, and the delay variants
+// exercise different lookahead derivations.
+func shardPropertySpecs() []Spec {
+	params := func(n, f int, v bounds.Variant) bounds.Params {
+		return bounds.Params{
+			N: n, F: f, Variant: v,
+			Rho: 1e-4, DMin: 0.002, DMax: 0.01,
+			Period: 1.0, InitialSkew: 0.005,
+		}.WithDefaults()
+	}
+	specs := []Spec{
+		{Algo: AlgoAuth, Params: params(5, 1, bounds.Auth),
+			FaultyCount: 1, Attack: AttackSilent, Seed: 1},
+		{Algo: AlgoAuth, Params: params(9, 2, bounds.Auth),
+			FaultyCount: 2, Attack: AttackEquivocate, Seed: 2},
+		{Algo: AlgoAuth, Params: params(8, 2, bounds.Auth),
+			FaultyCount: 2, Attack: AttackSelective, Seed: 3},
+		{Algo: AlgoCNV, Params: params(7, 2, bounds.Primitive),
+			FaultyCount: 2, Attack: AttackBias, Bias: 0.004, Seed: 4},
+		{Algo: AlgoAuth, Params: params(6, 1, bounds.Auth),
+			FaultyCount: 1, Attack: AttackCrashMid, Seed: 5, SpreadDelays: true},
+		{Algo: AlgoAuth, Params: params(12, 2, bounds.Auth),
+			FaultyCount: 2, Attack: AttackSilent, Seed: 6, Topology: "ring:4"},
+		{Algo: AlgoPrim, Params: params(9, 2, bounds.Primitive),
+			FaultyCount: 0, Attack: AttackNone, Seed: 7, Topology: "wan:3"},
+		{Algo: AlgoAuth, Params: params(10, 2, bounds.Auth),
+			FaultyCount: 0, Attack: AttackNone, Seed: 8,
+			Partitions: []Partition{{At: 2, Heal: 4, LeftSize: 3}, {At: 6, Heal: 0, LeftSize: 2}}},
+		{Algo: AlgoAuth, Params: params(8, 2, bounds.Auth),
+			FaultyCount: 2, Attack: AttackRush, RushInterval: 0.5, Seed: 9},
+		{Algo: AlgoAuth, Params: params(6, 1, bounds.Auth),
+			FaultyCount: 0, Attack: AttackNone, Seed: 10, SlewRate: 0.05,
+			StartAt: map[int]float64{4: 2.5}},
+	}
+	for i := range specs {
+		specs[i].Horizon = 8
+		specs[i].KeepSeries = true
+		specs[i].Name = fmt.Sprintf("prop-%d", i)
+	}
+	return specs
+}
+
+// TestShardedMatchesSerial is the bit-exactness contract of the parallel
+// engine: for every spec in the property grid, shard counts 2 and 8 must
+// reproduce the serial engine's Result (including the full skew series
+// and pulse log) and its probe trace byte for byte. It runs under -race
+// in CI, so it doubles as the data-race witness for the worker pool,
+// cross-shard mailboxes, and barrier merges.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, spec := range shardPropertySpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			serial := spec
+			serial.Shards = 1
+			wantRes, wantTrace := runTraced(t, serial)
+			wantRes.Spec = Spec{}
+			for _, k := range []int{2, 8} {
+				sharded := spec
+				sharded.Shards = k
+				gotRes, gotTrace := runTraced(t, sharded)
+				gotRes.Spec = Spec{}
+				if !reflect.DeepEqual(wantRes, gotRes) {
+					t.Errorf("shards=%d result diverged from serial:\n serial  %+v\n sharded %+v", k, wantRes, gotRes)
+				}
+				if !bytes.Equal(wantTrace, gotTrace) {
+					t.Errorf("shards=%d probe trace diverged from serial: %d bytes vs %d (first diff at %d)",
+						k, len(wantTrace), len(gotTrace), firstDiff(wantTrace, gotTrace))
+				}
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestShardsValidation: negative shard counts are spec errors (not
+// panics), zero auto-picks, and counts above N clamp rather than fail.
+func TestShardsValidation(t *testing.T) {
+	spec := shardPropertySpecs()[0]
+	spec.Shards = -1
+	if _, err := RunContext(context.Background(), spec); err == nil {
+		t.Fatal("Shards=-1 did not error")
+	}
+	spec.Shards = 0
+	if _, err := RunContext(context.Background(), spec); err != nil {
+		t.Fatalf("Shards=0 auto-pick failed: %v", err)
+	}
+	spec.Shards = 64 // N is 5: must clamp, not fail
+	if _, err := RunContext(context.Background(), spec); err != nil {
+		t.Fatalf("Shards=64 on N=5 failed: %v", err)
+	}
+}

@@ -114,11 +114,17 @@ type Net struct {
 	n        int
 	policy   Policy
 	topo     Topology
-	shaper   DelayShaper // non-nil iff topo shapes delays
-	mesh     bool        // topo is the full mesh: skip per-recipient Linked calls
+	shaper   DelayShaper    // non-nil iff topo shapes delays
+	lister   NeighborLister // non-nil iff topo enumerates neighbours
+	mesh     bool           // topo is the full mesh: skip per-recipient Linked calls
 	handlers []Handler
 	stats    Stats
 	probes   *probe.Bus // the engine's bus, cached to skip a pointer hop
+
+	// delayRng holds one delay stream per sender, derived from the engine
+	// seed and the sender id alone (see linkDelay). Streams are created
+	// lazily on first transmit.
+	delayRng []*rand.Rand
 
 	target    int // sim dispatch target id
 	arena     []delivery
@@ -126,6 +132,28 @@ type Net struct {
 	inUse     int // arena slots currently holding scheduled batches
 	peakInUse int // max inUse since the arena was last fully idle
 	scratch   []sendRec
+	nbrBuf    []NodeID // reused AppendNeighbors buffer
+
+	// Sharded-execution context, zero in a serial run. Each shard of a
+	// parallel simulation owns one Net over its own shard engine; owner
+	// maps every node id to its shard, and sends to a node owned
+	// elsewhere are buffered into outbox[dstShard] (the sender's engine
+	// assigns the event key, so ordering is exactly the local order) and
+	// exchanged at the window barrier — see NewSharded.
+	shard  int32
+	owner  []int32
+	outbox [][]outMsg
+}
+
+// outMsg is one cross-shard transmission parked in a mailbox until the
+// window barrier: the sender-assigned event key plus the sim envelope.
+// Non-inline messages carry the full payload; the destination shard
+// re-interns it into its own arena at exchange time.
+type outMsg struct {
+	key        sim.Key
+	sm         sim.Message
+	payload    Message
+	hasPayload bool
 }
 
 // New creates a network of n endpoints over the engine with the given
@@ -151,9 +179,85 @@ func New(engine *sim.Engine, n int, policy Policy, topo Topology) *Net {
 	if s, ok := topo.(DelayShaper); ok {
 		nt.shaper = s
 	}
+	if l, ok := topo.(NeighborLister); ok {
+		nt.lister = l
+	}
 	_, nt.mesh = topo.(FullMesh)
 	nt.target = engine.RegisterDispatcher(nt)
 	return nt
+}
+
+// NewSharded creates the k per-shard networks of a parallel simulation:
+// one Net per shard engine, sharing one policy and topology, with owner
+// mapping each node id to the shard that simulates it. Handlers must be
+// registered on the owning shard's Net. The mailbox exchange is
+// registered as a coordinator barrier hook, so cross-shard deliveries
+// scheduled during a window reach their owner before the next window
+// opens — the dmin lookahead guarantees they are never late.
+func NewSharded(coord *sim.Shards, n int, policy Policy, topo Topology, owner []int32) []*Net {
+	if len(owner) != n {
+		panic(fmt.Sprintf("network: owner map covers %d of %d nodes", len(owner), n))
+	}
+	k := coord.K()
+	nets := make([]*Net, k)
+	for i := range nets {
+		nt := New(coord.Shard(i), n, policy, topo)
+		nt.shard = int32(i)
+		nt.owner = owner
+		nt.outbox = make([][]outMsg, k)
+		nets[i] = nt
+	}
+	coord.OnBarrier(func() { exchange(nets) })
+	return nets
+}
+
+// exchange drains every cross-shard mailbox at a window barrier. It runs
+// single-threaded on the coordinator goroutine; iteration order is fixed
+// (src-major) for reproducibility, though event order is fully determined
+// by the sender-assigned keys regardless.
+func exchange(nets []*Net) {
+	for _, src := range nets {
+		for dst, box := range src.outbox {
+			if len(box) == 0 {
+				continue
+			}
+			dn := nets[dst]
+			for i := range box {
+				om := &box[i]
+				sm := om.sm
+				if om.hasPayload {
+					idx := dn.alloc(NodeID(sm.From), om.payload)
+					dn.arena[idx].targets = append(dn.arena[idx].targets, NodeID(sm.To))
+					sm.Index = idx
+				}
+				dn.engine.ScheduleMsg(om.key, dn.target, sm)
+				*om = outMsg{} // release the payload reference
+			}
+			src.outbox[dst] = box[:0]
+		}
+	}
+}
+
+// MergeStats sums per-shard traffic counters into the totals a serial run
+// would report. Sends are counted on the sender's shard and deliveries on
+// the recipient's, so the disjoint-counter invariant documented on Stats
+// survives the merge unchanged.
+func MergeStats(nets []*Net) Stats {
+	if len(nets) == 1 {
+		return nets[0].Stats()
+	}
+	out := Stats{BySender: make([]uint64, nets[0].n)}
+	for _, nt := range nets {
+		out.Sent += nt.stats.Sent
+		out.Delivered += nt.stats.Delivered
+		out.Dropped += nt.stats.Dropped
+		out.DroppedOffline += nt.stats.DroppedOffline
+		out.DroppedLink += nt.stats.DroppedLink
+		for i, c := range nt.stats.BySender {
+			out.BySender[i] += c
+		}
+	}
+	return out
 }
 
 // N returns the number of endpoints.
@@ -186,12 +290,35 @@ func (nt *Net) ResetStats() {
 	nt.stats = Stats{BySender: make([]uint64, nt.n)}
 }
 
+// delaySalt derives the per-sender delay streams from the engine seed
+// (see sim.StreamSeed); any fixed value distinct from other salts works.
+const delaySalt = 0x6e65742d646c79 // "net-dly"
+
+// senderRand returns the delay stream of one sender: a deterministic
+// random source derived from (engine seed, sender id) alone. Draw order
+// within a stream is the sender's own transmit order, which is identical
+// in serial and sharded runs — unlike the engine's shared stream, whose
+// draw order depends on global interleaving that shards cannot reproduce.
+func (nt *Net) senderRand(from NodeID) *rand.Rand {
+	if nt.delayRng == nil {
+		nt.delayRng = make([]*rand.Rand, nt.n)
+	}
+	r := nt.delayRng[from]
+	if r == nil {
+		r = rand.New(rand.NewSource(sim.StreamSeed(nt.engine.Seed(), from, delaySalt)))
+		nt.delayRng[from] = r
+	}
+	return r
+}
+
 // linkDelay runs the policy plus the topology's delay shaping for one
-// usable link. Negative means dropped.
+// usable link, drawing randomness from the sender's delay stream.
+// Negative means dropped.
 func (nt *Net) linkDelay(from, to NodeID, now sim.Time) float64 {
-	d := nt.policy.Delay(from, to, now, nt.engine.Rand())
+	rng := nt.senderRand(from)
+	d := nt.policy.Delay(from, to, now, rng)
 	if d >= 0 && nt.shaper != nil {
-		d = nt.shaper.Shape(from, to, now, d, nt.engine.Rand())
+		d = nt.shaper.Shape(from, to, now, d, rng)
 	}
 	return d
 }
@@ -278,7 +405,11 @@ func (nt *Net) release(idx uint32, targets []NodeID) {
 }
 
 // Dispatch implements sim.Dispatcher: deliver one inline message or one
-// arena batch.
+// arena batch. Before each handler runs, the engine's execution lane is
+// rebound to the recipient: everything the handler schedules — relays,
+// timers — then carries the recipient's lane in its event key, which is
+// what lets a sharded run (where the recipient's shard does the
+// scheduling) assign the exact keys a serial run assigns.
 func (nt *Net) Dispatch(now sim.Time, m sim.Message) {
 	if m.Flags&msgInline != 0 {
 		from, to := NodeID(m.From), NodeID(m.To)
@@ -295,6 +426,7 @@ func (nt *Net) Dispatch(now sim.Time, m sim.Message) {
 		if nt.probes.Active(probe.TypeMessageDelivered) {
 			nt.probes.Emit(nt.msgEvent(probe.TypeMessageDelivered, from, to, now, now, msg))
 		}
+		nt.engine.SetExecLane(int32(to))
 		h(from, msg)
 		return
 	}
@@ -320,6 +452,7 @@ func (nt *Net) Dispatch(now sim.Time, m sim.Message) {
 		if deliveredActive {
 			nt.probes.Emit(nt.msgEvent(probe.TypeMessageDelivered, from, to, now, now, msg))
 		}
+		nt.engine.SetExecLane(int32(to))
 		h(from, msg)
 	}
 	nt.stats.Delivered += delivered
@@ -339,6 +472,10 @@ func (nt *Net) Send(from, to NodeID, msg Message) {
 	if !ok {
 		return
 	}
+	if nt.owner != nil && nt.owner[to] != nt.shard {
+		nt.sendRemote(from, to, deliverAt, msg)
+		return
+	}
 	if inlinable(msg) {
 		nt.engine.MustAtMsg(deliverAt, nt.target, sim.Message{
 			From: int32(from), To: int32(to), Kind: uint16(msg.Kind),
@@ -350,6 +487,29 @@ func (nt *Net) Send(from, to NodeID, msg Message) {
 	nt.arena[idx].targets = append(nt.arena[idx].targets, to)
 	nt.engine.MustAtMsg(deliverAt, nt.target, sim.Message{
 		From: int32(from), To: int32(to), Index: idx,
+	})
+}
+
+// sendRemote parks one accepted transmission to a node owned by another
+// shard in that shard's mailbox. The event key is taken from the sender's
+// engine — consuming the sender lane's next sequence number exactly as a
+// local schedule would — so the merged event order is independent of
+// where the recipient lives.
+func (nt *Net) sendRemote(from, to NodeID, deliverAt sim.Time, msg Message) {
+	k := nt.engine.TakeKey(deliverAt)
+	box := &nt.outbox[nt.owner[to]]
+	if inlinable(msg) {
+		*box = append(*box, outMsg{key: k, sm: sim.Message{
+			From: int32(from), To: int32(to), Kind: uint16(msg.Kind),
+			Flags: msgInline, Round: int32(msg.Round), Value: msg.Value,
+		}})
+		return
+	}
+	*box = append(*box, outMsg{
+		key:        k,
+		sm:         sim.Message{From: int32(from), To: int32(to)},
+		payload:    msg,
+		hasPayload: true,
 	})
 }
 
@@ -368,6 +528,10 @@ func (nt *Net) Broadcast(from NodeID, msg Message) {
 	now := nt.engine.Now()
 	if inlinable(msg) {
 		nt.broadcastInline(from, msg, now)
+		return
+	}
+	if nt.owner != nil {
+		nt.broadcastPayloadSharded(from, msg, now)
 		return
 	}
 	// Take exclusive ownership of the scratch array for the duration of
@@ -389,8 +553,15 @@ func (nt *Net) Broadcast(from NodeID, msg Message) {
 	policyActive := nt.probes.Active(probe.TypeMessageDropPolicy)
 	sentActive := nt.probes.Active(probe.TypeMessageSent)
 	sent, droppedLink, droppedPolicy := uint64(0), uint64(0), uint64(0)
-	for to := 0; to < nt.n; to++ {
-		if !mesh && !nt.topo.Linked(from, to, now) {
+	// Same sparse fast path as broadcastInline: enumerate neighbours
+	// instead of probing all n links when the topology can list them and
+	// no drop-link probe needs the per-absent-link scan.
+	nbrs, count := nt.neighborList(from, linkActive)
+	for i := 0; i < count; i++ {
+		to := i
+		if nbrs != nil {
+			to = nbrs[i]
+		} else if !mesh && !nt.topo.Linked(from, to, now) {
 			droppedLink++
 			if linkActive {
 				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropLink, from, to, now, -1, msg))
@@ -411,6 +582,10 @@ func (nt *Net) Broadcast(from NodeID, msg Message) {
 			nt.probes.Emit(nt.msgEvent(probe.TypeMessageSent, from, to, now, deliverAt, msg))
 		}
 		scratch = append(scratch, sendRec{at: deliverAt, to: int32(to)})
+	}
+	if nbrs != nil {
+		droppedLink += uint64(nt.n - len(nbrs))
+		nt.nbrBuf = nbrs[:0]
 	}
 	nt.stats.Sent += sent
 	nt.stats.BySender[from] += sent
@@ -445,24 +620,27 @@ func (nt *Net) Broadcast(from NodeID, msg Message) {
 	nt.scratch = scratch[:0]
 }
 
-// broadcastInline is Broadcast for scalar-only envelopes: every accepted
-// recipient gets one self-contained inline event, so the fan-out needs no
-// scratch array, no sort, and no arena slot — and delivery needs no
-// arena load. Per-recipient event order equals the batched order exactly:
-// the global (time, seq) order delivers by (instant, broadcast call,
-// recipient id), the same key the batch path sorts by.
-func (nt *Net) broadcastInline(from NodeID, msg Message, now sim.Time) {
+// broadcastPayloadSharded is the payload Broadcast of a sharded run:
+// recipients may live on different shards, so instead of grouping by
+// delivery instant it schedules one single-target batch per local
+// recipient and parks remote ones in the mailboxes. The transmit loop —
+// link gating, stats, rng draws, probe emissions — is identical to the
+// serial path, and so is the observable delivery order: per-recipient
+// events carry ascending sender-lane sequence numbers in recipient
+// order, the same (instant, broadcast, recipient) order the serial
+// batch path sorts into.
+func (nt *Net) broadcastPayloadSharded(from NodeID, msg Message, now sim.Time) {
 	mesh := nt.mesh
 	linkActive := nt.probes.Active(probe.TypeMessageDropLink)
 	policyActive := nt.probes.Active(probe.TypeMessageDropPolicy)
 	sentActive := nt.probes.Active(probe.TypeMessageSent)
-	proto := sim.Message{
-		From: int32(from), Kind: uint16(msg.Kind),
-		Flags: msgInline, Round: int32(msg.Round), Value: msg.Value,
-	}
 	sent, droppedLink, droppedPolicy := uint64(0), uint64(0), uint64(0)
-	for to := 0; to < nt.n; to++ {
-		if !mesh && !nt.topo.Linked(from, to, now) {
+	nbrs, count := nt.neighborList(from, linkActive)
+	for i := 0; i < count; i++ {
+		to := i
+		if nbrs != nil {
+			to = nbrs[i]
+		} else if !mesh && !nt.topo.Linked(from, to, now) {
 			droppedLink++
 			if linkActive {
 				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropLink, from, to, now, -1, msg))
@@ -482,13 +660,107 @@ func (nt *Net) broadcastInline(from NodeID, msg Message, now sim.Time) {
 		if sentActive {
 			nt.probes.Emit(nt.msgEvent(probe.TypeMessageSent, from, to, now, deliverAt, msg))
 		}
-		proto.To = int32(to)
-		nt.engine.MustAtMsg(deliverAt, nt.target, proto)
+		if nt.owner[to] != nt.shard {
+			nt.sendRemote(from, to, deliverAt, msg)
+			continue
+		}
+		idx := nt.alloc(from, msg)
+		nt.arena[idx].targets = append(nt.arena[idx].targets, to)
+		nt.engine.MustAtMsg(deliverAt, nt.target, sim.Message{
+			From: int32(from), To: int32(to), Index: idx,
+		})
+	}
+	if nbrs != nil {
+		droppedLink += uint64(nt.n - len(nbrs))
+		nt.nbrBuf = nbrs[:0]
 	}
 	nt.stats.Sent += sent
 	nt.stats.BySender[from] += sent
 	nt.stats.DroppedLink += droppedLink
 	nt.stats.Dropped += droppedPolicy
+}
+
+// broadcastInline is Broadcast for scalar-only envelopes: every accepted
+// recipient gets one self-contained inline event, so the fan-out needs no
+// scratch array, no sort, and no arena slot — and delivery needs no
+// arena load. Per-recipient event order equals the batched order exactly:
+// the global (time, seq) order delivers by (instant, broadcast call,
+// recipient id), the same key the batch path sorts by.
+func (nt *Net) broadcastInline(from NodeID, msg Message, now sim.Time) {
+	mesh := nt.mesh
+	linkActive := nt.probes.Active(probe.TypeMessageDropLink)
+	policyActive := nt.probes.Active(probe.TypeMessageDropPolicy)
+	sentActive := nt.probes.Active(probe.TypeMessageSent)
+	proto := sim.Message{
+		From: int32(from), Kind: uint16(msg.Kind),
+		Flags: msgInline, Round: int32(msg.Round), Value: msg.Value,
+	}
+	sharded := nt.owner != nil
+	sent, droppedLink, droppedPolicy := uint64(0), uint64(0), uint64(0)
+	nbrs, count := nt.neighborList(from, linkActive)
+	if nbrs != nil {
+		droppedLink += uint64(nt.n - len(nbrs))
+	}
+	for i := 0; i < count; i++ {
+		to := i
+		if nbrs != nil {
+			to = nbrs[i]
+		} else if !mesh && !nt.topo.Linked(from, to, now) {
+			droppedLink++
+			if linkActive {
+				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropLink, from, to, now, -1, msg))
+			}
+			continue
+		}
+		sent++
+		d := nt.linkDelay(from, to, now)
+		if d < 0 {
+			droppedPolicy++
+			if policyActive {
+				nt.probes.Emit(nt.msgEvent(probe.TypeMessageDropPolicy, from, to, now, -1, msg))
+			}
+			continue
+		}
+		deliverAt := now + d
+		if sentActive {
+			nt.probes.Emit(nt.msgEvent(probe.TypeMessageSent, from, to, now, deliverAt, msg))
+		}
+		if sharded && nt.owner[to] != nt.shard {
+			nt.sendRemote(from, to, deliverAt, msg)
+			continue
+		}
+		proto.To = int32(to)
+		nt.engine.MustAtMsg(deliverAt, nt.target, proto)
+	}
+	if nbrs != nil {
+		nt.nbrBuf = nbrs[:0]
+	}
+	nt.stats.Sent += sent
+	nt.stats.BySender[from] += sent
+	nt.stats.DroppedLink += droppedLink
+	nt.stats.Dropped += droppedPolicy
+}
+
+// neighborList decides the sparse broadcast fast path: when the topology
+// enumerates neighbours and no drop-link probe is attached, it returns
+// the sender's linked set (degree+1 recipients) and its length, so the
+// fan-out loop skips probing all n links — at n=65536 on a thin ring
+// that is the difference between O(n·deg) and O(n²) per round. The
+// listed set equals the linked set in ascending order, so stats, rng
+// draws, event keys, and probe traces are byte-identical to the full
+// scan; only the per-absent-link drop probe needs the scan, so an
+// attached drop-link probe returns (nil, n) — the full-scan loop. The
+// slice is taken from nt.nbrBuf under take-ownership-nil (a probe may
+// reenter Broadcast from OnEvent): the caller must restore nt.nbrBuf
+// and add n-len(nbrs) to DroppedLink when nbrs is non-nil.
+func (nt *Net) neighborList(from NodeID, linkActive bool) ([]NodeID, int) {
+	if nt.lister == nil || linkActive {
+		return nil, nt.n
+	}
+	buf := nt.nbrBuf
+	nt.nbrBuf = nil
+	nbrs := nt.lister.AppendNeighbors(from, buf[:0])
+	return nbrs, len(nbrs)
 }
 
 func (nt *Net) checkID(id NodeID) {

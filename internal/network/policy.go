@@ -2,10 +2,32 @@ package network
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"optsync/internal/sim"
 )
+
+// MinDelayer is an optional Policy refinement: policies that know a hard
+// floor on the delay of every message they ever deliver implement it. The
+// floor is the sharded engine's conservative lookahead — the width of the
+// safe window inside which shards run without synchronizing — so it must
+// be a true lower bound: a policy that can deliver faster than its
+// MinDelay would corrupt a parallel run. A policy that drops everything
+// may return +Inf (no delivery constrains the window at all).
+type MinDelayer interface {
+	MinDelay() float64
+}
+
+// Lookahead returns the delivery-delay floor of p, or 0 when p does not
+// expose one. A zero (or negative) lookahead means the sharded engine has
+// no safe window and the simulation must run serially.
+func Lookahead(p Policy) float64 {
+	if m, ok := p.(MinDelayer); ok {
+		return m.MinDelay()
+	}
+	return 0
+}
 
 // Fixed delivers every message after exactly D seconds.
 type Fixed struct {
@@ -16,6 +38,9 @@ var _ Policy = Fixed{}
 
 // Delay implements Policy.
 func (f Fixed) Delay(_, _ NodeID, _ sim.Time, _ *rand.Rand) float64 { return f.D }
+
+// MinDelay implements MinDelayer.
+func (f Fixed) MinDelay() float64 { return f.D }
 
 // Uniform draws delays uniformly from [Min, Max]. This is the standard
 // benign model: delay within (0, tdel].
@@ -32,6 +57,9 @@ func (u Uniform) Delay(_, _ NodeID, _ sim.Time, rng *rand.Rand) float64 {
 	}
 	return u.Min + rng.Float64()*(u.Max-u.Min)
 }
+
+// MinDelay implements MinDelayer.
+func (u Uniform) MinDelay() float64 { return u.Min }
 
 // PerLink delegates to an arbitrary function of the link; use for scripted
 // adversarial schedules.
@@ -69,6 +97,18 @@ func (f FaultyAware) Delay(from, to NodeID, now sim.Time, rng *rand.Rand) float6
 	return f.Honest.Delay(from, to, now, rng)
 }
 
+// MinDelay implements MinDelayer: the floor across both arms. An arm
+// without a floor of its own makes the whole policy floorless (0) — the
+// adversary could rush messages arbitrarily fast on faulty links, which
+// is exactly the case conservative parallelism cannot admit.
+func (f FaultyAware) MinDelay() float64 {
+	h, a := Lookahead(f.Honest), Lookahead(f.Faulty)
+	if h <= 0 || a <= 0 {
+		return 0
+	}
+	return math.Min(h, a)
+}
+
 // Spread is the adversarial policy that maximizes acceptance spread among
 // correct nodes: messages to nodes in Slow get the maximum delay, messages
 // to everyone else the minimum. This realizes the worst case of the
@@ -89,6 +129,9 @@ func (s Spread) Delay(_, to NodeID, _ sim.Time, _ *rand.Rand) float64 {
 	return s.Min
 }
 
+// MinDelay implements MinDelayer.
+func (s Spread) MinDelay() float64 { return s.Min }
+
 // Drop unconditionally drops everything; used as the Faulty arm of
 // FaultyAware to model crashed or silenced nodes.
 type Drop struct{}
@@ -97,3 +140,7 @@ var _ Policy = Drop{}
 
 // Delay implements Policy.
 func (Drop) Delay(_, _ NodeID, _ sim.Time, _ *rand.Rand) float64 { return -1 }
+
+// MinDelay implements MinDelayer: a policy that never delivers anything
+// places no constraint on the safe window.
+func (Drop) MinDelay() float64 { return math.Inf(1) }

@@ -30,6 +30,21 @@ type DelayShaper interface {
 	Shape(from, to NodeID, now sim.Time, base float64, rng *rand.Rand) float64
 }
 
+// NeighborLister is an optional Topology refinement for sparse static
+// topologies that can enumerate a node's linked set directly: Broadcast
+// then visits degree+1 recipients instead of probing Linked across all n,
+// which is what makes the 65536-node sparse tiers tractable. The listed
+// set must equal {to : Linked(from, to, now)} at every instant (so only
+// time-invariant topologies qualify — a Partitioned wrapper deliberately
+// does not implement it), must include from itself, and must be in
+// ascending id order: broadcast delivery order, traffic stats, and probe
+// traces must be byte-identical whichever path the network takes.
+type NeighborLister interface {
+	// AppendNeighbors appends the linked set of from (including from) to
+	// buf in ascending id order and returns the extended slice.
+	AppendNeighbors(from NodeID, buf []NodeID) []NodeID
+}
+
 // FullMesh is the model's default connectivity: every pair of processes
 // is joined by a reliable channel. It is the identity topology — results
 // under FullMesh are byte-identical to a network with no topology at all.
@@ -140,28 +155,71 @@ func NewSparseGraph(n int, edges [][2]NodeID) *SparseGraph {
 	return g
 }
 
-// NewCirculant builds the circulant graph C_n(1..degree/2): node i is
-// linked to i±1, ..., i±degree/2 (mod n). Circulants are the canonical
-// fixed-degree family for measuring how synchronization degrades as the
-// graph thins: diameter grows like n/degree while every node keeps an
-// identical local view. The degree must be even and within [2, n-1] —
-// silently rounding would mislabel experiment results, so invalid
-// degrees panic (harness builders validate first and return errors).
-func NewCirculant(n, degree int) *SparseGraph {
+// Circulant is the circulant graph C_n(1..Half): node i is linked to
+// i±1, ..., i±Half (mod n). Circulants are the canonical fixed-degree
+// family for measuring how synchronization degrades as the graph thins:
+// diameter grows like n/degree while every node keeps an identical local
+// view. Adjacency is pure ring arithmetic — no n² matrix — so the family
+// scales to the n=65536 tier, and AppendNeighbors lets Broadcast visit
+// degree+1 recipients instead of scanning all n.
+type Circulant struct {
+	n, half int
+}
+
+var _ Topology = (*Circulant)(nil)
+var _ NeighborLister = (*Circulant)(nil)
+
+// NewCirculant builds the circulant graph C_n(1..degree/2). The degree
+// must be even and within [2, n-1] — silently rounding would mislabel
+// experiment results, so invalid degrees panic (harness builders validate
+// first and return errors).
+func NewCirculant(n, degree int) *Circulant {
 	if degree < 2 || degree%2 != 0 || degree >= n {
 		panic(fmt.Sprintf("network: circulant degree %d invalid for n=%d (need even, in [2,%d])", degree, n, n-1))
 	}
-	half := degree / 2
-	g := &SparseGraph{n: n, adj: make([]bool, n*n), name: fmt.Sprintf("ring:%d", degree)}
-	for i := 0; i < n; i++ {
-		for k := 1; k <= half; k++ {
-			j := (i + k) % n
-			g.adj[i*n+j] = true
-			g.adj[j*n+i] = true
-		}
-	}
-	return g
+	return &Circulant{n: n, half: degree / 2}
 }
+
+// Linked implements Topology: ring distance at most degree/2.
+func (c *Circulant) Linked(from, to NodeID, _ sim.Time) bool {
+	d := from - to
+	if d < 0 {
+		d = -d
+	}
+	return d <= c.half || c.n-d <= c.half
+}
+
+// Degree returns the number of neighbours of any node (excluding itself).
+func (c *Circulant) Degree(NodeID) int { return 2 * c.half }
+
+// AppendNeighbors implements NeighborLister.
+func (c *Circulant) AppendNeighbors(from NodeID, buf []NodeID) []NodeID {
+	// The linked set is {from-half .. from+half} mod n (including from),
+	// three already-sorted sub-ranges in ascending id order: offsets that
+	// wrap past n-1 land on low ids, the unwrapped middle run keeps its
+	// ids, and offsets that wrap below 0 land on high ids.
+	lo, hi := from-c.half, from+c.half
+	for j := c.n; j <= hi; j++ { // wrapped past the high end: ids 0..hi-n
+		buf = append(buf, j-c.n)
+	}
+	start, end := lo, hi
+	if start < 0 {
+		start = 0
+	}
+	if end > c.n-1 {
+		end = c.n - 1
+	}
+	for j := start; j <= end; j++ {
+		buf = append(buf, j)
+	}
+	for j := lo; j < 0; j++ { // wrapped below zero: ids n+lo..n-1
+		buf = append(buf, j+c.n)
+	}
+	return buf
+}
+
+// String implements Topology.
+func (c *Circulant) String() string { return fmt.Sprintf("ring:%d", 2*c.half) }
 
 // Linked implements Topology.
 func (g *SparseGraph) Linked(from, to NodeID, _ sim.Time) bool {

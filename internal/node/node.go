@@ -11,6 +11,7 @@ package node
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"optsync/internal/clock"
 	"optsync/internal/network"
@@ -100,6 +101,14 @@ type PulseRecord struct {
 type Node struct {
 	id      ID
 	cluster *Cluster
+	// eng, net, and probes are the node's execution home: the cluster's
+	// only engine/network in a serial run, the owning shard's in a
+	// sharded run. All node-side scheduling, transmission, and probe
+	// emission goes through them, never through the cluster directly.
+	eng     *sim.Engine
+	net     *network.Net
+	probes  *probe.Bus
+	shard   int32
 	logical clock.LogicalClock
 	proto   Protocol
 	rng     *rand.Rand
@@ -133,18 +142,18 @@ func (nd *Node) Protocol() Protocol { return nd.proto }
 
 // LogicalTime implements Env.
 func (nd *Node) LogicalTime() float64 {
-	return nd.logical.Read(nd.cluster.Engine.Now())
+	return nd.logical.Read(nd.eng.Now())
 }
 
 // HardwareTime implements Env.
 func (nd *Node) HardwareTime() float64 {
-	return nd.logical.Hardware().Read(nd.cluster.Engine.Now())
+	return nd.logical.Hardware().Read(nd.eng.Now())
 }
 
 // SetLogical implements Env.
 func (nd *Node) SetLogical(value float64) {
-	now := nd.cluster.Engine.Now()
-	if bus := nd.cluster.probes; bus.Active(probe.TypeResync) {
+	now := nd.eng.Now()
+	if bus := nd.probes; bus.Active(probe.TypeResync) {
 		bus.Emit(probe.Event{
 			Type: probe.TypeResync, From: int32(nd.id), To: -1,
 			T: now, Value: value, Aux: nd.logical.Read(now),
@@ -156,7 +165,7 @@ func (nd *Node) SetLogical(value float64) {
 // AtLogical implements Env.
 func (nd *Node) AtLogical(value float64, fn func()) Timer {
 	t := nd.logical.WhenReads(value)
-	now := nd.cluster.Engine.Now()
+	now := nd.eng.Now()
 	if t < now {
 		t = now
 	}
@@ -164,9 +173,9 @@ func (nd *Node) AtLogical(value float64, fn func()) Timer {
 	// infinite logical instant (a divergent clock inversion, a NaN from
 	// upstream arithmetic) is a simulation error, reported through the
 	// engine's trap rather than a bare scheduling panic.
-	ev, err := nd.cluster.Engine.At(t, fn)
+	ev, err := nd.eng.At(t, fn)
 	if err != nil {
-		nd.cluster.Engine.Fatalf("node %d: AtLogical(%v) resolves to unschedulable instant %v: %v",
+		nd.eng.Fatalf("node %d: AtLogical(%v) resolves to unschedulable instant %v: %v",
 			nd.id, value, t, err)
 		return nil
 	}
@@ -182,17 +191,17 @@ func (nd *Node) Cancel(t Timer) {
 	if !ok {
 		panic("node: Cancel called with a foreign timer handle")
 	}
-	nd.cluster.Engine.Cancel(ev)
+	nd.eng.Cancel(ev)
 }
 
 // Send implements Env.
 func (nd *Node) Send(to ID, msg Message) {
-	nd.cluster.Net.Send(nd.id, to, msg)
+	nd.net.Send(nd.id, to, msg)
 }
 
 // Broadcast implements Env.
 func (nd *Node) Broadcast(msg Message) {
-	nd.cluster.Net.Broadcast(nd.id, msg)
+	nd.net.Broadcast(nd.id, msg)
 }
 
 // Sign implements Env.
@@ -207,22 +216,31 @@ func (nd *Node) Verify(signer ID, payload []byte, s sig.Signature) bool {
 
 // Pulse implements Env.
 func (nd *Node) Pulse(round int) {
-	now := nd.cluster.Engine.Now()
+	now := nd.eng.Now()
 	rec := PulseRecord{
 		Node:    nd.id,
 		Round:   round,
 		Real:    now,
 		Logical: nd.logical.Read(now),
 	}
-	nd.cluster.Pulses = append(nd.cluster.Pulses, rec)
-	if bus := nd.cluster.probes; bus.Active(probe.TypePulse) {
+	c := nd.cluster
+	if c.coord != nil {
+		// Sharded: buffer the record per shard, tagged with the executing
+		// event's key, and merge into c.Pulses in key order at the end of
+		// each Run — the exact order the serial engine appends in.
+		k, seq := nd.eng.ExecTag()
+		c.shardPulses[nd.shard] = append(c.shardPulses[nd.shard], taggedPulse{key: k, seq: seq, rec: rec})
+	} else {
+		c.Pulses = append(c.Pulses, rec)
+	}
+	if bus := nd.probes; bus.Active(probe.TypePulse) {
 		bus.Emit(probe.Event{
 			Type: probe.TypePulse, From: int32(nd.id), To: -1,
 			Round: int32(round), T: now, Value: rec.Logical,
 		})
 	}
-	if nd.cluster.OnPulse != nil {
-		nd.cluster.OnPulse(rec)
+	if c.coord == nil && c.OnPulse != nil {
+		c.OnPulse(rec)
 	}
 }
 
@@ -230,7 +248,7 @@ func (nd *Node) Pulse(round int) {
 func (nd *Node) Rand() *rand.Rand { return nd.rng }
 
 // RealTime implements Env.
-func (nd *Node) RealTime() float64 { return nd.cluster.Engine.Now() }
+func (nd *Node) RealTime() float64 { return nd.eng.Now() }
 
 // Config assembles a cluster.
 type Config struct {
@@ -263,25 +281,61 @@ type Config struct {
 	// units per local time unit, keeping logical clocks continuous and
 	// strictly monotone (the paper's amortization remark). Must be < 1.
 	SlewRate float64
+	// Shards, when > 1, partitions the nodes across that many parallel
+	// worker shards (conservative PDES — see sim.Shards). Requires a
+	// positive Lookahead; results are bit-identical to a serial run at
+	// any shard count. Values above N are clamped to N.
+	Shards int
+	// Lookahead is the network's minimum delivery delay (the safe-window
+	// width). Obtain it with network.Lookahead(cfg.Delay); a sharded
+	// cluster with a non-positive lookahead falls back to serial
+	// execution.
+	Lookahead float64
 }
 
-// Cluster wires N nodes to an engine and network.
+// taggedPulse is one pulse buffered during a sharded window, ordered for
+// the deterministic merge by the executing event's key plus the emission
+// index within it.
+type taggedPulse struct {
+	key sim.Key
+	seq uint32
+	rec PulseRecord
+}
+
+// Cluster wires N nodes to an engine and network — one of each in a
+// serial run, one per shard plus a global pair in a sharded run.
 type Cluster struct {
+	// Engine is the cluster-level engine: the only engine of a serial
+	// run, the coordinator's global engine of a sharded one. Its clock is
+	// always the simulation frontier, its probe bus always carries the
+	// full merged observation stream, and cluster-level scheduling
+	// (samplers, markers) belongs on it.
 	Engine *sim.Engine
+	// Net is the serial run's network; nil in a sharded run, where each
+	// shard owns one (use NetStats for merged counters).
 	Net    *network.Net
 	Nodes  []*Node
 	Pulses []PulseRecord
 	// OnPulse, if set, observes every pulse as it happens. New code
 	// should prefer a probe subscribed to probe.TypePulse on
 	// Engine.Probes(); the hook predates the bus and is kept for direct
-	// cluster embedders.
+	// cluster embedders. In a sharded run the hook fires at window
+	// barriers, in the exact serial order, rather than mid-window.
 	OnPulse func(PulseRecord)
 
 	cfg    Config
 	probes *probe.Bus
+
+	// Sharded-execution state (nil/empty in a serial run).
+	coord       *sim.Shards
+	nets        []*network.Net
+	owner       []int32
+	shardPulses [][]taggedPulse
+	pulseMerge  []taggedPulse // reused merge scratch
 }
 
-// NewCluster builds the cluster; call Start then Engine.Run.
+// NewCluster builds the cluster; call Start then Run (or Engine.Run for a
+// serial cluster).
 func NewCluster(cfg Config) *Cluster {
 	if cfg.N <= 0 {
 		panic(fmt.Sprintf("node: invalid N=%d", cfg.N))
@@ -295,19 +349,49 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Delay == nil {
 		cfg.Delay = network.Fixed{D: 0.001}
 	}
-	engine := sim.New(cfg.Seed)
-	c := &Cluster{
-		Engine: engine,
-		Net:    network.New(engine, cfg.N, cfg.Delay, cfg.Topology),
-		cfg:    cfg,
-		probes: engine.Probes(),
+	k := cfg.Shards
+	if k > cfg.N {
+		k = cfg.N
 	}
+	c := &Cluster{cfg: cfg}
+	if k > 1 && cfg.Lookahead > 0 {
+		c.coord = sim.NewShards(cfg.Seed, k, cfg.Lookahead)
+		c.Engine = c.coord.Global()
+		// Contiguous balanced placement; every faulty node is co-located
+		// on the last shard, because adversarial protocol instances may
+		// share coordination state (a collusion pool) that they mutate at
+		// boot — one shard serializes those accesses. Placement affects
+		// only which worker runs a node, never the event order.
+		c.owner = make([]int32, cfg.N)
+		for i := range c.owner {
+			c.owner[i] = int32(i * k / cfg.N)
+		}
+		for id, f := range cfg.Faulty {
+			if f && id >= 0 && id < cfg.N {
+				c.owner[id] = int32(k - 1)
+			}
+		}
+		c.nets = network.NewSharded(c.coord, cfg.N, cfg.Delay, cfg.Topology, c.owner)
+		c.shardPulses = make([][]taggedPulse, k)
+	} else {
+		engine := sim.New(cfg.Seed)
+		c.Engine = engine
+		c.Net = network.New(engine, cfg.N, cfg.Delay, cfg.Topology)
+	}
+	c.probes = c.Engine.Probes()
 	for i := 0; i < cfg.N; i++ {
+		eng, net := c.Engine, c.Net
+		var shard int32
+		if c.coord != nil {
+			shard = c.owner[i]
+			eng, net = c.coord.Shard(int(shard)), c.nets[shard]
+		}
 		var hw *clock.Hardware
 		// Per-node stream derived from (seed, id) alone: node randomness
-		// is invariant under construction/boot reordering (the engine's
-		// shared stream is reserved for the network adversary).
-		rng := engine.RandFor(i)
+		// is invariant under construction/boot reordering and under
+		// sharding (the engine's shared stream is reserved for the
+		// network adversary and setup code).
+		rng := eng.RandFor(i)
 		if cfg.Clocks != nil {
 			hw = cfg.Clocks(i, rng)
 		} else {
@@ -322,6 +406,10 @@ func NewCluster(cfg Config) *Cluster {
 		nd := &Node{
 			id:      i,
 			cluster: c,
+			eng:     eng,
+			net:     net,
+			probes:  eng.Probes(),
+			shard:   shard,
 			logical: logical,
 			proto:   cfg.Protocols(i),
 			rng:     rng,
@@ -333,23 +421,27 @@ func NewCluster(cfg Config) *Cluster {
 }
 
 // Start boots every node at its configured start time and registers
-// delivery handlers. A node delivers messages only once booted.
+// delivery handlers. A node delivers messages only once booted. Boot
+// events are scheduled on the node's own lane (and, in a sharded run, on
+// the node's own shard engine): the boot and everything the protocol's
+// Start schedules belong to the node, so the event keys — and therefore
+// the execution order — are identical at every shard count.
 func (c *Cluster) Start() {
 	for _, nd := range c.Nodes {
 		nd := nd
-		c.Net.Register(nd.id, func(from ID, msg Message) {
+		nd.net.Register(nd.id, func(from ID, msg Message) {
 			if !nd.started {
 				return // offline: pre-boot traffic is lost
 			}
 			nd.proto.Deliver(nd, from, msg)
 		})
 		at := c.cfg.StartAt[nd.id]
-		c.Engine.MustAt(at, func() {
+		nd.eng.MustAtLane(int32(nd.id), at, func() {
 			nd.started = true
-			if c.probes.Active(probe.TypeNodeBoot) {
-				c.probes.Emit(probe.Event{
+			if nd.probes.Active(probe.TypeNodeBoot) {
+				nd.probes.Emit(probe.Event{
 					Type: probe.TypeNodeBoot, From: int32(nd.id), To: -1,
-					T: c.Engine.Now(),
+					T: nd.eng.Now(),
 				})
 			}
 			nd.proto.Start(nd)
@@ -357,9 +449,75 @@ func (c *Cluster) Start() {
 	}
 }
 
-// Run starts the cluster (if not already) and runs until the horizon.
+// Run starts the cluster (if not already) and runs until the horizon:
+// serially on the cluster engine, or across the shard workers with
+// window barriers. It may be called repeatedly with increasing horizons.
 func (c *Cluster) Run(until float64) {
+	if c.coord != nil {
+		c.coord.Run(until)
+		c.mergePulses()
+		return
+	}
 	c.Engine.Run(until)
+}
+
+// Close releases the shard worker goroutines of a sharded cluster; the
+// cluster remains readable (clocks, pulses, stats) but cannot Run again.
+// Serial clusters need no Close (it is a no-op).
+func (c *Cluster) Close() {
+	if c.coord != nil {
+		c.coord.Close()
+	}
+}
+
+// NetStats returns the run's traffic counters: the single network's in a
+// serial cluster, the deterministic sum of the per-shard networks' in a
+// sharded one.
+func (c *Cluster) NetStats() network.Stats {
+	if c.coord != nil {
+		return network.MergeStats(c.nets)
+	}
+	return c.Net.Stats()
+}
+
+// Shards reports the number of parallel worker shards (1 = serial).
+func (c *Cluster) Shards() int {
+	if c.coord != nil {
+		return c.coord.K()
+	}
+	return 1
+}
+
+// mergePulses drains the per-shard pulse buffers into c.Pulses in global
+// event order. Run horizons are increasing and every buffered pulse of a
+// Run call was executed within it, so per-call merges append in order.
+func (c *Cluster) mergePulses() {
+	total := 0
+	for _, b := range c.shardPulses {
+		total += len(b)
+	}
+	if total == 0 {
+		return
+	}
+	buf := c.pulseMerge[:0]
+	for i, b := range c.shardPulses {
+		buf = append(buf, b...)
+		c.shardPulses[i] = b[:0]
+	}
+	sort.Slice(buf, func(a, b int) bool {
+		ta, tb := &buf[a], &buf[b]
+		if ta.key != tb.key {
+			return ta.key.Less(tb.key)
+		}
+		return ta.seq < tb.seq
+	})
+	for i := range buf {
+		c.Pulses = append(c.Pulses, buf[i].rec)
+		if c.OnPulse != nil {
+			c.OnPulse(buf[i].rec)
+		}
+	}
+	c.pulseMerge = buf[:0]
 }
 
 // CorrectIDs returns the IDs of non-faulty nodes that have booted by now.

@@ -20,7 +20,7 @@ import "slices"
 // Structure. Rung 0 covers the near future [base, base+256*width) with
 // 256 equal buckets; events beyond it go to an unsorted far list. Events
 // are drained bucket by bucket: the next non-empty bucket is sealed —
-// sorted by (time, seq) into `bottom` — and consumed in order. A sealed
+// sorted by event Key into `bottom` — and consumed in order. A sealed
 // bucket that is too large is first re-bucketed ("spilled") into rung 1,
 // a 256-bucket ring spanning just that bucket's width, whose buckets are
 // then sealed individually; a rung-1 bucket is sorted directly however
@@ -28,14 +28,14 @@ import "slices"
 // re-anchors on the far list, re-tuning the bucket width to the far
 // events' span so sparse far-future schedules stay O(1) amortized too.
 //
-// Ordering. The engine's global order is (time, seq) with seq assigned at
-// scheduling time, shared with closure events. Within the ladder this
-// order is restored lazily: buckets are unsorted until sealed, and events
-// that arrive behind the drain point (a callback scheduling at or near
-// the current instant) are inserted into the sorted bottom by binary
-// search. Step merges the ladder's head with the closure heap's head, so
-// the interleaving of message and closure events is bit-identical to the
-// old single-heap engine — pinned by TestLadderMatchesReferenceQueue.
+// Ordering. The engine's global order is the locally-computable event Key
+// (see key.go), shared with closure events. Within the ladder this order
+// is restored lazily: buckets are unsorted until sealed, and events that
+// arrive behind the drain point (a callback scheduling at or near the
+// current instant) are inserted into the sorted bottom by binary search.
+// Step merges the ladder's head with the closure heap's head, so the
+// interleaving of message and closure events matches a single priority
+// queue exactly — pinned by TestLadderMatchesReferenceQueue.
 
 const (
 	// ladderBuckets is the bucket count per rung (a power of two keeps
@@ -58,23 +58,17 @@ const (
 	ladderTrimCap = 8192
 )
 
-// msgEvent is one scheduled message event: a plain value, 56 bytes, no
+// msgEvent is one scheduled message event: a plain value, 64 bytes, no
 // pointers. The ladder stores these inline, so a full window of pending
 // messages is a handful of contiguous arrays the GC skips entirely.
 type msgEvent struct {
-	at     Time
-	seq    uint64
+	key    Key
 	msg    Message
 	target int32
 }
 
 // msgBefore is the engine's global event order restricted to messages.
-func msgBefore(a, b msgEvent) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
+func msgBefore(a, b msgEvent) bool { return a.key.Less(b.key) }
 
 // rung is one level of time-indexed buckets.
 type rung struct {
@@ -123,15 +117,17 @@ type ladder struct {
 	scratch []msgEvent
 
 	// maxLen is the largest bucket (or far list) drained since the last
-	// trim sweep: the sweep releases only capacity no recent burst came
-	// near, so steady workloads never churn allocations.
-	maxLen int
-
-	// spillBuf is the contiguous backing array rung-1 buckets are carved
-	// from: spill scatters a rung-0 bucket into it with one counting
-	// sort, so re-bucketing allocates nothing once the buffer has grown
-	// to the largest bucket ever spilled.
-	spillBuf []msgEvent
+	// trim sweep, and prevMax the largest of the sweep period before it:
+	// the sweep releases only capacity no recent burst came near, so
+	// steady workloads never churn allocations. The floor spans two
+	// periods because a round-structured workload quiesces twice per
+	// round — once after the round's deliveries drain and once when the
+	// next round's trigger events re-anchor the window — and the trigger
+	// burst is tiny: a one-period floor would let that sweep release the
+	// delivery buckets the round is just about to refill, reallocating
+	// the entire steady-state working set every round.
+	maxLen  int
+	prevMax int
 }
 
 // push enqueues ev. ev.at must be finite and >= now, the engine's
@@ -141,11 +137,11 @@ func (l *ladder) push(now Time, ev msgEvent) {
 		l.anchor(now)
 	}
 	l.count++
-	if ev.at >= l.r0.base+ladderBuckets*l.r0.width {
+	if ev.key.At >= l.r0.base+ladderBuckets*l.r0.width {
 		l.far = append(l.far, ev)
 		return
 	}
-	i := l.r0.locate(ev.at)
+	i := l.r0.locate(ev.key.At)
 	if i > l.r0.cur {
 		l.r0.buckets[i] = append(l.r0.buckets[i], ev)
 		return
@@ -154,7 +150,7 @@ func (l *ladder) push(now Time, ev msgEvent) {
 	// already sealed. Route it into rung 1 if that still has unsealed
 	// buckets ahead of it, else into the sorted bottom.
 	if l.r1active {
-		if j := l.r1.locate(ev.at); j > l.r1.cur {
+		if j := l.r1.locate(ev.key.At); j > l.r1.cur {
 			l.r1.buckets[j] = append(l.r1.buckets[j], ev)
 			return
 		}
@@ -263,21 +259,7 @@ func (l *ladder) advance() {
 // seal sorts bucket i of r in place and makes it the drain bottom.
 func (l *ladder) seal(r *rung, i int) {
 	b := r.buckets[i]
-	slices.SortFunc(b, func(a, b msgEvent) int {
-		if a.at != b.at {
-			if a.at < b.at {
-				return -1
-			}
-			return 1
-		}
-		if a.seq < b.seq {
-			return -1
-		}
-		if a.seq > b.seq {
-			return 1
-		}
-		return 0
-	})
+	slices.SortFunc(b, func(a, b msgEvent) int { return a.key.Compare(b.key) })
 	l.bottom = b
 	l.pos = 0
 	l.srcRung, l.srcIdx = r, i
@@ -305,7 +287,11 @@ func (l *ladder) releaseBottom() {
 // and uses a 4x hysteresis against the recent high-water mark, so a
 // steady workload never releases (and never re-allocates) anything.
 func (l *ladder) sweep() {
-	floor := l.maxLen * 4
+	recent := l.maxLen
+	if l.prevMax > recent {
+		recent = l.prevMax
+	}
+	floor := recent * 4
 	if floor < ladderTrimCap {
 		floor = ladderTrimCap
 	}
@@ -317,16 +303,9 @@ func (l *ladder) sweep() {
 		if len(l.r0.buckets[i]) == 0 && cap(l.r0.buckets[i]) > floor {
 			l.r0.buckets[i] = nil
 		}
-		// Rung-1 buckets are views of spillBuf (or drained copies): they
-		// never carry reusable capacity across spills, but a stale view
-		// would pin a released spill buffer, so drop empty ones eagerly
-		// (rung 1 is always fully drained at both quiescent call sites).
-		if len(l.r1.buckets[i]) == 0 {
+		if len(l.r1.buckets[i]) == 0 && cap(l.r1.buckets[i]) > floor {
 			l.r1.buckets[i] = nil
 		}
-	}
-	if cap(l.spillBuf) > floor {
-		l.spillBuf = nil
 	}
 	if len(l.far) == 0 && cap(l.far) > floor {
 		l.far = nil
@@ -334,15 +313,20 @@ func (l *ladder) sweep() {
 	if cap(l.scratch) > floor {
 		l.scratch = nil
 	}
+	l.prevMax = l.maxLen
 	l.maxLen = 0
 }
 
 // spill re-buckets the oversized rung-0 bucket i across rung 1, which
-// spans exactly that bucket's width. The scatter is a counting sort into
-// one reusable contiguous buffer; each rung-1 bucket becomes a
-// capacity-clamped window of it, so a late arrival appended to a window
-// copies that window out instead of trampling its neighbour (rare: only
-// events landing behind the rung-0 drain point reach rung 1).
+// spans exactly that bucket's width. Rung-1 buckets own their backing
+// arrays and retain capacity across spills (trimmed by the quiescent
+// sweep like rung 0), so both the scatter and later arrivals routed to
+// an unsealed rung-1 bucket are plain appends. Late arrivals are not
+// rare under bounded draining: a window bound regularly stops the drain
+// mid-spill, and the next window's cross-shard deliveries then land
+// inside the still-active rung-1 span — carving buckets out of one
+// shared contiguous buffer (an earlier design) made every such arrival
+// copy out its whole bucket.
 func (l *ladder) spill(i int) {
 	b := l.r0.buckets[i]
 	l.r1.base = l.r0.base + Time(i)*l.r0.width
@@ -352,25 +336,27 @@ func (l *ladder) spill(i int) {
 	if len(b) > l.maxLen {
 		l.maxLen = len(b)
 	}
-	if cap(l.spillBuf) < len(b) {
-		l.spillBuf = make([]msgEvent, len(b))
-	}
-	buf := l.spillBuf[:len(b)]
-	var off [ladderBuckets + 1]int32
+	// Count first, then reserve 2x (floor 16) before scattering: per-spill
+	// bucket occupancy is a handful of events and drifts round to round,
+	// so growing caps by bare appends would keep crossing tiny thresholds
+	// forever — with headroom, capacities converge after a few spills and
+	// both the scatter and late arrivals stop allocating.
+	var cnt [ladderBuckets]int32
 	for _, ev := range b {
-		off[l.r1.locate(ev.at)+1]++
+		cnt[l.r1.locate(ev.key.At)]++
 	}
-	for j := 0; j < ladderBuckets; j++ {
-		off[j+1] += off[j]
+	for j, c := range cnt {
+		if int(c) > cap(l.r1.buckets[j]) {
+			want := 2 * int(c)
+			if want < 16 {
+				want = 16
+			}
+			l.r1.buckets[j] = make([]msgEvent, 0, want)
+		}
 	}
-	pos := off
 	for _, ev := range b {
-		j := l.r1.locate(ev.at)
-		buf[pos[j]] = ev
-		pos[j]++
-	}
-	for j := 0; j < ladderBuckets; j++ {
-		l.r1.buckets[j] = buf[off[j]:off[j+1]:off[j+1]]
+		j := l.r1.locate(ev.key.At)
+		l.r1.buckets[j] = append(l.r1.buckets[j], ev)
 	}
 	l.r0.buckets[i] = b[:0]
 }
@@ -379,13 +365,13 @@ func (l *ladder) spill(i int) {
 // re-tuning the bucket width to the far events' span. Callers guarantee
 // count > 0, which here means far is non-empty.
 func (l *ladder) reanchor() {
-	lo, hi := l.far[0].at, l.far[0].at
+	lo, hi := l.far[0].key.At, l.far[0].key.At
 	for _, ev := range l.far[1:] {
-		if ev.at < lo {
-			lo = ev.at
+		if ev.key.At < lo {
+			lo = ev.key.At
 		}
-		if ev.at > hi {
-			hi = ev.at
+		if ev.key.At > hi {
+			hi = ev.key.At
 		}
 	}
 	if w := (hi - lo) / Time(ladderBuckets-1); w >= ladderMinWidth {
@@ -396,7 +382,7 @@ func (l *ladder) reanchor() {
 	// Redistribute. Every far event fits the new window by construction
 	// (locate clamps the hi endpoint into the last bucket).
 	for _, ev := range l.far {
-		i := l.r0.locate(ev.at)
+		i := l.r0.locate(ev.key.At)
 		l.r0.buckets[i] = append(l.r0.buckets[i], ev)
 	}
 	if len(l.far) > l.maxLen {

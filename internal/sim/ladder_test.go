@@ -204,7 +204,7 @@ func TestLadderDrainOrderProperty(t *testing.T) {
 			if sameAt {
 				at = 1.5
 			}
-			l.push(0, msgEvent{at: at, seq: uint64(i), msg: Message{Index: uint32(i)}})
+			l.push(0, msgEvent{key: Key{At: at, Seq: uint32(i)}, msg: Message{Index: uint32(i)}})
 		}
 		var prev msgEvent
 		for k := 0; k < n; k++ {
@@ -310,7 +310,7 @@ func TestReanchorSweepKeepsLiveEvents(t *testing.T) {
 
 // ladderRetained sums the event capacity held by every ladder tier.
 func ladderRetained(l *ladder) int {
-	total := cap(l.far) + cap(l.scratch) + cap(l.spillBuf) + cap(l.bottom)
+	total := cap(l.far) + cap(l.scratch) + cap(l.bottom)
 	for i := range l.r0.buckets {
 		total += cap(l.r0.buckets[i]) + cap(l.r1.buckets[i])
 	}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"optsync/internal/probe"
+)
+
+// This file implements the conservative parallel tier of the engine: a
+// Shards coordinator that partitions a simulation's lanes (nodes) across
+// k worker goroutines, each owning a full Engine — its own ladder
+// partition, closure heap, lane counters, and observation buffer.
+//
+// Parallelism is classic conservative PDES with the network's minimum
+// delivery delay as the lookahead bound: a message sent at time t arrives
+// no earlier than t+L, so every event in the window [W, W+L) is causally
+// independent across shards — cross-shard influence can only arrive at or
+// after the window's end. Workers therefore drain their own queues freely
+// inside the window, buffering cross-shard sends into per-pair mailboxes
+// (owned by the network layer), and the coordinator exchanges the
+// mailboxes at a barrier between windows. No rollback is ever needed.
+//
+// Determinism. Correctness here means more than "no races": a k-shard run
+// must be bit-identical to the serial engine — same results, same stats,
+// same probe traces. Three mechanisms deliver that:
+//
+//  1. The event Key (key.go) is computable by the scheduling shard alone
+//     yet totally orders all events exactly as the serial engine executes
+//     them; each worker drains strictly below a per-window key bound.
+//  2. Events on LaneGlobal (skew samplers, partition markers — anything
+//     reading cross-shard state) live on a separate global engine and run
+//     single-threaded at barriers; the window bound clamps to the next
+//     global event's key so shard events before/after it in key order
+//     really execute before/after it.
+//  3. Observations made inside a window (probe events, pulses) are
+//     buffered per shard, tagged with (executing event key, emission
+//     index), and k-way merged into the real bus at the barrier — the
+//     merged stream is byte-identical to serial emission order.
+//
+// The worker goroutines persist for the life of the coordinator and park
+// on channels between windows, so a steady-state window costs 2k channel
+// operations and no allocation (the 0 allocs/op message-path guarantee
+// holds per shard).
+type Shards struct {
+	k         int
+	lookahead Time
+	global    *Engine
+	engs      []*Engine
+	recs      []*shardRecorder
+	barriers  []func()
+
+	startCh []chan Key
+	doneCh  chan struct{}
+	closed  bool
+
+	mirrored []bool // probe types already mirrored onto shard buses
+	mergePos []int  // scratch for the k-way observation merge
+}
+
+// NewShards builds a conservative parallel coordinator with k shard
+// engines plus one global engine, all seeded identically (derived random
+// streams depend on (seed, id) alone, so every engine can answer for any
+// entity). lookahead is the network's minimum delivery delay: the width
+// of the safe window. It must be positive — a zero-lookahead model has no
+// safe window and must run serially.
+func NewShards(seed int64, k int, lookahead Time) *Shards {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: NewShards k=%d", k))
+	}
+	if !(lookahead > 0) { // rejects zero, negatives, and NaN
+		panic(fmt.Sprintf("sim: NewShards lookahead=%v (need > 0)", lookahead))
+	}
+	s := &Shards{
+		k:         k,
+		lookahead: lookahead,
+		global:    New(seed),
+		startCh:   make([]chan Key, k),
+		doneCh:    make(chan struct{}, k),
+		mirrored:  make([]bool, len(probe.AllTypes())+1),
+		mergePos:  make([]int, k),
+	}
+	for i := 0; i < k; i++ {
+		e := New(seed)
+		s.engs = append(s.engs, e)
+		s.recs = append(s.recs, &shardRecorder{eng: e})
+		s.startCh[i] = make(chan Key, 1)
+	}
+	for i := 0; i < k; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+// K returns the shard count.
+func (s *Shards) K() int { return s.k }
+
+// Lookahead returns the window width.
+func (s *Shards) Lookahead() Time { return s.lookahead }
+
+// Global returns the coordinator's global engine: the home of LaneGlobal
+// closures and of the run's real probe bus. Its clock is the simulation
+// frontier.
+func (s *Shards) Global() *Engine { return s.global }
+
+// Shard returns shard i's engine. Outside Run, the caller owns it (build
+// and boot single-threaded); during Run only its worker touches it.
+func (s *Shards) Shard(i int) *Engine { return s.engs[i] }
+
+// Now returns the simulation frontier.
+func (s *Shards) Now() Time { return s.global.Now() }
+
+// Processed returns the number of events executed across all engines.
+func (s *Shards) Processed() uint64 {
+	total := s.global.Processed()
+	for _, e := range s.engs {
+		total += e.Processed()
+	}
+	return total
+}
+
+// Pending returns the number of events queued across all engines.
+func (s *Shards) Pending() int {
+	total := s.global.Pending()
+	for _, e := range s.engs {
+		total += e.Pending()
+	}
+	return total
+}
+
+// OnBarrier registers fn to run at every window barrier, after workers
+// have parked and observations merged. The network layer registers its
+// mailbox exchange here. Hooks run on the coordinator goroutine, strictly
+// ordered with the workers (channel synchronization), so they may touch
+// every shard's state.
+func (s *Shards) OnBarrier(fn func()) {
+	s.barriers = append(s.barriers, fn)
+}
+
+// worker is one shard's drain loop: park, drain the window, report.
+func (s *Shards) worker(i int) {
+	e := s.engs[i]
+	for bound := range s.startCh[i] {
+		e.runBefore(bound)
+		s.doneCh <- struct{}{}
+	}
+}
+
+// mirror subscribes each shard's recorder to every probe type active on
+// the real bus, so the Bus.Active guards across network/node code behave
+// identically on every shard — and identically to a serial run.
+func (s *Shards) mirror() {
+	for _, t := range probe.AllTypes() {
+		if !s.mirrored[t] && s.global.probes.Active(t) {
+			s.mirrored[t] = true
+			for i := range s.engs {
+				s.engs[i].probes.Attach(s.recs[i], t)
+			}
+		}
+	}
+}
+
+// Run executes events until every queue is drained past until, then
+// advances all clocks to until — the sharded equivalent of Engine.Run.
+// It may be called repeatedly with increasing horizons.
+func (s *Shards) Run(until Time) { s.run(until) }
+
+// Drain executes until no pending events remain anywhere, leaving the
+// clocks at the frontier (the sharded equivalent of Engine.RunAll with no
+// limit).
+func (s *Shards) Drain() { s.run(math.Inf(1)) }
+
+func (s *Shards) run(until Time) {
+	if s.closed {
+		panic("sim: Shards.Run after Close")
+	}
+	s.mirror()
+	for {
+		// Frontier: the earliest pending instant anywhere. Jumping the
+		// window start to it skips empty windows entirely, so sparse
+		// schedules don't pay one barrier per lookahead-width of idle
+		// virtual time.
+		next := math.Inf(1)
+		for _, e := range s.engs {
+			if at, ok := e.nextAt(); ok && at < next {
+				next = at
+			}
+		}
+		gk, gok := s.global.nextKey()
+		if gok && gk.At < next {
+			next = gk.At
+		}
+		if next > until || math.IsInf(next, 1) {
+			break
+		}
+		// Window [next, next+L): safe because nothing sent inside it can
+		// arrive before its end. The bound is exclusive at next+L (a
+		// minimum-delay message sent at the window start lands exactly
+		// there and belongs to the next window); the final partial window
+		// [next, until] is inclusive, mirroring Engine.Run's at <= until.
+		var bound Key
+		if wEnd := next + s.lookahead; wEnd <= until {
+			bound = keyBefore(wEnd)
+		} else {
+			bound = keyAfter(until)
+		}
+		runGlobal := gok && gk.Less(bound)
+		if runGlobal {
+			// A global event splits the window: shards drain strictly
+			// below its key, then it runs alone at the barrier, seeing
+			// exactly the cross-shard state a serial run would.
+			bound = gk
+		}
+		for i := range s.startCh {
+			s.startCh[i] <- bound
+		}
+		for range s.engs {
+			<-s.doneCh
+		}
+		frontier := bound.At
+		if frontier > until {
+			frontier = until
+		}
+		for _, e := range s.engs {
+			e.advanceTo(frontier)
+		}
+		s.flushObservations()
+		for _, fn := range s.barriers {
+			fn()
+		}
+		if runGlobal {
+			s.global.Step()
+		} else {
+			s.global.advanceTo(frontier)
+		}
+	}
+	if !math.IsInf(until, 1) {
+		for _, e := range s.engs {
+			e.advanceTo(until)
+		}
+		s.global.advanceTo(until)
+	}
+}
+
+// flushObservations k-way merges the shards' buffered probe events into
+// the real bus in (key, emission) order — the exact order a serial run
+// emits them. Buffers are reused; a steady-state merge allocates nothing.
+func (s *Shards) flushObservations() {
+	any := false
+	for i, r := range s.recs {
+		s.mergePos[i] = 0
+		if len(r.buf) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	bus := &s.global.probes
+	for {
+		best := -1
+		var bestTag obsTag
+		for i, r := range s.recs {
+			j := s.mergePos[i]
+			if j >= len(r.buf) {
+				continue
+			}
+			if best < 0 || r.buf[j].tag.less(bestTag) {
+				best, bestTag = i, r.buf[j].tag
+			}
+		}
+		if best < 0 {
+			break
+		}
+		bus.Emit(s.recs[best].buf[s.mergePos[best]].ev)
+		s.mergePos[best]++
+	}
+	for _, r := range s.recs {
+		r.buf = r.buf[:0]
+	}
+}
+
+// Close parks and releases the worker goroutines. The coordinator cannot
+// run afterwards; engines remain readable (stats, clocks, queues).
+func (s *Shards) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.startCh {
+		close(ch)
+	}
+}
+
+// obsTag orders one buffered observation: the key of the event that was
+// executing plus the emission index within it.
+type obsTag struct {
+	key Key
+	seq uint32
+}
+
+func (t obsTag) less(o obsTag) bool {
+	if t.key != o.key {
+		return t.key.Less(o.key)
+	}
+	return t.seq < o.seq
+}
+
+// taggedEvent is one buffered probe event awaiting the barrier merge.
+type taggedEvent struct {
+	tag obsTag
+	ev  probe.Event
+}
+
+// shardRecorder buffers every probe event a shard's window produces,
+// tagged for the deterministic merge. It is attached to the shard
+// engine's bus for exactly the types the real bus subscribes.
+type shardRecorder struct {
+	eng *Engine
+	buf []taggedEvent
+}
+
+var _ probe.Probe = (*shardRecorder)(nil)
+
+// OnEvent implements probe.Probe.
+func (r *shardRecorder) OnEvent(ev probe.Event) {
+	k, seq := r.eng.ExecTag()
+	r.buf = append(r.buf, taggedEvent{tag: obsTag{key: k, seq: seq}, ev: ev})
+}

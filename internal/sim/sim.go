@@ -1,16 +1,22 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // The engine maintains a virtual "real time" clock (float64 seconds) and
-// two event tiers sharing one global (time, sequence) order: a two-level
+// two event tiers sharing one global Key order (see key.go): a two-level
 // ladder/calendar queue of value-inline message events (the O(n^2)
 // steady-state path — see ladder.go) and a binary heap of closure events
-// (timers), which escape to callers and support Cancel. Events scheduled
-// for the same instant execute in scheduling order (FIFO), which together
-// with a seeded random source makes every simulation fully reproducible.
+// (timers), which escape to callers and support Cancel. The order is
+// locally computable — (instant, scheduling instant, lane, per-lane
+// sequence) — so the same total order is produced whether one engine runs
+// every event (the serial reference) or a Shards coordinator partitions
+// the lanes across worker goroutines (shards.go); together with seeded,
+// per-entity random streams this makes every simulation fully
+// reproducible, bit-for-bit, at any shard count.
 //
-// The engine is single-threaded by design: distributed-system
-// "concurrency" is modelled by event interleaving, not goroutines, so
-// simulations are deterministic and race-free.
+// A serial engine is single-threaded by design: distributed-system
+// "concurrency" is modelled by event interleaving, not goroutines. The
+// sharded engine keeps that discipline per shard — each shard engine is
+// only ever driven by one goroutine at a time, with barriers between
+// windows — so simulations stay deterministic and race-free.
 package sim
 
 import (
@@ -60,15 +66,14 @@ type Dispatcher interface {
 // so that callers can cancel it before it fires. Message events (AtMsg)
 // ride the ladder queue as inline values instead and have no handle.
 type Event struct {
-	at       Time
-	seq      uint64
+	key      Key
 	fn       func()
 	index    int // heap index, -1 when not queued
 	canceled bool
 }
 
 // At returns the virtual time at which the event is (or was) scheduled.
-func (e *Event) At() Time { return e.at }
+func (e *Event) At() Time { return e.key.At }
 
 // Canceled reports whether the event was canceled before firing.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -86,9 +91,19 @@ var ErrPastTime = errors.New("sim: schedule time is in the past")
 type Engine struct {
 	now  Time
 	seed int64
-	// seq is the global scheduling sequence, shared by both event tiers:
-	// (at, seq) totally orders every pending event.
-	seq uint64
+	// laneSeq holds the per-lane scheduling counters, indexed lane+1
+	// (slot 0 is LaneGlobal). Together with Cause they replace the old
+	// single global sequence: every lane's counter advances identically
+	// in serial and sharded execution.
+	laneSeq []uint32
+	// curLane is the lane of the event currently executing (LaneGlobal
+	// outside event execution); scheduling calls inherit it.
+	curLane int32
+	// execKey is the key of the event currently executing and emitSeq
+	// counts the observations (probe events, pulses) it has produced —
+	// the tag the sharded engine's per-shard buffers merge on.
+	execKey Key
+	emitSeq uint32
 	// closures is the heap tier: cancellable callback events only.
 	closures eventQueue
 	// ladder is the message tier: value-inline, near-O(1) scheduling.
@@ -99,7 +114,9 @@ type Engine struct {
 	dispatchers []Dispatcher
 	// probes is the run's observation bus. The engine owns it so every
 	// layer sharing the engine (network, nodes, samplers) shares one
-	// event stream; the engine itself emits nothing.
+	// event stream; the engine itself emits nothing. In a sharded run
+	// each shard engine's bus mirrors the coordinator's subscriptions
+	// through a buffering recorder (see shards.go).
 	probes probe.Bus
 	// Trap, if non-nil, is invoked with every panic message raised via
 	// Fatalf; by default Fatalf panics.
@@ -111,7 +128,8 @@ func New(seed int64) *Engine {
 	return &Engine{
 		seed: seed,
 		// Deliberately *not* crypto-random: reproducibility is the point.
-		rng: rand.New(rand.NewSource(seed)),
+		rng:     rand.New(rand.NewSource(seed)),
+		curLane: LaneGlobal,
 	}
 }
 
@@ -124,8 +142,11 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Probes() *probe.Bus { return &e.probes }
 
 // Rand returns the engine's deterministic random source. All randomness in
-// a simulation must come from this source (or sources derived from it) to
-// preserve reproducibility.
+// a simulation must come from this source (or streams derived from the
+// engine seed — see RandFor and StreamSeed) to preserve reproducibility.
+// Draws from this shared stream depend on global draw order, so runtime
+// simulation code must prefer the derived streams; the shared stream is
+// for setup-time and test randomness.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Seed returns the seed the engine was constructed with.
@@ -143,7 +164,7 @@ func (e *Engine) RandFor(id int) *rand.Rand {
 	if e.perID == nil {
 		e.perID = make(map[int]*rand.Rand)
 	}
-	r := rand.New(rand.NewSource(e.seed ^ int64(0x9E3779B97F4A7C15*uint64(id+1))))
+	r := rand.New(rand.NewSource(StreamSeed(e.seed, id, 0)))
 	e.perID[id] = r
 	return r
 }
@@ -165,28 +186,119 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events currently queued.
 func (e *Engine) Pending() int { return len(e.closures) + e.ladder.count }
 
-// At schedules fn to run at virtual time t. Scheduling at the current time
-// is allowed (the event runs after all previously scheduled events for that
-// time). Scheduling in the past returns ErrPastTime.
+// nextSeq takes the next per-lane sequence number.
+func (e *Engine) nextSeq(lane int32) uint32 {
+	i := int(lane) + 1
+	for len(e.laneSeq) <= i {
+		e.laneSeq = append(e.laneSeq, 0)
+	}
+	s := e.laneSeq[i]
+	e.laneSeq[i] = s + 1
+	if s+1 == 0 {
+		e.Fatalf("lane %d scheduling sequence overflow", lane)
+	}
+	return s
+}
+
+// TakeKey allocates the ordering key a message scheduled now for instant
+// at would receive: the current scheduling lane and its next sequence
+// number. It is the cross-shard send path's half of AtMsg — the sender's
+// engine assigns the key (so local and remote transmissions consume one
+// per-lane sequence each, exactly as a serial run would), and the owning
+// shard's engine enqueues it later via ScheduleMsg.
+func (e *Engine) TakeKey(at Time) Key {
+	return Key{At: at, Cause: e.now, Lane: e.curLane, Seq: e.nextSeq(e.curLane)}
+}
+
+// ScheduleMsg enqueues a message event under a key previously allocated
+// with TakeKey (possibly by another shard's engine). The key must not be
+// behind this engine's clock — in a sharded run that would mean the
+// lookahead bound was violated.
+func (e *Engine) ScheduleMsg(k Key, target int, m Message) {
+	if k.At < e.now {
+		e.Fatalf("ScheduleMsg at %v behind engine clock %v (lookahead violation?)", k.At, e.now)
+		return
+	}
+	if target < 0 || target >= len(e.dispatchers) {
+		e.Fatalf("ScheduleMsg: unknown dispatch target %d", target)
+		return
+	}
+	e.ladder.push(e.now, msgEvent{key: k, msg: m, target: int32(target)})
+}
+
+// ExecLane returns the scheduling lane of the event currently executing
+// (LaneGlobal outside event execution).
+func (e *Engine) ExecLane() int32 { return e.curLane }
+
+// SetExecLane rebinds the current scheduling lane mid-event. It exists
+// for batch dispatchers: one message event may fan out to several
+// recipients, and each recipient's handler must schedule on its own lane
+// (the recipient's timers and relays belong to the recipient, not to the
+// batch's sender). The engine restores LaneGlobal after the event.
+func (e *Engine) SetExecLane(lane int32) { e.curLane = lane }
+
+// ExecTag returns the key of the event currently executing plus the next
+// observation sequence number within it. Per-shard observation buffers
+// (probe events, pulse records) tag entries with it so a k-way merge at
+// the window barrier reproduces the serial emission order exactly.
+func (e *Engine) ExecTag() (Key, uint32) {
+	s := e.emitSeq
+	e.emitSeq++
+	return e.execKey, s
+}
+
+// At schedules fn to run at virtual time t on the current scheduling lane.
+// Scheduling at the current time is allowed (the event runs after all
+// previously scheduled events for that time). Scheduling in the past
+// returns ErrPastTime.
 func (e *Engine) At(t Time, fn func()) (*Event, error) {
+	return e.AtLane(e.curLane, t, fn)
+}
+
+// AtLane schedules fn to run at virtual time t on an explicit scheduling
+// lane. Use it from initialization code to place node-owned events (boot
+// closures) on the node's lane, where the sharded engine will run them on
+// the node's shard; everything else should use At, which inherits the
+// executing event's lane. Cross-lane scheduling at the current instant
+// from inside a running simulation is a fatal error when it would land
+// behind the execution frontier: the event order could then differ
+// between serial and sharded runs.
+func (e *Engine) AtLane(lane int32, t Time, fn func()) (*Event, error) {
 	if t < e.now {
 		return nil, fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, e.now)
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		return nil, fmt.Errorf("sim: invalid event time %v", t)
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
-	e.seq++
+	k := Key{At: t, Cause: e.now, Lane: lane, Seq: e.nextSeq(lane)}
+	if lane != e.curLane && e.processed > 0 && k.Less(e.execKey) {
+		e.Fatalf("cross-lane event (lane %d, t=%v) scheduled behind the execution frontier (lane %d, t=%v)",
+			lane, t, e.curLane, e.execKey.At)
+	}
+	ev := &Event{key: k, fn: fn, index: -1}
 	heap.Push(&e.closures, ev)
 	return ev, nil
 }
 
+// MustAtLane is AtLane for callers that have already validated t; it
+// panics on error.
+func (e *Engine) MustAtLane(lane int32, t Time, fn func()) *Event {
+	ev, err := e.AtLane(lane, t, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
 // AtMsg schedules a value-typed message event for virtual time t, to be
-// delivered to the dispatcher registered under target. Message events are
-// stored inline in the ladder queue: in steady state AtMsg performs no
-// heap allocation and no heap reorganization. They cannot be individually
-// canceled (no handle escapes); cancellation belongs to the dispatcher's
-// own arena bookkeeping.
+// delivered to the dispatcher registered under target. The event is keyed
+// to the current scheduling lane (the sender executing right now), so a
+// broadcast's recipients inherit the sender's per-lane sequence in
+// recipient order. Message events are stored inline in the ladder queue:
+// in steady state AtMsg performs no heap allocation and no heap
+// reorganization. They cannot be individually canceled (no handle
+// escapes); cancellation belongs to the dispatcher's own arena
+// bookkeeping.
 func (e *Engine) AtMsg(t Time, target int, m Message) error {
 	if t < e.now {
 		return fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, e.now)
@@ -197,8 +309,8 @@ func (e *Engine) AtMsg(t Time, target int, m Message) error {
 	if target < 0 || target >= len(e.dispatchers) {
 		return fmt.Errorf("sim: unknown dispatch target %d", target)
 	}
-	e.ladder.push(e.now, msgEvent{at: t, seq: e.seq, msg: m, target: int32(target)})
-	e.seq++
+	k := Key{At: t, Cause: e.now, Lane: e.curLane, Seq: e.nextSeq(e.curLane)}
+	e.ladder.push(e.now, msgEvent{key: k, msg: m, target: int32(target)})
 	return nil
 }
 
@@ -260,17 +372,23 @@ func (e *Engine) Step() bool {
 		if !okM {
 			return false
 		}
-	} else if c := e.closures[0]; !okM || c.at < m.at || (c.at == m.at && c.seq < m.seq) {
+	} else if c := e.closures[0]; !okM || c.key.Less(m.key) {
 		heap.Pop(&e.closures)
-		e.now = c.at
+		e.now = c.key.At
+		e.execKey, e.curLane, e.emitSeq = c.key, c.key.Lane, 0
 		e.processed++
 		c.fn()
+		e.curLane = LaneGlobal
 		return true
 	}
 	e.ladder.pop()
-	e.now = m.at
+	e.now = m.key.At
+	// Message events order on the sender's lane but execute recipient
+	// code: the dispatcher rebinds the lane per recipient (SetExecLane).
+	e.execKey, e.curLane, e.emitSeq = m.key, LaneGlobal, 0
 	e.processed++
 	e.dispatchers[m.target].Dispatch(e.now, m.msg)
+	e.curLane = LaneGlobal
 	return true
 }
 
@@ -278,12 +396,48 @@ func (e *Engine) Step() bool {
 func (e *Engine) nextAt() (Time, bool) {
 	m, okM := e.ladder.peek()
 	if len(e.closures) == 0 {
-		return m.at, okM
+		return m.key.At, okM
 	}
-	if c := e.closures[0]; !okM || c.at < m.at {
-		return c.at, true
+	if c := e.closures[0]; !okM || c.key.At < m.key.At {
+		return c.key.At, true
 	}
-	return m.at, true
+	return m.key.At, true
+}
+
+// nextKey returns the key of the earliest pending event.
+func (e *Engine) nextKey() (Key, bool) {
+	m, okM := e.ladder.peek()
+	if len(e.closures) == 0 {
+		if !okM {
+			return Key{}, false
+		}
+		return m.key, true
+	}
+	if c := e.closures[0]; !okM || c.key.Less(m.key) {
+		return c.key, true
+	}
+	return m.key, true
+}
+
+// runBefore executes every pending event ordering strictly before bound,
+// including events those events schedule, in key order. It is the shard
+// worker's inner loop: bound is the window's safe horizon.
+func (e *Engine) runBefore(bound Key) {
+	for {
+		k, ok := e.nextKey()
+		if !ok || !k.Less(bound) {
+			return
+		}
+		e.Step()
+	}
+}
+
+// advanceTo moves the engine clock forward to t without executing
+// anything (the window barrier's frontier advance). Earlier t is a no-op.
+func (e *Engine) advanceTo(t Time) {
+	if e.now < t {
+		e.now = t
+	}
 }
 
 // Run executes events until the queue is empty or the next event is
@@ -327,19 +481,14 @@ func (e *Engine) Fatalf(format string, args ...any) {
 	panic(fmt.Sprintf("sim: "+format, args...))
 }
 
-// eventQueue is a binary heap of closure events ordered by (time, sequence).
+// eventQueue is a binary heap of closure events in key order.
 type eventQueue []*Event
 
 var _ heap.Interface = (*eventQueue)(nil)
 
 func (q eventQueue) Len() int { return len(q) }
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
+func (q eventQueue) Less(i, j int) bool { return q[i].key.Less(q[j].key) }
 
 func (q eventQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]

@@ -188,6 +188,18 @@ func WithTopology(name string) Option {
 	}
 }
 
+// WithShards sets every spec's shard-worker count for the parallel
+// engine: k > 1 partitions the nodes across k workers that drain events
+// in dmin-wide safe windows, k == 1 forces the serial engine, and 0
+// (the default) picks automatically (serial below n=1024, up to
+// min(GOMAXPROCS, 8) workers above). Results are bit-identical at every
+// shard count; negative k fails Spec validation.
+func WithShards(k int) Option {
+	return func(c *config) {
+		c.specOpts = append(c.specOpts, func(s *Spec) { s.Shards = k })
+	}
+}
+
 // WithPartitions schedules partition/heal churn on every spec, replacing
 // any previously set windows.
 func WithPartitions(windows ...Partition) Option {

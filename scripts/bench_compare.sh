@@ -4,15 +4,25 @@
 #
 # Usage: scripts/bench_compare.sh [bench.out] [BENCH_PRx.json]
 #
-#   bench.out      `go test -bench BenchmarkPulseRound -benchmem` output;
-#                  when omitted, the benchmark is run fresh (benchtime 3x).
+#   bench.out      `go test -bench BenchmarkPulseRound -benchmem` output
+#                  (serial and/or sharded lines); when omitted, both
+#                  families are run fresh (benchtime 3x).
 #   BENCH_PRx.json committed trajectory file (default BENCH_PR5.json);
-#                  its probe_off results are the regression baseline.
+#                  its probe_off results, when present, are the serial
+#                  ns/op regression baseline. A record without probe_off
+#                  (e.g. BENCH_PR7.json, sharded-only) skips that gate.
 #
 # Fails when:
-#   - any BenchmarkPulseRound size allocates (probed or not), or
+#   - any pulse-round tier allocates (serial or sharded, probed or not), or
 #   - the fresh n=512 probe-off ns/op regresses more than 10% against the
-#     committed record.
+#     committed record (serial runs only), or
+#   - the run includes the n=2048 shard matrix on a >=8-CPU point and
+#     shards=8 is not at least SHARD_SPEEDUP_FLOOR (default 3.0) times
+#     faster than shards=1 at the same CPU count. The speedup gate is
+#     core-aware: a single-core runner executes the shard matrix for the
+#     allocation gate but cannot measure parallelism, so the ratio check
+#     arms only when the benchmark actually ran with >=8 CPUs (the -cpu
+#     suffix on the result line is the ground truth, not the host's nproc).
 #
 # When benchstat (golang.org/x/perf) is on PATH, a baseline bench file is
 # synthesized from the JSON and a full benchstat delta report is printed;
@@ -25,11 +35,12 @@ cd "$(dirname "$0")/.."
 BENCH_OUT="${1:-}"
 BASELINE="${2:-BENCH_PR5.json}"
 TOLERANCE="${BENCH_TOLERANCE:-1.10}"
+SPEEDUP_FLOOR="${SHARD_SPEEDUP_FLOOR:-3.0}"
 
 if [[ -z "$BENCH_OUT" ]]; then
     BENCH_OUT="$(mktemp)"
-    echo "bench_compare: running BenchmarkPulseRound (benchtime 3x)..." >&2
-    go test -run xxx -bench BenchmarkPulseRound -benchtime 3x -benchmem . | tee "$BENCH_OUT"
+    echo "bench_compare: running BenchmarkPulseRound[Sharded] (benchtime 3x)..." >&2
+    go test -run xxx -bench 'BenchmarkPulseRound(Sharded)?$' -benchtime 3x -benchmem . | tee "$BENCH_OUT"
 fi
 
 if command -v benchstat >/dev/null 2>&1; then
@@ -37,59 +48,104 @@ if command -v benchstat >/dev/null 2>&1; then
     python3 - "$BASELINE" > "$OLD" <<'PY'
 import json, sys
 traj = json.load(open(sys.argv[1]))
-for name, r in sorted(traj["probe_off"]["results"].items()):
+for name, r in sorted(traj.get("probe_off", {}).get("results", {}).items()):
     print(f"BenchmarkPulseRound/{name}-1 1 {r['ns_per_op']} ns/op")
 PY
-    echo "--- benchstat (committed ${BASELINE} probe-off vs fresh run) ---"
-    benchstat "$OLD" "$BENCH_OUT" || true
+    if [[ -s "$OLD" ]]; then
+        echo "--- benchstat (committed ${BASELINE} probe-off vs fresh run) ---"
+        benchstat "$OLD" "$BENCH_OUT" || true
+    fi
 fi
 
-python3 - "$BENCH_OUT" "$BASELINE" "$TOLERANCE" <<'PY'
+python3 - "$BENCH_OUT" "$BASELINE" "$TOLERANCE" "$SPEEDUP_FLOOR" <<'PY'
 import json, re, sys
 
-bench_out, baseline_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+bench_out, baseline_path = sys.argv[1], sys.argv[2]
+tolerance, speedup_floor = float(sys.argv[3]), float(sys.argv[4])
 line_re = re.compile(
-    r"^BenchmarkPulseRound/(n=\d+(?:/probed)?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
+    r"^BenchmarkPulseRound(Sharded)?/"
+    r"(n=\d+(?:/probed)?(?:/shards=\d+)?)"
+    r"(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
     r".*?\s(\d+) B/op\s+(\d+) allocs/op"
 )
-fresh = {}
+serial, sharded = {}, {}
 for line in open(bench_out):
     m = line_re.match(line.strip())
-    if m:
-        fresh[m.group(1)] = {
-            "ns_per_op": float(m.group(2)),
-            "allocs_per_op": int(m.group(4)),
-        }
-if not fresh:
-    sys.exit("bench_compare: no BenchmarkPulseRound lines in " + bench_out)
+    if not m:
+        continue
+    rec = {"ns_per_op": float(m.group(4)), "allocs_per_op": int(m.group(6))}
+    cpu = int(m.group(3)) if m.group(3) else None
+    if m.group(1):  # Sharded
+        sm = re.match(r"n=(\d+)/shards=(\d+)", m.group(2))
+        sharded[(int(sm.group(1)), int(sm.group(2)), cpu)] = rec
+    else:
+        # Serial: last cpu point wins for the ratio table (same tier key).
+        serial[m.group(2)] = rec
+if not serial and not sharded:
+    sys.exit("bench_compare: no BenchmarkPulseRound[Sharded] lines in " + bench_out)
 
 failures = []
-leaks = {n: r["allocs_per_op"] for n, r in fresh.items() if r["allocs_per_op"] > 0}
+leaks = {n: r["allocs_per_op"] for n, r in serial.items() if r["allocs_per_op"] > 0}
+leaks.update({f"n={n}/shards={k}" + (f"/cpu={c}" if c else ""): r["allocs_per_op"]
+              for (n, k, c), r in sharded.items() if r["allocs_per_op"] > 0})
 if leaks:
     failures.append(f"steady-state allocations regressed: {leaks}")
 
-committed = json.load(open(baseline_path))["probe_off"]["results"]
-print(f"{'size':>16} {'committed ns/op':>16} {'fresh ns/op':>14} {'ratio':>7}")
-for name, base in sorted(committed.items()):
-    got = fresh.get(name)
-    if got is None:
-        failures.append(f"{name}: missing from fresh run")
-        continue
-    ratio = got["ns_per_op"] / base["ns_per_op"]
-    print(f"{name:>16} {base['ns_per_op']:>16.0f} {got['ns_per_op']:>14.0f} {ratio:>6.2f}x")
+committed = json.load(open(baseline_path)).get("probe_off", {}).get("results", {})
+if committed and serial:
+    print(f"{'size':>16} {'committed ns/op':>16} {'fresh ns/op':>14} {'ratio':>7}")
+    for name, base in sorted(committed.items()):
+        got = serial.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        ratio = got["ns_per_op"] / base["ns_per_op"]
+        print(f"{name:>16} {base['ns_per_op']:>16.0f} {got['ns_per_op']:>14.0f} {ratio:>6.2f}x")
 
-gate = "n=512"
-if gate in fresh and gate in committed:
-    ratio = fresh[gate]["ns_per_op"] / committed[gate]["ns_per_op"]
-    if ratio > tolerance:
-        failures.append(
-            f"{gate} probe-off regressed {ratio:.2f}x vs committed "
-            f"{baseline_path} (tolerance {tolerance:.2f}x)"
-        )
+    gate = "n=512"
+    if gate in serial and gate in committed:
+        ratio = serial[gate]["ns_per_op"] / committed[gate]["ns_per_op"]
+        if ratio > tolerance:
+            failures.append(
+                f"{gate} probe-off regressed {ratio:.2f}x vs committed "
+                f"{baseline_path} (tolerance {tolerance:.2f}x)"
+            )
+elif serial:
+    print(f"bench_compare: {baseline_path} has no probe_off record; serial ns/op gate skipped")
+
+if sharded:
+    print(f"{'shard tier':>24} {'ns/op':>14} {'vs shards=1':>12}")
+    for (n, k, c), r in sorted(sharded.items(), key=lambda kv: (kv[0][0], kv[0][2] or 0, kv[0][1])):
+        base = sharded.get((n, 1, c))
+        rel = f"{base['ns_per_op'] / r['ns_per_op']:.2f}x" if base else "-"
+        cpu = f"/cpu={c}" if c else ""
+        print(f"{f'n={n}/shards={k}{cpu}':>24} {r['ns_per_op']:>14.0f} {rel:>12}")
+
+    # Core-aware parallel speedup gate: only a measurement that actually
+    # ran with >=8 CPUs can witness (or refute) the 8-shard speedup.
+    gated = False
+    for (n, k, c), r in sharded.items():
+        if n == 2048 and k == 8 and c is not None and c >= 8:
+            base = sharded.get((n, 1, c))
+            if base is None:
+                failures.append(f"n=2048/shards=1/cpu={c}: missing, cannot gate speedup")
+                continue
+            gated = True
+            speedup = base["ns_per_op"] / r["ns_per_op"]
+            if speedup < speedup_floor:
+                failures.append(
+                    f"n=2048 shards=8 speedup {speedup:.2f}x at cpu={c} is below the "
+                    f"{speedup_floor:.1f}x floor (override with SHARD_SPEEDUP_FLOOR)"
+                )
+            else:
+                print(f"bench_compare: n=2048 shards=8 speedup {speedup:.2f}x at cpu={c} "
+                      f"(floor {speedup_floor:.1f}x)")
+    if not gated:
+        print("bench_compare: shard speedup gate skipped (no n=2048 point ran with >=8 CPUs)")
 
 if failures:
     for f in failures:
         print("bench_compare: FAIL:", f, file=sys.stderr)
     sys.exit(1)
-print("bench_compare: OK (no allocations; n=512 within tolerance)")
+print("bench_compare: OK")
 PY

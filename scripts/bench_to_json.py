@@ -1,20 +1,66 @@
 #!/usr/bin/env python3
-"""Fold `go test -bench BenchmarkPulseRound` output into a trajectory file.
+"""Fold `go test -bench BenchmarkPulseRound...` output into a trajectory file.
 
 Usage: bench_to_json.py <bench.out> <BENCH_PRx.json>
 
-Parses the benchmark lines — including the `/probed` variants that run
-with a no-op probe attached to every message event type — records them
-under the "ci_latest" key of the trajectory file, and exits non-zero if
-any steady-state pulse round allocated (probed or not): the
-allocation-light message path is a regression-tested property, not an
-aspiration. The required tier set includes the n=2048 scaling tier
-(PR 5): a run that silently dropped the large-n regime must not pass.
-ns/op regression gating lives in bench_compare.sh.
+Parses both benchmark families:
+
+  BenchmarkPulseRound/n=512[/probed]           serial engine (PR 5 record)
+  BenchmarkPulseRoundSharded/n=2048/shards=8   sharded engine (PR 7 record)
+
+including the `/probed` variants (no-op probe attached to every message
+event type) and `-cpu` suffixes (`-8` becomes a `/cpu=8` key suffix, so
+a `-cpu 1,8` matrix records both points instead of overwriting one).
+Results land under the "ci_latest" key of the trajectory file, and the
+script exits non-zero if any steady-state pulse round allocated — serial
+or sharded, probed or not, at any shard count: the allocation-free
+message path is a regression-tested property, not an aspiration.
+
+Required tiers (a run that silently dropped a regime must not pass):
+  serial lines present  -> n=512, n=512/probed, n=2048, n=2048/probed
+  sharded lines present -> n=2048/shards=1, n=2048/shards=8
+
+ns/op regression gating and the shards=8 speedup gate live in
+bench_compare.sh.
 """
 import json
 import re
 import sys
+
+LINE_RE = re.compile(
+    r"^BenchmarkPulseRound(Sharded)?/"
+    r"(n=\d+(?:/probed)?(?:/shards=\d+)?)"
+    r"(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
+    r".*?\s(\d+) B/op\s+(\d+) allocs/op"
+)
+
+SERIAL_REQUIRED = {"n=512", "n=512/probed", "n=2048", "n=2048/probed"}
+SHARDED_REQUIRED = {"n=2048/shards=1", "n=2048/shards=8"}
+
+
+def parse(path):
+    """Returns {key: {ns_per_op, bytes_per_op, allocs_per_op}} for every
+    pulse-round benchmark line, serial and sharded."""
+    results = {}
+    with open(path) as f:
+        for line in f:
+            m = LINE_RE.match(line.strip())
+            if not m:
+                continue
+            key = m.group(2)
+            if m.group(3):  # -cpu suffix: keep the matrix points distinct
+                key += f"/cpu={m.group(3)}"
+            results[key] = {
+                "ns_per_op": float(m.group(4)),
+                "bytes_per_op": int(m.group(5)),
+                "allocs_per_op": int(m.group(6)),
+            }
+    return results
+
+
+def base_tier(key):
+    """Strips a trailing /cpu=N so required-tier checks see the tier."""
+    return re.sub(r"/cpu=\d+$", "", key)
 
 
 def main() -> int:
@@ -23,26 +69,18 @@ def main() -> int:
         return 2
     bench_out, traj_path = sys.argv[1], sys.argv[2]
 
-    line_re = re.compile(
-        r"^BenchmarkPulseRound/(n=\d+(?:/probed)?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
-        r".*?\s(\d+) B/op\s+(\d+) allocs/op"
-    )
-    results = {}
-    with open(bench_out) as f:
-        for line in f:
-            m = line_re.match(line.strip())
-            if m:
-                results[m.group(1)] = {
-                    "ns_per_op": float(m.group(2)),
-                    "bytes_per_op": int(m.group(3)),
-                    "allocs_per_op": int(m.group(4)),
-                }
+    results = parse(bench_out)
     if not results:
-        print("bench_to_json: no BenchmarkPulseRound lines found", file=sys.stderr)
+        print("bench_to_json: no BenchmarkPulseRound[Sharded] lines found", file=sys.stderr)
         return 1
 
-    required = {"n=512", "n=512/probed", "n=2048", "n=2048/probed"}
-    missing = required - results.keys()
+    tiers = {base_tier(k) for k in results}
+    required = set()
+    if any("shards=" not in t for t in tiers):
+        required |= SERIAL_REQUIRED
+    if any("shards=" in t for t in tiers):
+        required |= SHARDED_REQUIRED
+    missing = required - tiers
     if missing:
         print(f"bench_to_json: required tiers missing from the run: {sorted(missing)}",
               file=sys.stderr)
@@ -59,7 +97,7 @@ def main() -> int:
     if leaks:
         print(f"bench_to_json: steady-state allocations regressed: {leaks}", file=sys.stderr)
         return 1
-    print(f"bench_to_json: {len(results)} sizes recorded, all allocation-free")
+    print(f"bench_to_json: {len(results)} tiers recorded, all allocation-free")
     return 0
 
 
