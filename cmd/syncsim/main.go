@@ -43,11 +43,23 @@
 // Custom runs can record their full typed event trace (messages, pulses,
 // resyncs, boots, partition markers, skew samples); the trace subcommand
 // replays a recorded trace through the streaming collectors and prints
-// aggregates identical to the live run's (see trace.go):
+// aggregates identical to the live run's, and converts between the three
+// encodings — JSONL, binary frames, and the columnar trace lake — with
+// -out (see trace.go):
 //
 //	syncsim -run -n 7 -horizon 30 -trace run.bin
 //	syncsim trace -in run.bin
 //	syncsim trace -in run.bin -json
+//	syncsim trace -in run.bin -out run.lake
+//
+// The query subcommand runs typed, node-, time-, and round-bounded
+// queries against a lake without replaying the whole stream — the footer
+// index prunes non-matching column blocks (see query.go):
+//
+//	syncsim -run -n 7 -horizon 30 -trace run.lake
+//	syncsim query -in run.lake -type skew_sample -from 2.5 -to 9.0
+//	syncsim query -in run.lake -node 3 -csv
+//	syncsim query -in run.lake -type pulse -stats
 package main
 
 import (
@@ -195,6 +207,8 @@ func run(args []string) error {
 			return runCampaignCmd(args[1:])
 		case "trace":
 			return runTraceCmd(args[1:])
+		case "query":
+			return runQueryCmd(args[1:])
 		case "serve":
 			return runServeCmd(args[1:])
 		case "work":
@@ -210,7 +224,7 @@ func run(args []string) error {
 		jsonOut = fs.Bool("json", false, "emit JSON instead of aligned tables")
 		workers = fs.Int("workers", 0, "worker pool size for experiment batches (0 = all cores)")
 		custom  = fs.Bool("run", false, "run a single custom simulation instead of an experiment")
-		trace   = fs.String("trace", "", "record the run's event trace to this file (custom runs; .bin/.trace = compact binary, else JSONL; replay with `syncsim trace -in FILE`)")
+		trace   = fs.String("trace", "", "record the run's event trace to this file (custom runs; .lake = queryable columnar lake, .bin/.trace = compact binary, else JSONL; replay with `syncsim trace -in FILE`, query lakes with `syncsim query`)")
 
 		sf = addSpecFlags(fs)
 	)
@@ -278,12 +292,12 @@ func run(args []string) error {
 func runCustom(spec optsync.Spec, jsonOut, csvOut bool, tracePath string) error {
 	var opts []optsync.Option
 	if tracePath != "" {
-		tw, f, err := traceWriterFor(tracePath)
+		sink, f, err := traceSinkFor(tracePath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		opts = append(opts, optsync.WithTrace(tw))
+		opts = append(opts, traceOption(sink))
 	}
 
 	// Machine-readable modes stream through the structured sinks.

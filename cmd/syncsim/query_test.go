@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optsync"
+)
+
+// recordLake records the canonical test run as a lake and returns its
+// path.
+func recordLake(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.lake")
+	if _, err := capture(t, func() error { return run(traceRunArgs(path)) }); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// refCount counts the events a query admits via the public API — the
+// reference the CLI output is checked against.
+func refCount(t *testing.T, path string, q optsync.LakeQuery) int {
+	t.Helper()
+	n := 0
+	if _, err := optsync.QueryLake(path, q, func(optsync.Event) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestQuerySubcommandJSONL(t *testing.T) {
+	path := recordLake(t)
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-in", path, "-type", "pulse"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, line := range lines {
+		var rec queryRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("query line not JSON: %v\n%s", err, line)
+		}
+		if rec.Type != "pulse" {
+			t.Fatalf("typed query leaked a %q event", rec.Type)
+		}
+	}
+	want := refCount(t, path, optsync.LakeQuery{}.WithTypes(optsync.EventPulse))
+	if len(lines) != want || want == 0 {
+		t.Fatalf("query emitted %d events, reference %d", len(lines), want)
+	}
+
+	// The JSONL output is a valid row trace: it pipes back into replay.
+	cols, n, err := replayAggregates(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want || len(cols) == 0 {
+		t.Fatalf("query output replayed %d events, want %d", n, want)
+	}
+}
+
+func TestQuerySubcommandCSVTimeRange(t *testing.T) {
+	path := recordLake(t)
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-in", path, "-type", "skew_sample", "-from", "1", "-to", "2", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "type,t,from,to,kind,round,value,aux" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if fields[0] != "skew_sample" {
+			t.Fatalf("csv row leaked type %q", fields[0])
+		}
+		var tm float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &tm); err != nil || tm < 1 || tm > 2 {
+			t.Fatalf("csv row t=%q outside [1,2] (err %v)", fields[1], err)
+		}
+	}
+	q := optsync.LakeQuery{}.WithTypes(optsync.EventSkewSample).WithTimeRange(1, 2)
+	if want := refCount(t, path, q); len(lines)-1 != want || want == 0 {
+		t.Fatalf("csv emitted %d rows, reference %d", len(lines)-1, want)
+	}
+}
+
+func TestQuerySubcommandNodeFilter(t *testing.T) {
+	path := recordLake(t)
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-in", path, "-type", "message_sent", "-node", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, line := range lines {
+		var rec queryRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.From != 3 && rec.To != 3 {
+			t.Fatalf("node query leaked event from=%d to=%d", rec.From, rec.To)
+		}
+	}
+	q := optsync.LakeQuery{}.WithTypes(optsync.EventMessageSent).WithNode(3)
+	if want := refCount(t, path, q); len(lines) != want || want == 0 {
+		t.Fatalf("query emitted %d events, reference %d", len(lines), want)
+	}
+}
+
+func TestQuerySubcommandStats(t *testing.T) {
+	path := recordLake(t)
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-in", path, "-type", "pulse", "-stats"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lake query", "blocks total", "blocks pruned", "blocks scanned", "events matched"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	want := refCount(t, path, optsync.LakeQuery{}.WithTypes(optsync.EventPulse))
+	if !strings.Contains(out, fmt.Sprint(want)) {
+		t.Fatalf("stats output missing matched count %d:\n%s", want, out)
+	}
+	// A single-type query must actually prune: the run emits many types,
+	// each in its own blocks.
+	if strings.Contains(out, "blocks pruned   0\n") {
+		t.Fatalf("typed query pruned nothing:\n%s", out)
+	}
+}
+
+func TestQuerySubcommandErrors(t *testing.T) {
+	if err := run([]string{"query"}); err == nil || !strings.Contains(err.Error(), "-in") {
+		t.Fatalf("missing -in not reported: %v", err)
+	}
+	if err := run([]string{"query", "-in", "/no/such/file"}); err == nil {
+		t.Fatal("missing file not reported")
+	}
+
+	path := recordLake(t)
+	if err := run([]string{"query", "-in", path, "-type", "no_such_type"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown event type") {
+		t.Fatalf("bad type not reported: %v", err)
+	}
+
+	// A row trace is rejected with the conversion recipe, not misparsed.
+	bin := filepath.Join(t.TempDir(), "run.bin")
+	if _, err := capture(t, func() error { return run(traceRunArgs(bin)) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"query", "-in", bin}); err == nil ||
+		!strings.Contains(err.Error(), "not a trace lake") || !strings.Contains(err.Error(), "-out") {
+		t.Fatalf("row trace not rejected with recipe: %v", err)
+	}
+}

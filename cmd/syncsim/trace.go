@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -14,7 +15,7 @@ import (
 // traceCollectors is the aggregate set the trace subcommand replays into
 // — the bounded-memory collectors, in presentation order. Replaying a
 // run's trace through them reproduces the live run's aggregates exactly
-// (both trace formats round-trip float64 bit-for-bit).
+// (all trace formats round-trip float64 bit-for-bit).
 func traceCollectors() []optsync.Collector {
 	return []optsync.Collector{
 		optsync.NewSkewCollector(),
@@ -22,6 +23,51 @@ func traceCollectors() []optsync.Collector {
 		optsync.NewMsgCollector(),
 		optsync.NewReintegrationCollector(),
 	}
+}
+
+// replayStream feeds every event of a recorded stream (row trace or
+// lake, auto-detected from the leading bytes) through the probes in
+// recorded order. Lakes need random access to their footer index, so a
+// lake arriving on a pipe is buffered in memory first.
+func replayStream(r io.Reader, probes ...optsync.Probe) (int, error) {
+	br := newSniffReader(r)
+	if br.isLake() {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return 0, err
+		}
+		l, err := optsync.OpenLakeBytes(data)
+		if err != nil {
+			return 0, err
+		}
+		defer l.Close()
+		return l.Replay(optsync.LakeQuery{}, probes...)
+	}
+	return optsync.ReplayTrace(br, probes...)
+}
+
+// sniffReader wraps a stream with an 8-byte lookahead for format
+// routing.
+type sniffReader struct {
+	head []byte
+	r    io.Reader
+}
+
+func newSniffReader(r io.Reader) *sniffReader {
+	head := make([]byte, len(optsync.LakeMagic))
+	n, _ := io.ReadFull(r, head)
+	return &sniffReader{head: head[:n], r: r}
+}
+
+func (s *sniffReader) isLake() bool { return bytes.Equal(s.head, optsync.LakeMagic[:]) }
+
+func (s *sniffReader) Read(p []byte) (int, error) {
+	if len(s.head) > 0 {
+		n := copy(p, s.head)
+		s.head = s.head[n:]
+		return n, nil
+	}
+	return s.r.Read(p)
 }
 
 // replayAggregates replays a trace stream through fresh collectors and
@@ -32,7 +78,7 @@ func replayAggregates(r io.Reader) ([]optsync.Collector, int, error) {
 	for i, c := range cols {
 		probes[i] = c
 	}
-	n, err := optsync.ReplayTrace(r, probes...)
+	n, err := replayStream(r, probes...)
 	return cols, n, err
 }
 
@@ -56,13 +102,15 @@ type traceJSON struct {
 	Collectors map[string][]optsync.Stat `json:"collectors"`
 }
 
-// runTraceCmd implements `syncsim trace -in FILE [-json]`: replay a
-// trace recorded with `-run ... -trace FILE` back through the built-in
-// collectors and print their aggregates.
+// runTraceCmd implements `syncsim trace -in FILE [-json]` (replay a
+// recorded stream through the built-in collectors and print their
+// aggregates) and `syncsim trace -in FILE -out FILE` (convert between
+// the three trace encodings, output format picked by extension).
 func runTraceCmd(args []string) error {
 	fs := flag.NewFlagSet("syncsim trace", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "", "trace file to replay (jsonl or binary, auto-detected; - for stdin)")
+		in      = fs.String("in", "", "trace file to read (jsonl, binary, or lake, auto-detected; - for stdin)")
+		out     = fs.String("out", "", "convert to this file instead of replaying aggregates (.lake = columnar lake, .bin/.trace = binary frames, else JSONL)")
 		jsonOut = fs.Bool("json", false, "emit JSON instead of an aligned table")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,32 +128,79 @@ func runTraceCmd(args []string) error {
 		defer f.Close()
 		r = f
 	}
+	if *out != "" {
+		return convertTrace(r, *out)
+	}
 	cols, n, err := replayAggregates(r)
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
-		out := traceJSON{Events: n, Collectors: make(map[string][]optsync.Stat, len(cols))}
+		o := traceJSON{Events: n, Collectors: make(map[string][]optsync.Stat, len(cols))}
 		for _, c := range cols {
-			out.Collectors[c.Name()] = c.Aggregate()
+			o.Collectors[c.Name()] = c.Aggregate()
 		}
 		enc := json.NewEncoder(os.Stdout)
-		return enc.Encode(out)
+		return enc.Encode(o)
 	}
 	fmt.Println(renderAggregates(cols, n))
 	return nil
 }
 
-// traceWriterFor opens path and picks the framing by extension: .bin /
-// .trace for the compact binary format, anything else JSON Lines.
-func traceWriterFor(path string) (*optsync.TraceWriter, *os.File, error) {
+// convertTrace streams every event of r into a fresh sink at path. The
+// conversion is lossless: events pass through as values, so a round trip
+// between any two encodings reproduces the stream bit-for-bit.
+func convertTrace(r io.Reader, path string) error {
+	sink, f, err := traceSinkFor(path)
+	if err != nil {
+		return err
+	}
+	n, err := replayStream(r, sink)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := sink.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d events to %s\n", n, path)
+	return nil
+}
+
+// traceSink is what both trace-writer families look like from the
+// conversion and recording paths: a probe that buffers, counts, and
+// finalizes on Flush.
+type traceSink interface {
+	optsync.Probe
+	Flush() error
+	Events() uint64
+}
+
+// traceSinkFor creates path and picks the encoding by extension: .lake
+// for the columnar lake container, .bin / .trace for compact binary
+// frames, anything else JSON Lines.
+func traceSinkFor(path string) (traceSink, *os.File, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	format := optsync.TraceJSONL
-	if strings.HasSuffix(path, ".bin") || strings.HasSuffix(path, ".trace") {
-		format = optsync.TraceBinary
+	switch {
+	case strings.HasSuffix(path, ".lake"):
+		return optsync.NewLakeWriter(f), f, nil
+	case strings.HasSuffix(path, ".bin"), strings.HasSuffix(path, ".trace"):
+		return optsync.NewTraceWriter(f, optsync.TraceBinary), f, nil
 	}
-	return optsync.NewTraceWriter(f, format), f, nil
+	return optsync.NewTraceWriter(f, optsync.TraceJSONL), f, nil
+}
+
+// traceOption wraps a sink in the matching recording option for Run.
+func traceOption(sink traceSink) optsync.Option {
+	if w, ok := sink.(*optsync.LakeWriter); ok {
+		return optsync.WithLakeTrace(w)
+	}
+	return optsync.WithTrace(sink.(*optsync.TraceWriter))
 }

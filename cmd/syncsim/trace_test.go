@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -25,7 +26,7 @@ func traceRunArgs(path string) []string {
 // exported trace, replayed through `syncsim trace`, reproduces the live
 // collectors' aggregates byte-for-byte — in both framings.
 func TestTraceRoundTripCLI(t *testing.T) {
-	for _, name := range []string{"run.jsonl", "run.bin"} {
+	for _, name := range []string{"run.jsonl", "run.bin", "run.lake"} {
 		path := filepath.Join(t.TempDir(), name)
 		if _, err := capture(t, func() error { return run(traceRunArgs(path)) }); err != nil {
 			t.Fatal(err)
@@ -115,6 +116,68 @@ func TestTraceSubcommandJSON(t *testing.T) {
 	}
 	if _, ok := rep.Collectors["skew"]; !ok {
 		t.Fatalf("skew collector missing: %v", rep.Collectors)
+	}
+}
+
+// TestTraceConvertChain drives the conversion path through every
+// encoding and back: binary -> lake -> jsonl -> binary must reproduce
+// the original file bit-for-bit (the lake's seq column restores exact
+// stream order, and all three encodings round-trip float64 bits).
+func TestTraceConvertChain(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "run.bin")
+	if _, err := capture(t, func() error { return run(traceRunArgs(orig)) }); err != nil {
+		t.Fatal(err)
+	}
+	lake := filepath.Join(dir, "a.lake")
+	jsonl := filepath.Join(dir, "b.jsonl")
+	back := filepath.Join(dir, "c.bin")
+	for _, step := range [][2]string{{orig, lake}, {lake, jsonl}, {jsonl, back}} {
+		out, err := capture(t, func() error {
+			return run([]string{"trace", "-in", step[0], "-out", step[1]})
+		})
+		if err != nil {
+			t.Fatalf("convert %s -> %s: %v", step[0], step[1], err)
+		}
+		if !strings.Contains(out, "converted") {
+			t.Fatalf("conversion reported nothing: %q", out)
+		}
+	}
+	a, err := os.ReadFile(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("binary -> lake -> jsonl -> binary drifted: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestTraceLakeAggregatesMatchRowTrace is the CLI-layer byte-diff the CI
+// smoke step automates: the same deterministic run recorded as a row
+// trace and as a lake must replay to byte-identical aggregate tables.
+func TestTraceLakeAggregatesMatchRowTrace(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "run.bin")
+	lake := filepath.Join(dir, "run.lake")
+	for _, path := range []string{bin, lake} {
+		if _, err := capture(t, func() error { return run(traceRunArgs(path)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	binOut, err := capture(t, func() error { return run([]string{"trace", "-in", bin}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lakeOut, err := capture(t, func() error { return run([]string{"trace", "-in", lake}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binOut != lakeOut {
+		t.Fatalf("lake aggregates diverge from row-trace aggregates\nbin:\n%s\nlake:\n%s", binOut, lakeOut)
 	}
 }
 

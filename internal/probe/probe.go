@@ -72,6 +72,18 @@ const (
 	numTypes
 )
 
+// NumTypes is the count of Type values including the invalid zero: valid
+// types are 1..NumTypes-1. Sized arrays indexed by Type (the bus here,
+// the per-type row buffers of internal/tracelake) use it.
+const NumTypes = int(numTypes)
+
+// TypeByName resolves the stable snake_case name of a type (the inverse
+// of Type.String), for query surfaces that take types as text.
+func TypeByName(name string) (Type, bool) {
+	t, ok := typeByName[name]
+	return t, ok
+}
+
 var typeNames = [numTypes]string{
 	typeInvalid:            "invalid",
 	TypeMessageSent:        "message_sent",

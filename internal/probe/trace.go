@@ -27,6 +27,14 @@ const (
 // binaryMagic identifies a binary trace stream (format version 1).
 var binaryMagic = [8]byte{'O', 'S', 'T', 'R', 'A', 'C', 'E', '1'}
 
+// LakeMagic identifies a columnar lake container (internal/tracelake).
+// The row-oriented readers here cannot stream one — a lake needs random
+// access to its footer index — so ReadTrace recognizes the magic and
+// fails with a pointer to the lake API instead of misparsing the bytes
+// as JSONL. Defined here, beside the other stream magics, so format
+// sniffing has one home; tracelake asserts it matches its own header.
+var LakeMagic = [8]byte{'O', 'S', 'L', 'A', 'K', 'E', '1', '\n'}
+
 // binaryFrameSize is the fixed record width of FormatBinary.
 const binaryFrameSize = 40
 
@@ -144,6 +152,10 @@ func ReadTrace(r io.Reader, fn func(Event) error) error {
 	if err == nil && [8]byte(head) == binaryMagic {
 		return readBinary(br, fn)
 	}
+	if err == nil && [8]byte(head) == LakeMagic {
+		return errors.New("probe: stream is a columnar trace lake, not a row trace; " +
+			"open it with optsync.OpenLake (or tracelake.Open) instead of ReplayTrace")
+	}
 	return readJSONL(br, fn)
 }
 
@@ -153,18 +165,19 @@ func readBinary(br *bufio.Reader, fn func(Event) error) error {
 	}
 	var b [binaryFrameSize]byte
 	for n := uint64(0); ; n++ {
+		off := uint64(len(binaryMagic)) + n*binaryFrameSize
 		if _, err := io.ReadFull(br, b[:]); err != nil {
 			if err == io.EOF {
 				return nil
 			}
 			if err == io.ErrUnexpectedEOF {
-				return fmt.Errorf("probe: binary trace truncated mid-frame at event %d", n)
+				return fmt.Errorf("probe: binary trace truncated mid-frame at event %d (byte offset %d)", n, off)
 			}
 			return err
 		}
 		t := Type(b[0])
 		if t <= typeInvalid || t >= numTypes {
-			return fmt.Errorf("probe: binary trace frame %d has invalid event type %d", n, b[0])
+			return fmt.Errorf("probe: binary trace frame %d (byte offset %d) has invalid event type %d", n, off, b[0])
 		}
 		ev := Event{
 			Type:  t,
@@ -186,15 +199,16 @@ func readJSONL(br *bufio.Reader, fn func(Event) error) error {
 	dec := json.NewDecoder(br)
 	for n := uint64(0); ; n++ {
 		var rec traceRecord
+		off := dec.InputOffset()
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
-			return fmt.Errorf("probe: jsonl trace event %d: %w", n, err)
+			return fmt.Errorf("probe: jsonl trace event %d (byte offset %d): %w", n, off, err)
 		}
 		t, ok := typeByName[rec.Type]
 		if !ok {
-			return fmt.Errorf("probe: jsonl trace event %d has unknown type %q", n, rec.Type)
+			return fmt.Errorf("probe: jsonl trace event %d (byte offset %d) has unknown type %q", n, off, rec.Type)
 		}
 		ev := Event{
 			Type: t, T: rec.T,

@@ -3,6 +3,7 @@ package probe
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -196,6 +197,83 @@ func TestWriterStickyError(t *testing.T) {
 	w.OnEvent(Event{Type: TypeSkewSample}) // must be a no-op now
 	if w.Events() != before {
 		t.Fatal("writer kept counting after error")
+	}
+}
+
+// TestReadTraceRejectsLake pins the format-sniffing contract: a lake
+// container handed to the row readers fails fast with a pointer to the
+// lake API, instead of being misparsed as JSONL.
+func TestReadTraceRejectsLake(t *testing.T) {
+	data := append(LakeMagic[:], []byte("rest of a columnar container")...)
+	err := ReadTrace(bytes.NewReader(data), func(Event) error {
+		t.Fatal("callback invoked on a lake stream")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("ReadTrace accepted a lake container")
+	}
+	for _, want := range []string{"columnar trace lake", "optsync.OpenLake"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %v, want mention of %q", err, want)
+		}
+	}
+}
+
+// Corrupt-input contract: decode errors name the byte offset of the
+// damage, so a mangled multi-gigabyte trace is debuggable with dd.
+
+func TestReadTraceTruncatedBinaryNamesOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, FormatBinary)
+	for i := 0; i < 3; i++ {
+		w.OnEvent(Event{Type: TypePulse, T: float64(i)})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the third frame: the error must point at its start.
+	data := buf.Bytes()[:8+2*binaryFrameSize+11]
+	err := ReadTrace(bytes.NewReader(data), func(Event) error { return nil })
+	wantOff := fmt.Sprintf("byte offset %d", 8+2*binaryFrameSize)
+	if err == nil || !strings.Contains(err.Error(), "event 2") || !strings.Contains(err.Error(), wantOff) {
+		t.Fatalf("err = %v, want truncation at event 2, %s", err, wantOff)
+	}
+}
+
+func TestReadTraceBinaryBadTypeNamesOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, FormatBinary)
+	for i := 0; i < 2; i++ {
+		w.OnEvent(Event{Type: TypePulse, T: float64(i)})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8+binaryFrameSize] = 0xEE // clobber frame 1's type byte
+	err := ReadTrace(bytes.NewReader(data), func(Event) error { return nil })
+	wantOff := fmt.Sprintf("byte offset %d", 8+binaryFrameSize)
+	if err == nil || !strings.Contains(err.Error(), "frame 1") || !strings.Contains(err.Error(), wantOff) {
+		t.Fatalf("err = %v, want invalid type at frame 1, %s", err, wantOff)
+	}
+}
+
+func TestReadTraceMalformedJSONLNamesOffset(t *testing.T) {
+	line := `{"type":"pulse","t":1,"from":0,"to":0,"kind":0,"round":1,"value":0,"aux":0}` + "\n"
+	data := line + line + `{"type":"pulse","t":` // cut mid-object
+	n := 0
+	err := ReadTrace(strings.NewReader(data), func(Event) error {
+		n++
+		return nil
+	})
+	if n != 2 {
+		t.Fatalf("decoded %d events before the damage, want 2", n)
+	}
+	// The decoder's offset sits at the closing brace of the last good
+	// object — one byte shy of its newline.
+	wantOff := fmt.Sprintf("byte offset %d", 2*len(line)-1)
+	if err == nil || !strings.Contains(err.Error(), "event 2") || !strings.Contains(err.Error(), wantOff) {
+		t.Fatalf("err = %v, want malformed-json error at event 2, %s", err, wantOff)
 	}
 }
 

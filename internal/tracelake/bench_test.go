@@ -1,0 +1,128 @@
+package tracelake
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"optsync/internal/probe"
+)
+
+// benchLake is built once: ~1M synthetic events shaped like a real
+// broadcast-storm trace, so the column mix (const kinds, clustered
+// node ids, monotone-ish timestamps) matches what live runs produce.
+var benchLake struct {
+	once sync.Once
+	data []byte
+	evs  int
+	tMax float64
+}
+
+func benchSetup(b *testing.B) (*Lake, int, float64) {
+	benchLake.once.Do(func() {
+		evs := synthEvents(32, 1000, 42)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, ev := range evs {
+			w.OnEvent(ev)
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+		benchLake.data = buf.Bytes()
+		benchLake.evs = len(evs)
+		benchLake.tMax = evs[len(evs)-1].T
+	})
+	l, err := OpenBytes(benchLake.data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l, benchLake.evs, benchLake.tMax
+}
+
+// BenchmarkLakeScan/full is the raw-bandwidth number the CI floor
+// gates: a single-core sequential ScanRows over every block, decoding
+// every column of every event. events/s is the headline metric.
+func BenchmarkLakeScan(b *testing.B) {
+	b.Run("full", func(b *testing.B) {
+		l, n, _ := benchSetup(b)
+		defer l.Close()
+		b.SetBytes(int64(len(benchLake.data)))
+		b.ResetTimer()
+		rows := uint64(0)
+		for i := 0; i < b.N; i++ {
+			st, err := l.ScanRows(Query{}, func(r *Rows) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += st.RowsDecoded
+		}
+		if rows != uint64(n)*uint64(b.N) {
+			b.Fatalf("decoded %d rows, want %d", rows, uint64(n)*uint64(b.N))
+		}
+		b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "events/s")
+	})
+
+	// pruned: a ~1%-selective time slice. The footer index should skip
+	// almost every block, so ns/op must be far below full's (the compare
+	// script enforces >5x).
+	b.Run("pruned", func(b *testing.B) {
+		l, _, tMax := benchSetup(b)
+		defer l.Close()
+		q := Query{}.WithTimeRange(tMax*0.495, tMax*0.505)
+		b.ResetTimer()
+		var last ScanStats
+		for i := 0; i < b.N; i++ {
+			st, err := l.ScanRows(q, func(r *Rows) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = st
+		}
+		b.StopTimer()
+		if last.BlocksPruned == 0 || last.BlocksScanned*2 >= last.BlocksTotal {
+			b.Fatalf("pruning ineffective: %+v", last)
+		}
+		b.ReportMetric(float64(last.BlocksScanned)/float64(last.BlocksTotal), "scanned-frac")
+	})
+
+	// merge: the ordered event-at-a-time path Replay rides on — not
+	// floor-gated, tracked for trajectory.
+	b.Run("merge", func(b *testing.B) {
+		l, n, _ := benchSetup(b)
+		defer l.Close()
+		b.ResetTimer()
+		events := uint64(0)
+		for i := 0; i < b.N; i++ {
+			st, err := l.Scan(Query{}, func(probe.Event) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += st.EventsMatched
+		}
+		if events != uint64(n)*uint64(b.N) {
+			b.Fatalf("merged %d events, want %d", events, uint64(n)*uint64(b.N))
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	})
+}
+
+// BenchmarkLakeWrite tracks the ingest side (probe sink hot path).
+func BenchmarkLakeWrite(b *testing.B) {
+	evs := synthEvents(16, 50, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(&nullWriter{})
+		for _, ev := range evs {
+			w.OnEvent(ev)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(evs)*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,649 @@
+// Package tracelake is the columnar trace container and query engine of
+// the observation layer: the at-rest form of the probe event stream.
+//
+// The trace formats of internal/probe (JSONL and the 40-byte binary
+// framing) are row-oriented and write-only: answering "skew samples of
+// node 17 between t=2.5 and t=9" means decoding every frame of the
+// stream. A lake stores the same events partitioned into per-type row
+// groups of struct-of-arrays column blocks, with a footer index carrying
+// per-block type, count, and min/max bounds for time, node ids, and
+// rounds — so a reader seeks straight to the blocks a query can match
+// and never touches the rest (ndn-dpdk's packet-oriented SoA layout is
+// the design reference). Columns are delta-encoded, then either
+// bit-packed at a fixed width or prefix-varint coded, whichever is
+// smaller (see below); no general-purpose compressor is used — the
+// standard library has no zstd, and flate on the scan path would cost
+// an order of magnitude in decode speed for ~2x the density the delta
+// codecs already provide on this data.
+//
+// # Container layout (version 1)
+//
+//	offset 0           magic "OSLAKE1\n" (8 bytes)
+//	...                blocks, back to back (layout below)
+//	...                footer: crc32c + index of every block
+//	size-16            trailer: footer length (8 bytes LE) + end magic
+//	                   "OSLAKEX1" (8 bytes)
+//
+// A reader opens the trailer, checksums and parses the footer, and then
+// has random access to every block without scanning the file. A writer
+// only ever appends, so a live simulation can stream into a lake with
+// one buffered file handle.
+//
+// Each block holds up to blockRows events of ONE event type, as eight
+// columns (seq, t, from, to, kind, round, value, aux) encoded
+// independently:
+//
+//	u32    crc32c of the payload below
+//	u8     event type
+//	u32    row count
+//	8 x    u8 codec, u32 encoded length, then the column bytes
+//
+// The seq column is the event's position in the original stream: the
+// partition by type destroys global order, and collectors (P² quantile
+// estimators in particular) are order-sensitive, so replay merges blocks
+// back by seq to reproduce the recorded stream exactly — including
+// interleaved multi-run batch traces, whose timestamps are not monotone.
+//
+// # Column codecs
+//
+// codecConst: all rows carry one value; the payload is its 8-byte image.
+//
+// codecPacked: frame-of-reference — the block's minimum value as a raw
+// 8-byte image, a width byte, then every row's residual (value minus
+// minimum, on the 64-bit integer image: float columns use their
+// IEEE-754 bit patterns, which round-trips exactly) at that fixed bit
+// width; width 64 stores raw 8-byte words. Decoding is one 8-byte load
+// plus an add per value at a constant bit stride — no loop-carried
+// dependency at all, neither in the address chain nor through a prefix
+// sum — which is what carries a full scan past 100M events/s.
+//
+// codecDelta: the column's first value as a raw 8-byte image, then the
+// remaining rows as prefix-varint zigzag deltas from their predecessor
+// (again on the integer image; exact for floats). The varint's encoded
+// byte count sits in the low nibble of its first byte, so the decoder
+// reads one length-free 8-byte load per value instead of chasing
+// continuation bits. Denser than packed when magnitudes are skewed — a
+// single outlier row would widen every packed residual.
+//
+// The writer sizes both encodings and emits the smaller (packed on
+// ties, for its faster decode), so the choice is a per-column,
+// per-block decision the reader discovers from the codec byte.
+package tracelake
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"optsync/internal/probe"
+)
+
+// Magic identifies a lake container (format version 1). probe.LakeMagic
+// is the same sequence: ReadTrace uses it to reject lakes with a pointer
+// here instead of misparsing them as JSONL.
+var Magic = [8]byte{'O', 'S', 'L', 'A', 'K', 'E', '1', '\n'}
+
+// endMagic closes the container; the 8 bytes before it are the footer
+// length. Its presence is what distinguishes "truncated" from "garbage".
+var endMagic = [8]byte{'O', 'S', 'L', 'A', 'K', 'E', 'X', '1'}
+
+const (
+	// blockRows is the row-group size: the pruning granularity and the
+	// unit of decode. 4096 rows keeps a 1%-selective time query skipping
+	// >95% of a large trace while the per-block footer entry stays ~1% of
+	// the block's own size.
+	blockRows = 4096
+
+	// maxBlockRows bounds the row count a reader will believe. A const
+	// column encodes any row count in 8 bytes, so the count cannot be
+	// sanity-checked against the payload size alone; this cap keeps a
+	// corrupt footer from asking for a multi-gigabyte decode buffer.
+	maxBlockRows = 1 << 20
+
+	// trailerSize is the fixed tail: footer length + end magic.
+	trailerSize = 16
+
+	// numCols is the per-block column count: seq, t, from, to, kind,
+	// round, value, aux.
+	numCols = 8
+
+	// blockHeaderSize is the fixed prefix of a block: crc + type + count.
+	blockHeaderSize = 4 + 1 + 4
+)
+
+// Column codecs. The writer encodes each column's zigzag delta stream
+// both ways on paper (a size computation, not a second pass) and emits
+// the smaller, preferring packed on ties for its faster decode.
+const (
+	codecConst  = 0x01 // all rows carry one value: the 8-byte image
+	codecDelta  = 0x02 // prefix-varint zigzag deltas
+	codecPacked = 0x03 // fixed-width bit-packed zigzag deltas
+)
+
+// zigzag folds signed deltas into unsigned varint space.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag is its inverse.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendPV appends v as a prefix varint: low nibble of the first byte is
+// the count of following bytes (0..8), high nibble the low 4 bits of v,
+// following bytes the rest little-endian. Values below 16 cost one byte.
+func appendPV(dst []byte, v uint64) []byte {
+	w := v >> 4
+	n := 0
+	for x := w; x != 0; x >>= 8 {
+		n++
+	}
+	var scratch [9]byte
+	scratch[0] = byte(n) | byte(v<<4)
+	binary.LittleEndian.PutUint64(scratch[1:], w)
+	return append(dst, scratch[:1+n]...)
+}
+
+// pvMask[n] keeps the low 8*n bits: the mask applied to the 8-byte load
+// behind a prefix varint's first byte. A table lookup instead of a
+// computed shift matters on the scan path — Go guards variable shifts
+// whose amount might reach 64, and that guard is per decoded value.
+// Entries 9..15 (impossible lengths, reachable only through corrupt
+// data) saturate; the per-loop offset guards keep such input safe.
+var pvMask = [16]uint64{
+	0x00, 0xff, 0xffff, 0xffffff, 0xffffffff,
+	0xff_ffffffff, 0xffff_ffffffff, 0xffffff_ffffffff, 0xffffffff_ffffffff,
+	^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0),
+}
+
+// pvAt decodes the prefix varint at src[off]. src MUST have at least 9
+// readable bytes at off (column buffers are padded — see the block
+// reader); the unconditional 8-byte load is what makes the decode
+// branch-free on length. Returns the value and the offset past it.
+func pvAt(src []byte, off int) (uint64, int) {
+	b0 := src[off]
+	n := int(b0 & 0x0f)
+	w := binary.LittleEndian.Uint64(src[off+1:]) & pvMask[b0&0x0f]
+	return uint64(b0>>4) | w<<4, off + 1 + n
+}
+
+// --- column encoders (writer side) ---
+
+// appendConstCol appends a const-codec image.
+func appendConstCol(dst []byte, image uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], image)
+	return append(dst, b[:]...)
+}
+
+// pvLen is the encoded size of v as a prefix varint.
+func pvLen(v uint64) int {
+	n := 1
+	for x := v >> 4; x != 0; x >>= 8 {
+		n++
+	}
+	return n
+}
+
+// packedWidth is the bit width codecPacked would use for the residual
+// stream: enough for the widest residual, saturating to a raw 8-byte
+// layout past 57 bits (where a value could straddle more than one
+// 64-bit load).
+func packedWidth(resid []uint64) int {
+	w := 0
+	for _, r := range resid {
+		w = max(w, 64-bits.LeadingZeros64(r))
+	}
+	if w > 57 {
+		return 64
+	}
+	return w
+}
+
+// packedSize is the width byte plus n residuals at width w.
+func packedSize(n, w int) int { return 1 + (n*w+7)/8 }
+
+// appendPacked appends the width byte, then the residuals bit-packed
+// little-endian (width 64 stores raw 8-byte words).
+func appendPacked(dst []byte, resid []uint64, width int) []byte {
+	dst = append(dst, byte(width))
+	if width == 64 {
+		for _, r := range resid {
+			dst = binary.LittleEndian.AppendUint64(dst, r)
+		}
+		return dst
+	}
+	acc, accBits := uint64(0), 0
+	for _, r := range resid {
+		acc |= r << uint(accBits) // accBits <= 7 here, width <= 57: no overflow
+		accBits += width
+		for accBits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			accBits -= 8
+		}
+	}
+	if accBits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// appendVarints appends the codecDelta payload for the deltas.
+func appendVarints(dst []byte, deltas []uint64) []byte {
+	for _, d := range deltas {
+		dst = appendPV(dst, d)
+	}
+	return dst
+}
+
+// The deltas* helpers turn a column into its first value (as a raw
+// 8-byte image) plus the zigzag delta stream of the REST — the shared
+// input of both non-const codecs. Keeping the first value out of the
+// stream matters: a block's opening seq or timestamp is a huge "delta
+// from zero" that would otherwise widen every packed value in the
+// block.
+
+func deltasU64(scratch []uint64, vals []uint64) (uint64, []uint64) {
+	scratch = scratch[:0]
+	prev := vals[0]
+	for _, v := range vals[1:] {
+		scratch = append(scratch, zigzag(int64(v-prev)))
+		prev = v
+	}
+	return vals[0], scratch
+}
+
+func deltasF64(scratch []uint64, vals []float64) (uint64, []uint64) {
+	scratch = scratch[:0]
+	prev := math.Float64bits(vals[0])
+	for _, v := range vals[1:] {
+		b := math.Float64bits(v)
+		scratch = append(scratch, zigzag(int64(b-prev)))
+		prev = b
+	}
+	return math.Float64bits(vals[0]), scratch
+}
+
+func deltasI32(scratch []uint64, vals []int32) (uint64, []uint64) {
+	scratch = scratch[:0]
+	prev := int64(vals[0])
+	for _, v := range vals[1:] {
+		scratch = append(scratch, zigzag(int64(v)-prev))
+		prev = int64(v)
+	}
+	return uint64(uint32(vals[0])), scratch
+}
+
+func deltasU16(scratch []uint64, vals []uint16) (uint64, []uint64) {
+	scratch = scratch[:0]
+	prev := int64(vals[0])
+	for _, v := range vals[1:] {
+		scratch = append(scratch, zigzag(int64(v)-prev))
+		prev = int64(v)
+	}
+	return uint64(vals[0]), scratch
+}
+
+// The residuals* helpers turn a column into codecPacked's input: the
+// minimum value's 8-byte image plus every row's distance from it.
+// Residuals are unsigned by construction, so no zigzag step is needed,
+// and — unlike deltas — reconstruction has no serial dependency.
+
+func residualsU64(scratch []uint64, vals []uint64) (uint64, []uint64) {
+	scratch = scratch[:0]
+	base := vals[0]
+	for _, v := range vals {
+		base = min(base, v)
+	}
+	for _, v := range vals {
+		scratch = append(scratch, v-base)
+	}
+	return base, scratch
+}
+
+func residualsF64(scratch []uint64, vals []float64) (uint64, []uint64) {
+	scratch = scratch[:0]
+	base := math.Float64bits(vals[0])
+	for _, v := range vals {
+		base = min(base, math.Float64bits(v))
+	}
+	for _, v := range vals {
+		scratch = append(scratch, math.Float64bits(v)-base)
+	}
+	return base, scratch
+}
+
+func residualsI32(scratch []uint64, vals []int32) (uint64, []uint64) {
+	scratch = scratch[:0]
+	base := vals[0]
+	for _, v := range vals {
+		base = min(base, v)
+	}
+	for _, v := range vals {
+		scratch = append(scratch, uint64(int64(v)-int64(base)))
+	}
+	return uint64(uint32(base)), scratch
+}
+
+func residualsU16(scratch []uint64, vals []uint16) (uint64, []uint64) {
+	scratch = scratch[:0]
+	base := vals[0]
+	for _, v := range vals {
+		base = min(base, v)
+	}
+	for _, v := range vals {
+		scratch = append(scratch, uint64(v-base))
+	}
+	return uint64(base), scratch
+}
+
+// --- column decoders (reader side) ---
+//
+// Each decoder walks one contiguous buffer in a tight loop; the scan
+// path's throughput is essentially the sum of these loops. src is the
+// column's declared bytes plus at least 8 padding bytes (see the block
+// reader), so pvAt's 8-byte load stays in bounds as long as off stays
+// inside the declared region — which the per-iteration guard enforces.
+// Decoders return the consumed byte count, or -1 when a corrupt varint
+// walks outside the declared region: validation fails, nothing faults.
+
+// Both non-const codec frames open with the column's first value as a
+// raw 8-byte image; the encoded deltas cover rows 1..n-1 only.
+//
+// The varint loops below hand-inline pvAt and unzigzag, and re-slice
+// src to exactly declared+8 bytes up front: the guard `off >= len(src)-8`
+// then doubles as the corruption check AND the fact the bounds-check
+// eliminator needs to drop the per-value slice checks on the 8-byte
+// load. Callers guarantee at least 8 padding bytes past declared.
+
+func decodeU64Delta(dst []uint64, src []byte, declared int) int {
+	if declared < 8 || len(dst) == 0 {
+		return -1
+	}
+	src = src[:declared+8]
+	prev := binary.LittleEndian.Uint64(src)
+	dst[0] = prev
+	off := 8
+	for i := 1; i < len(dst); i++ {
+		if off >= len(src)-8 {
+			return -1
+		}
+		b0 := src[off]
+		w := binary.LittleEndian.Uint64(src[off+1:]) & pvMask[b0&0x0f]
+		u := uint64(b0>>4) | w<<4
+		prev += uint64(int64(u>>1) ^ -int64(u&1))
+		dst[i] = prev
+		off += int(b0&0x0f) + 1
+	}
+	return off
+}
+
+func decodeF64Delta(dst []float64, src []byte, declared int) int {
+	if declared < 8 || len(dst) == 0 {
+		return -1
+	}
+	src = src[:declared+8]
+	prev := binary.LittleEndian.Uint64(src)
+	dst[0] = math.Float64frombits(prev)
+	off := 8
+	for i := 1; i < len(dst); i++ {
+		if off >= len(src)-8 {
+			return -1
+		}
+		b0 := src[off]
+		w := binary.LittleEndian.Uint64(src[off+1:]) & pvMask[b0&0x0f]
+		u := uint64(b0>>4) | w<<4
+		prev += uint64(int64(u>>1) ^ -int64(u&1))
+		dst[i] = math.Float64frombits(prev)
+		off += int(b0&0x0f) + 1
+	}
+	return off
+}
+
+func decodeI32Delta(dst []int32, src []byte, declared int) int {
+	if declared < 8 || len(dst) == 0 {
+		return -1
+	}
+	src = src[:declared+8]
+	prev := int64(int32(uint32(binary.LittleEndian.Uint64(src))))
+	dst[0] = int32(prev)
+	off := 8
+	for i := 1; i < len(dst); i++ {
+		if off >= len(src)-8 {
+			return -1
+		}
+		b0 := src[off]
+		w := binary.LittleEndian.Uint64(src[off+1:]) & pvMask[b0&0x0f]
+		u := uint64(b0>>4) | w<<4
+		prev += int64(u>>1) ^ -int64(u&1)
+		dst[i] = int32(prev)
+		off += int(b0&0x0f) + 1
+	}
+	return off
+}
+
+func decodeU16Delta(dst []uint16, src []byte, declared int) int {
+	if declared < 8 || len(dst) == 0 {
+		return -1
+	}
+	src = src[:declared+8]
+	prev := int64(uint16(binary.LittleEndian.Uint64(src)))
+	dst[0] = uint16(prev)
+	off := 8
+	for i := 1; i < len(dst); i++ {
+		if off >= len(src)-8 {
+			return -1
+		}
+		b0 := src[off]
+		w := binary.LittleEndian.Uint64(src[off+1:]) & pvMask[b0&0x0f]
+		u := uint64(b0>>4) | w<<4
+		prev += int64(u>>1) ^ -int64(u&1)
+		dst[i] = uint16(prev)
+		off += int(b0&0x0f) + 1
+	}
+	return off
+}
+
+// The codecPacked decoders read each residual with one 8-byte load at
+// a bit offset that advances by a CONSTANT stride and add the base —
+// no loop-carried dependency, which is what lets them sustain well
+// past the varint loops. checkPacked validates the frame once; after
+// it returns a non-negative width, every load below stays inside src's
+// declared bytes plus the 8-byte pad (widths <= 57 never straddle more
+// than 8 bytes past the last packed bit; width 64 is raw 8-byte
+// words).
+
+// checkPacked validates a packed frame holding n residuals behind the
+// 8-byte base image; clen is the frame length including the image.
+func checkPacked(n int, src []byte, clen int) int {
+	if clen < 9 {
+		return -1
+	}
+	width := int(src[8])
+	if width > 64 || (width > 57 && width < 64) {
+		return -1
+	}
+	if clen != 8+packedSize(n, width) {
+		return -1
+	}
+	return width
+}
+
+func decodeU64Packed(dst []uint64, src []byte, clen int) bool {
+	width := checkPacked(len(dst), src, clen)
+	if width < 0 {
+		return false
+	}
+	base := binary.LittleEndian.Uint64(src)
+	data := src[9:]
+	if width == 64 {
+		for i := range dst {
+			dst[i] = base + binary.LittleEndian.Uint64(data[i*8:])
+		}
+		return true
+	}
+	mask := uint64(1)<<uint(width) - 1
+	w1, w2, w3 := uint(width), uint(2*width), uint(3*width)
+	bitpos, i, n := 0, 0, len(dst)
+	if width <= 14 {
+		for ; i+4 <= n; i += 4 {
+			lw := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7)
+			dst[i] = base + lw&mask
+			dst[i+1] = base + lw>>w1&mask
+			dst[i+2] = base + lw>>w2&mask
+			dst[i+3] = base + lw>>w3&mask
+			bitpos += 4 * width
+		}
+	} else if width <= 28 {
+		for ; i+2 <= n; i += 2 {
+			lw := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7)
+			dst[i] = base + lw&mask
+			dst[i+1] = base + lw>>w1&mask
+			bitpos += 2 * width
+		}
+	}
+	for ; i < n; i++ {
+		u := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7) & mask
+		dst[i] = base + u
+		bitpos += width
+	}
+	return true
+}
+
+func decodeF64Packed(dst []float64, src []byte, clen int) bool {
+	width := checkPacked(len(dst), src, clen)
+	if width < 0 {
+		return false
+	}
+	base := binary.LittleEndian.Uint64(src)
+	data := src[9:]
+	if width == 64 {
+		for i := range dst {
+			dst[i] = math.Float64frombits(base + binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		return true
+	}
+	mask := uint64(1)<<uint(width) - 1
+	bitpos := 0
+	for i := range dst {
+		u := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7) & mask
+		dst[i] = math.Float64frombits(base + u)
+		bitpos += width
+	}
+	return true
+}
+
+func decodeI32Packed(dst []int32, src []byte, clen int) bool {
+	width := checkPacked(len(dst), src, clen)
+	if width < 0 {
+		return false
+	}
+	base := int64(int32(uint32(binary.LittleEndian.Uint64(src))))
+	data := src[9:]
+	if width == 64 {
+		for i := range dst {
+			dst[i] = int32(base + int64(binary.LittleEndian.Uint64(data[i*8:])))
+		}
+		return true
+	}
+	mask := uint64(1)<<uint(width) - 1
+	w1, w2, w3 := uint(width), uint(2*width), uint(3*width)
+	bitpos, i, n := 0, 0, len(dst)
+	// Narrow widths unpack several values per 64-bit load: 7 shift bits
+	// + 4 (or 2) values must fit in 64.
+	if width <= 14 {
+		for ; i+4 <= n; i += 4 {
+			lw := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7)
+			dst[i] = int32(base + int64(lw&mask))
+			dst[i+1] = int32(base + int64(lw>>w1&mask))
+			dst[i+2] = int32(base + int64(lw>>w2&mask))
+			dst[i+3] = int32(base + int64(lw>>w3&mask))
+			bitpos += 4 * width
+		}
+	} else if width <= 28 {
+		for ; i+2 <= n; i += 2 {
+			lw := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7)
+			dst[i] = int32(base + int64(lw&mask))
+			dst[i+1] = int32(base + int64(lw>>w1&mask))
+			bitpos += 2 * width
+		}
+	}
+	for ; i < n; i++ {
+		u := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7) & mask
+		dst[i] = int32(base + int64(u))
+		bitpos += width
+	}
+	return true
+}
+
+func decodeU16Packed(dst []uint16, src []byte, clen int) bool {
+	width := checkPacked(len(dst), src, clen)
+	if width < 0 {
+		return false
+	}
+	base := uint64(uint16(binary.LittleEndian.Uint64(src)))
+	data := src[9:]
+	if width == 64 {
+		for i := range dst {
+			dst[i] = uint16(base + binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		return true
+	}
+	mask := uint64(1)<<uint(width) - 1
+	bitpos := 0
+	for i := range dst {
+		u := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7) & mask
+		dst[i] = uint16(base + u)
+		bitpos += width
+	}
+	return true
+}
+
+// blockMeta is one footer index entry: everything pruning needs without
+// touching the block itself.
+type blockMeta struct {
+	typ    probe.Type
+	count  uint32
+	offset uint64 // of the block in the file
+	length uint64 // block bytes including header
+	seqMin uint64 // seq of the first row (rows are seq-sorted)
+	tMin   float64
+	tMax   float64
+	// nodeMin/nodeMax bound both the from and to columns (-1 sentinels
+	// included, which only widen the range).
+	nodeMin, nodeMax   int32
+	roundMin, roundMax int32
+}
+
+// metaEncSize is the fixed on-disk size of one footer entry.
+const metaEncSize = 1 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4
+
+func (m *blockMeta) append(dst []byte) []byte {
+	var b [metaEncSize]byte
+	b[0] = byte(m.typ)
+	binary.LittleEndian.PutUint32(b[1:], m.count)
+	binary.LittleEndian.PutUint64(b[5:], m.offset)
+	binary.LittleEndian.PutUint64(b[13:], m.length)
+	binary.LittleEndian.PutUint64(b[21:], m.seqMin)
+	binary.LittleEndian.PutUint64(b[29:], math.Float64bits(m.tMin))
+	binary.LittleEndian.PutUint64(b[37:], math.Float64bits(m.tMax))
+	binary.LittleEndian.PutUint32(b[45:], uint32(m.nodeMin))
+	binary.LittleEndian.PutUint32(b[49:], uint32(m.nodeMax))
+	binary.LittleEndian.PutUint32(b[53:], uint32(m.roundMin))
+	binary.LittleEndian.PutUint32(b[57:], uint32(m.roundMax))
+	return append(dst, b[:]...)
+}
+
+func decodeMeta(b []byte) blockMeta {
+	return blockMeta{
+		typ:      probe.Type(b[0]),
+		count:    binary.LittleEndian.Uint32(b[1:]),
+		offset:   binary.LittleEndian.Uint64(b[5:]),
+		length:   binary.LittleEndian.Uint64(b[13:]),
+		seqMin:   binary.LittleEndian.Uint64(b[21:]),
+		tMin:     math.Float64frombits(binary.LittleEndian.Uint64(b[29:])),
+		tMax:     math.Float64frombits(binary.LittleEndian.Uint64(b[37:])),
+		nodeMin:  int32(binary.LittleEndian.Uint32(b[45:])),
+		nodeMax:  int32(binary.LittleEndian.Uint32(b[49:])),
+		roundMin: int32(binary.LittleEndian.Uint32(b[53:])),
+		roundMax: int32(binary.LittleEndian.Uint32(b[57:])),
+	}
+}

@@ -1,0 +1,435 @@
+package tracelake
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"optsync/internal/probe"
+)
+
+// Lake is an open container: the parsed footer index plus random access
+// to the blocks. It reads via io.ReaderAt, so the backing store can be a
+// file, an mmap, or an in-memory buffer; blocks are fetched with one
+// positioned read each and only when a query's pruning admits them.
+// A Lake is safe for concurrent readers in the sense that it is
+// immutable after Open; Scan calls each need their own cursor state and
+// may run concurrently.
+type Lake struct {
+	r      io.ReaderAt
+	size   int64
+	closer io.Closer
+	blocks []blockMeta
+	total  uint64
+	// mem is set by OpenBytes: block reads slice it directly instead of
+	// copying through a scratch buffer.
+	mem []byte
+	// verified[i] records that block i's checksum has been validated.
+	// Only consulted for mem-backed lakes (the bytes cannot change under
+	// us), so repeated scans checksum each block once, not once per scan.
+	verified []atomic.Bool
+}
+
+// Open opens a lake file.
+func Open(path string) (*Lake, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l, err := OpenReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	l.closer = f
+	return l, nil
+}
+
+// OpenReader opens a lake from any random-access byte source of the
+// given size. It validates the header magic, the trailer, and the
+// footer checksum before trusting any of the index; every corruption
+// error names the byte offset it was detected at.
+func OpenReader(r io.ReaderAt, size int64) (*Lake, error) {
+	var head [8]byte
+	if size < int64(len(Magic))+trailerSize {
+		return nil, fmt.Errorf("tracelake: file is %d bytes, smaller than an empty container (%d)",
+			size, len(Magic)+trailerSize)
+	}
+	if _, err := r.ReadAt(head[:], 0); err != nil {
+		return nil, err
+	}
+	if head != Magic {
+		return nil, fmt.Errorf("tracelake: bad magic %q at offset 0 (want %q): not a lake container",
+			head[:], Magic[:])
+	}
+
+	var trailer [trailerSize]byte
+	if _, err := r.ReadAt(trailer[:], size-trailerSize); err != nil {
+		return nil, err
+	}
+	if [8]byte(trailer[8:]) != endMagic {
+		return nil, fmt.Errorf("tracelake: bad end magic %q at offset %d (want %q): container truncated or not finalized",
+			trailer[8:], size-8, endMagic[:])
+	}
+	footerLen := binary.LittleEndian.Uint64(trailer[:8])
+	footerOff := size - trailerSize - int64(footerLen)
+	if footerLen < 4+16 || footerOff < int64(len(Magic)) {
+		return nil, fmt.Errorf("tracelake: trailer at offset %d claims footer length %d, impossible for a %d-byte file",
+			size-trailerSize, footerLen, size)
+	}
+
+	footer := make([]byte, footerLen)
+	if _, err := io.ReadFull(io.NewSectionReader(r, footerOff, int64(footerLen)), footer); err != nil {
+		return nil, fmt.Errorf("tracelake: reading footer at offset %d: %w", footerOff, err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(footer[:4])
+	if got := crc32.Checksum(footer[4:], castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("tracelake: footer checksum mismatch at offset %d (stored %08x, computed %08x)",
+			footerOff, wantCRC, got)
+	}
+	body := footer[4:]
+	nBlocks := binary.LittleEndian.Uint64(body[:8])
+	total := binary.LittleEndian.Uint64(body[8:16])
+	if uint64(len(body)-16) != nBlocks*metaEncSize {
+		return nil, fmt.Errorf("tracelake: footer at offset %d indexes %d blocks but carries %d bytes of entries (want %d)",
+			footerOff, nBlocks, len(body)-16, nBlocks*metaEncSize)
+	}
+
+	l := &Lake{r: r, size: size, total: total, blocks: make([]blockMeta, 0, nBlocks),
+		verified: make([]atomic.Bool, nBlocks)}
+	var sum uint64
+	for i := uint64(0); i < nBlocks; i++ {
+		m := decodeMeta(body[16+i*metaEncSize:])
+		if int(m.typ) <= 0 || int(m.typ) >= probe.NumTypes {
+			return nil, fmt.Errorf("tracelake: footer entry %d has invalid event type %d", i, m.typ)
+		}
+		if m.count == 0 || m.count > maxBlockRows {
+			return nil, fmt.Errorf("tracelake: footer entry %d (block at offset %d) has implausible row count %d",
+				i, m.offset, m.count)
+		}
+		if m.offset < uint64(len(Magic)) || m.offset+m.length > uint64(footerOff) || m.length < blockHeaderSize {
+			return nil, fmt.Errorf("tracelake: footer entry %d places block at [%d, %d), outside the data region [%d, %d)",
+				i, m.offset, m.offset+m.length, len(Magic), footerOff)
+		}
+		sum += uint64(m.count)
+		l.blocks = append(l.blocks, m)
+	}
+	if sum != total {
+		return nil, fmt.Errorf("tracelake: footer at offset %d claims %d events but its blocks sum to %d",
+			footerOff, total, sum)
+	}
+	return l, nil
+}
+
+// OpenBytes opens a lake held in memory, with zero-copy block access:
+// scans decode straight out of data instead of copying each block into
+// a scratch buffer first. data must not be mutated while the lake is in
+// use. The container layout guarantees the decoder's padding invariant
+// for free — every block is followed by at least the footer and trailer
+// (>= 36 bytes), so the 8-byte loads past a column's end stay inside
+// data.
+func OpenBytes(data []byte) (*Lake, error) {
+	l, err := OpenReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	l.mem = data
+	return l, nil
+}
+
+// Close releases the underlying file when the lake owns one (Open does,
+// OpenReader does not).
+func (l *Lake) Close() error {
+	if l.closer != nil {
+		return l.closer.Close()
+	}
+	return nil
+}
+
+// Events returns the total event count recorded in the footer.
+func (l *Lake) Events() uint64 { return l.total }
+
+// BlockCount returns the number of column blocks in the container.
+func (l *Lake) BlockCount() int { return len(l.blocks) }
+
+// Rows is one decoded column block: the struct-of-arrays view of up to
+// blockRows events of a single type. All slices have equal length; Seq
+// is strictly increasing (the events' positions in the recorded stream).
+// The slices alias the decoder's reusable buffers — they are valid until
+// the next block is decoded into the same cursor.
+type Rows struct {
+	Type  probe.Type
+	Seq   []uint64
+	T     []float64
+	From  []int32
+	To    []int32
+	Kind  []uint16
+	Round []int32
+	Value []float64
+	Aux   []float64
+}
+
+// Len returns the row count.
+func (r *Rows) Len() int { return len(r.Seq) }
+
+// Event materializes row i as a probe event.
+func (r *Rows) Event(i int) probe.Event {
+	return probe.Event{
+		Type: r.Type, Kind: r.Kind[i],
+		From: r.From[i], To: r.To[i], Round: r.Round[i],
+		T: r.T[i], Value: r.Value[i], Aux: r.Aux[i],
+	}
+}
+
+// blockReader decodes blocks into reusable buffers: one per cursor, so a
+// steady-state scan performs zero allocations after the first block of
+// each active type.
+type blockReader struct {
+	buf  []byte
+	rows Rows
+	// constImage/constN cache the last const fill per column: when
+	// consecutive blocks repeat the same image (kind, value, aux almost
+	// always do), the buffer's first constN[ci] entries already hold it
+	// and the fill is skipped.
+	constImage [numCols]uint64
+	constN     [numCols]int
+}
+
+// grow returns b.buf with space for n+pad bytes, the pad zeroed.
+func (b *blockReader) grow(n int) []byte {
+	if cap(b.buf) < n+8 {
+		b.buf = make([]byte, n+8)
+	}
+	b.buf = b.buf[:n+8]
+	for i := n; i < n+8; i++ {
+		b.buf[i] = 0
+	}
+	return b.buf
+}
+
+// read fetches and decodes block mi. The returned Rows aliases the
+// reader's buffers.
+func (b *blockReader) read(l *Lake, mi int) (*Rows, error) {
+	m := &l.blocks[mi]
+	blockLen := int(m.length)
+	var buf []byte
+	if l.mem != nil {
+		// Zero-copy: the block plus its guaranteed >= 8 trailing bytes
+		// (footer/trailer at minimum), viewed in place.
+		buf = l.mem[m.offset : int(m.offset)+blockLen+8]
+	} else {
+		buf = b.grow(blockLen)
+		if _, err := l.r.ReadAt(buf[:blockLen], int64(m.offset)); err != nil {
+			return nil, fmt.Errorf("tracelake: reading block at offset %d (%d bytes): %w", m.offset, m.length, err)
+		}
+	}
+	payload := buf[4:blockLen]
+	if l.mem == nil || !l.verified[mi].Load() {
+		wantCRC := binary.LittleEndian.Uint32(buf[:4])
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			return nil, fmt.Errorf("tracelake: block at offset %d fails its checksum (stored %08x, computed %08x)",
+				m.offset, wantCRC, got)
+		}
+		if l.mem != nil {
+			l.verified[mi].Store(true)
+		}
+	}
+	if probe.Type(payload[0]) != m.typ || binary.LittleEndian.Uint32(payload[1:]) != m.count {
+		return nil, fmt.Errorf("tracelake: block at offset %d is (type %d, count %d) but the footer indexed (type %d, count %d)",
+			m.offset, payload[0], binary.LittleEndian.Uint32(payload[1:]), m.typ, m.count)
+	}
+	n := int(m.count)
+	r := &b.rows
+	r.Type = m.typ
+	if cap(r.Seq) < n || cap(r.T) < n || cap(r.From) < n || cap(r.To) < n ||
+		cap(r.Kind) < n || cap(r.Round) < n || cap(r.Value) < n || cap(r.Aux) < n {
+		b.constN = [numCols]int{} // buffers reallocate: cached fills are gone
+	}
+	r.Seq = growU64(r.Seq, n)
+	r.T = growF64(r.T, n)
+	r.From = growI32(r.From, n)
+	r.To = growI32(r.To, n)
+	r.Kind = growU16(r.Kind, n)
+	r.Round = growI32(r.Round, n)
+	r.Value = growF64(r.Value, n)
+	r.Aux = growF64(r.Aux, n)
+
+	// cols spans from the end of the block header through the 8 zeroed
+	// pad bytes past the payload, so pvAt's unconditional 8-byte loads
+	// stay inside buf for any in-payload offset; the per-column declared
+	// lengths (validated below) keep decode offsets in-payload.
+	cols := buf[blockHeaderSize:]
+	off := 0
+	limit := blockLen - blockHeaderSize // declared column bytes
+	for ci := 0; ci < numCols; ci++ {
+		if off+5 > limit {
+			return nil, fmt.Errorf("tracelake: block at offset %d: column %d header overruns the block", m.offset, ci)
+		}
+		codec := cols[off]
+		clen := int(binary.LittleEndian.Uint32(cols[off+1:]))
+		off += 5
+		if clen < 0 || off+clen > limit {
+			return nil, fmt.Errorf("tracelake: block at offset %d: column %d claims %d bytes, overrunning the block",
+				m.offset, ci, clen)
+		}
+		if err := b.decodeCol(r, ci, codec, cols[off:], clen); err != nil {
+			return nil, fmt.Errorf("tracelake: block at offset %d: column %d: %w", m.offset, ci, err)
+		}
+		off += clen
+	}
+	if off != limit {
+		return nil, fmt.Errorf("tracelake: block at offset %d: columns cover %d of %d payload bytes", m.offset, off, limit)
+	}
+	return r, nil
+}
+
+// decodeCol decodes one column (ci indexes seq,t,from,to,kind,round,
+// value,aux) from data, whose declared length is clen; data extends past
+// clen into the padded tail.
+func (b *blockReader) decodeCol(r *Rows, ci int, codec byte, data []byte, clen int) error {
+	switch codec {
+	case codecConst:
+		if clen != 8 {
+			return fmt.Errorf("const column is %d bytes, want 8", clen)
+		}
+		image := binary.LittleEndian.Uint64(data)
+		n := len(r.Seq)
+		if b.constN[ci] >= n && b.constImage[ci] == image {
+			return nil // buffer already holds this image
+		}
+		b.constImage[ci], b.constN[ci] = image, n
+		switch ci {
+		case 0:
+			fillU64(r.Seq, image)
+		case 1:
+			fillF64(r.T, math.Float64frombits(image))
+		case 2:
+			fillI32(r.From, int32(uint32(image)))
+		case 3:
+			fillI32(r.To, int32(uint32(image)))
+		case 4:
+			fillU16(r.Kind, uint16(image))
+		case 5:
+			fillI32(r.Round, int32(uint32(image)))
+		case 6:
+			fillF64(r.Value, math.Float64frombits(image))
+		case 7:
+			fillF64(r.Aux, math.Float64frombits(image))
+		}
+		return nil
+	case codecDelta:
+		b.constN[ci] = 0
+		var used int
+		switch ci {
+		case 0:
+			used = decodeU64Delta(r.Seq, data, clen)
+		case 1:
+			used = decodeF64Delta(r.T, data, clen)
+		case 2:
+			used = decodeI32Delta(r.From, data, clen)
+		case 3:
+			used = decodeI32Delta(r.To, data, clen)
+		case 4:
+			used = decodeU16Delta(r.Kind, data, clen)
+		case 5:
+			used = decodeI32Delta(r.Round, data, clen)
+		case 6:
+			used = decodeF64Delta(r.Value, data, clen)
+		case 7:
+			used = decodeF64Delta(r.Aux, data, clen)
+		}
+		if used != clen {
+			return fmt.Errorf("delta column decodes to %d of its declared %d bytes", used, clen)
+		}
+		return nil
+	case codecPacked:
+		b.constN[ci] = 0
+		var ok bool
+		switch ci {
+		case 0:
+			ok = decodeU64Packed(r.Seq, data, clen)
+		case 1:
+			ok = decodeF64Packed(r.T, data, clen)
+		case 2:
+			ok = decodeI32Packed(r.From, data, clen)
+		case 3:
+			ok = decodeI32Packed(r.To, data, clen)
+		case 4:
+			ok = decodeU16Packed(r.Kind, data, clen)
+		case 5:
+			ok = decodeI32Packed(r.Round, data, clen)
+		case 6:
+			ok = decodeF64Packed(r.Value, data, clen)
+		case 7:
+			ok = decodeF64Packed(r.Aux, data, clen)
+		}
+		if !ok {
+			return fmt.Errorf("packed column frame is inconsistent with its declared %d bytes", clen)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown codec 0x%02x", codec)
+	}
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU16(s []uint16, n int) []uint16 {
+	if cap(s) < n {
+		return make([]uint16, n)
+	}
+	return s[:n]
+}
+
+func fillU64(s []uint64, v uint64) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+func fillF64(s []float64, v float64) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+func fillI32(s []int32, v int32) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+func fillU16(s []uint16, v uint16) {
+	for i := range s {
+		s[i] = v
+	}
+}

@@ -1,0 +1,276 @@
+package tracelake
+
+import (
+	"optsync/internal/probe"
+)
+
+// Query selects events. The zero value selects everything; the Filter*
+// booleans arm the range predicates so that node 0, time 0, and round 0
+// stay expressible. The chainable With* helpers set field and flag
+// together:
+//
+//	q := tracelake.Query{}.WithTypes(probe.TypeSkewSample).
+//		WithNode(17).WithTimeRange(2.5, 9.0)
+//
+// Every predicate is pushed down to the footer index first: blocks whose
+// type, time span, node-id span, or round span cannot intersect the
+// query are never read, let alone decoded.
+type Query struct {
+	// Types restricts to the listed event types; empty means all.
+	Types []probe.Type
+	// Node keeps events with From == Node or To == Node, when FilterNode.
+	Node       int32
+	FilterNode bool
+	// TMin/TMax keep events with TMin <= T <= TMax, when FilterTime.
+	TMin, TMax float64
+	FilterTime bool
+	// RoundMin/RoundMax keep events with RoundMin <= Round <= RoundMax,
+	// when FilterRound.
+	RoundMin, RoundMax int32
+	FilterRound        bool
+}
+
+// WithTypes returns q restricted to the given event types.
+func (q Query) WithTypes(types ...probe.Type) Query {
+	q.Types = types
+	return q
+}
+
+// WithNode returns q restricted to events touching node id (as sender or
+// receiver).
+func (q Query) WithNode(id int32) Query {
+	q.Node, q.FilterNode = id, true
+	return q
+}
+
+// WithTimeRange returns q restricted to events with lo <= T <= hi.
+func (q Query) WithTimeRange(lo, hi float64) Query {
+	q.TMin, q.TMax, q.FilterTime = lo, hi, true
+	return q
+}
+
+// WithRounds returns q restricted to events with lo <= Round <= hi.
+func (q Query) WithRounds(lo, hi int32) Query {
+	q.RoundMin, q.RoundMax, q.FilterRound = lo, hi, true
+	return q
+}
+
+// WithRound returns q restricted to one exact round.
+func (q Query) WithRound(k int32) Query { return q.WithRounds(k, k) }
+
+// typeMask folds Types into a bitmap.
+func (q *Query) typeMask() [probe.NumTypes]bool {
+	var m [probe.NumTypes]bool
+	if len(q.Types) == 0 {
+		for i := 1; i < probe.NumTypes; i++ {
+			m[i] = true
+		}
+		return m
+	}
+	for _, t := range q.Types {
+		if int(t) > 0 && int(t) < probe.NumTypes {
+			m[t] = true
+		}
+	}
+	return m
+}
+
+// admitsBlock reports whether the block's footer bounds intersect q.
+func (q *Query) admitsBlock(mask *[probe.NumTypes]bool, m *blockMeta) bool {
+	if !mask[m.typ] {
+		return false
+	}
+	if q.FilterTime && (m.tMax < q.TMin || m.tMin > q.TMax) {
+		return false
+	}
+	if q.FilterNode && (q.Node < m.nodeMin || q.Node > m.nodeMax) {
+		return false
+	}
+	if q.FilterRound && (m.roundMax < q.RoundMin || m.roundMin > q.RoundMax) {
+		return false
+	}
+	return true
+}
+
+// admitsRow applies the row-level predicates to row i of r (the type was
+// settled at block level).
+func (q *Query) admitsRow(r *Rows, i int) bool {
+	if q.FilterTime && (r.T[i] < q.TMin || r.T[i] > q.TMax) {
+		return false
+	}
+	if q.FilterNode && r.From[i] != q.Node && r.To[i] != q.Node {
+		return false
+	}
+	if q.FilterRound && (r.Round[i] < q.RoundMin || r.Round[i] > q.RoundMax) {
+		return false
+	}
+	return true
+}
+
+// ScanStats reports what a scan touched — the observable proof that
+// pruning skipped non-matching row groups.
+type ScanStats struct {
+	// BlocksTotal is the container's block count; BlocksPruned of them
+	// were skipped on footer bounds alone and BlocksScanned were read
+	// and decoded.
+	BlocksTotal, BlocksPruned, BlocksScanned int
+	// RowsDecoded counts rows in scanned blocks; EventsMatched of them
+	// passed the row-level predicates.
+	RowsDecoded, EventsMatched uint64
+}
+
+// ScanRows visits every block q admits, in file order, decoded into
+// struct-of-arrays form. fn sees whole blocks: rows failing q's
+// row-level predicates are included (pruning is block-granular here);
+// use Scan for exact row filtering in stream order. This is the raw
+// bandwidth interface — a full scan decodes every column of every event
+// and nothing else.
+func (l *Lake) ScanRows(q Query, fn func(*Rows) error) (ScanStats, error) {
+	mask := q.typeMask()
+	st := ScanStats{BlocksTotal: len(l.blocks)}
+	var br blockReader
+	for i := range l.blocks {
+		m := &l.blocks[i]
+		if !q.admitsBlock(&mask, m) {
+			st.BlocksPruned++
+			continue
+		}
+		rows, err := br.read(l, i)
+		if err != nil {
+			return st, err
+		}
+		st.BlocksScanned++
+		st.RowsDecoded += uint64(rows.Len())
+		if err := fn(rows); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// cursor walks the admitted blocks of one event type in seq order,
+// positioned on the next row that passes the query's row predicates.
+type cursor struct {
+	lake  *Lake
+	q     *Query
+	metas []int // admitted block indices of this type, seq-sorted
+	next  int   // next position in metas
+	br    blockReader
+	rows  *Rows
+	idx   int
+	st    *ScanStats
+}
+
+// advance moves to the next admitted row, loading blocks as needed.
+// Returns false when the cursor is exhausted.
+func (c *cursor) advance() (bool, error) {
+	for {
+		if c.rows != nil {
+			for c.idx++; c.idx < c.rows.Len(); c.idx++ {
+				if c.q.admitsRow(c.rows, c.idx) {
+					return true, nil
+				}
+			}
+			c.rows = nil
+		}
+		if c.next >= len(c.metas) {
+			return false, nil
+		}
+		rows, err := c.br.read(c.lake, c.metas[c.next])
+		if err != nil {
+			return false, err
+		}
+		c.next++
+		c.st.BlocksScanned++
+		c.st.RowsDecoded += uint64(rows.Len())
+		c.rows, c.idx = rows, -1
+	}
+}
+
+// headSeq is the stream position of the cursor's current row.
+func (c *cursor) headSeq() uint64 { return c.rows.Seq[c.idx] }
+
+// Scan streams every event q admits through fn, in recorded stream
+// order — the per-type blocks are merged back by the seq column, so a
+// match-all Scan reproduces the original probe stream exactly (which is
+// what Replay builds on). Block pruning happens first; rows of admitted
+// blocks are then filtered exactly.
+func (l *Lake) Scan(q Query, fn func(probe.Event) error) (ScanStats, error) {
+	mask := q.typeMask()
+	st := ScanStats{BlocksTotal: len(l.blocks)}
+
+	perType := make([][]int, probe.NumTypes)
+	for i := range l.blocks {
+		m := &l.blocks[i]
+		if !q.admitsBlock(&mask, m) {
+			st.BlocksPruned++
+			continue
+		}
+		perType[m.typ] = append(perType[m.typ], i)
+	}
+
+	cursors := make([]*cursor, 0, probe.NumTypes)
+	for _, metas := range perType {
+		if len(metas) == 0 {
+			continue
+		}
+		c := &cursor{lake: l, q: &q, metas: metas, st: &st, idx: -1}
+		ok, err := c.advance()
+		if err != nil {
+			return st, err
+		}
+		if ok {
+			cursors = append(cursors, c)
+		}
+	}
+
+	// K-way merge by seq. K is at most the number of event types, so a
+	// linear min over the active cursors beats heap bookkeeping.
+	for len(cursors) > 0 {
+		mi := 0
+		minSeq := cursors[0].headSeq()
+		for i := 1; i < len(cursors); i++ {
+			if s := cursors[i].headSeq(); s < minSeq {
+				mi, minSeq = i, s
+			}
+		}
+		c := cursors[mi]
+		st.EventsMatched++
+		if err := fn(c.rows.Event(c.idx)); err != nil {
+			return st, err
+		}
+		ok, err := c.advance()
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			cursors[mi] = cursors[len(cursors)-1]
+			cursors = cursors[:len(cursors)-1]
+		}
+	}
+	return st, nil
+}
+
+// Replay streams the events q admits through the given probes, in
+// recorded order (collectors subscribe to the types they declare, like
+// probe.Replay). A match-all Replay through fresh collectors reproduces
+// the live run's aggregates exactly: the lake round-trips float64 bits
+// and restores the stream order collectors are sensitive to. Returns the
+// number of events replayed.
+func (l *Lake) Replay(q Query, probes ...probe.Probe) (int, error) {
+	var bus probe.Bus
+	for _, p := range probes {
+		if c, ok := p.(probe.Collector); ok {
+			bus.AttachCollector(c)
+			continue
+		}
+		bus.Attach(p)
+	}
+	n := 0
+	_, err := l.Scan(q, func(ev probe.Event) error {
+		n++
+		bus.Emit(ev)
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,347 @@
+package tracelake
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"optsync/internal/probe"
+)
+
+// castagnoli is the CRC-32C table shared by writer and reader; the
+// polynomial with hardware support on both amd64 and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// colBuf accumulates the pending rows of one event type as plain
+// struct-of-arrays columns until a block flush.
+type colBuf struct {
+	seq   []uint64
+	t     []float64
+	from  []int32
+	to    []int32
+	kind  []uint16
+	round []int32
+	value []float64
+	aux   []float64
+}
+
+func (c *colBuf) reset() {
+	c.seq = c.seq[:0]
+	c.t = c.t[:0]
+	c.from = c.from[:0]
+	c.to = c.to[:0]
+	c.kind = c.kind[:0]
+	c.round = c.round[:0]
+	c.value = c.value[:0]
+	c.aux = c.aux[:0]
+}
+
+// Writer streams probe events into a lake container. It implements
+// probe.Probe, so recording a live run is just attaching it to the bus
+// (optsync.WithLakeTrace does); ConvertFrom-style callers feed it
+// event-by-event the same way. Rows buffer per type and flush as column
+// blocks every blockRows events; Flush writes the pending blocks, the
+// footer index, and the trailer — a lake is complete only after a nil
+// Flush, and accepts no events afterwards.
+//
+// I/O errors are sticky: the first one stops all further writes and is
+// reported by Flush and Err, mirroring probe.Writer.
+type Writer struct {
+	bw       *bufio.Writer
+	off      uint64
+	blocks   []blockMeta
+	pend     [probe.NumTypes]colBuf
+	seq      uint64
+	err      error
+	done     bool
+	finalErr error
+	scratch  []byte
+	deltas   []uint64
+	resid    []uint64
+}
+
+// NewWriter returns a lake writer emitting to w. Writes are buffered and
+// strictly sequential (a live run streams through one file handle).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Events returns the number of events recorded so far.
+func (w *Writer) Events() uint64 { return w.seq }
+
+// Err returns the first error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// OnEvent implements probe.Probe. Events arriving after Flush are an
+// error (the footer is already on disk), not a silent drop.
+func (w *Writer) OnEvent(ev probe.Event) {
+	if w.err != nil {
+		return
+	}
+	if w.done {
+		w.err = fmt.Errorf("tracelake: OnEvent after Flush: the container is finalized")
+		return
+	}
+	if w.seq == 0 {
+		if _, err := w.bw.Write(Magic[:]); err != nil {
+			w.err = err
+			return
+		}
+		w.off = uint64(len(Magic))
+	}
+	ti := int(ev.Type)
+	if ti <= 0 || ti >= len(w.pend) {
+		w.err = fmt.Errorf("tracelake: event %d has invalid type %d", w.seq, ev.Type)
+		return
+	}
+	c := &w.pend[ti]
+	c.seq = append(c.seq, w.seq)
+	c.t = append(c.t, ev.T)
+	c.from = append(c.from, ev.From)
+	c.to = append(c.to, ev.To)
+	c.kind = append(c.kind, ev.Kind)
+	c.round = append(c.round, ev.Round)
+	c.value = append(c.value, ev.Value)
+	c.aux = append(c.aux, ev.Aux)
+	w.seq++
+	if len(c.seq) >= blockRows {
+		w.flushBlock(probe.Type(ti), c)
+	}
+}
+
+// flushBlock encodes c as one column block, appends it, and records its
+// footer entry.
+func (w *Writer) flushBlock(typ probe.Type, c *colBuf) {
+	if w.err != nil || len(c.seq) == 0 {
+		return
+	}
+	meta := blockMeta{
+		typ:    typ,
+		count:  uint32(len(c.seq)),
+		offset: w.off,
+		seqMin: c.seq[0],
+		tMin:   math.Inf(1), tMax: math.Inf(-1),
+		nodeMin: math.MaxInt32, nodeMax: math.MinInt32,
+		roundMin: math.MaxInt32, roundMax: math.MinInt32,
+	}
+	for i := range c.seq {
+		meta.tMin = math.Min(meta.tMin, c.t[i])
+		meta.tMax = math.Max(meta.tMax, c.t[i])
+		meta.nodeMin = min(meta.nodeMin, min(c.from[i], c.to[i]))
+		meta.nodeMax = max(meta.nodeMax, max(c.from[i], c.to[i]))
+		meta.roundMin = min(meta.roundMin, c.round[i])
+		meta.roundMax = max(meta.roundMax, c.round[i])
+	}
+
+	// Payload: type, count, then the eight columns.
+	buf := w.scratch[:0]
+	buf = append(buf, byte(typ))
+	buf = binary.LittleEndian.AppendUint32(buf, meta.count)
+	buf = w.appendU64Col(buf, c.seq)
+	buf = w.appendF64Col(buf, c.t)
+	buf = w.appendI32Col(buf, c.from)
+	buf = w.appendI32Col(buf, c.to)
+	buf = w.appendU16Col(buf, c.kind)
+	buf = w.appendI32Col(buf, c.round)
+	buf = w.appendF64Col(buf, c.value)
+	buf = w.appendF64Col(buf, c.aux)
+	w.scratch = buf
+
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(buf, castagnoli))
+	if _, err := w.bw.Write(crcb[:]); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.bw.Write(buf); err != nil {
+		w.err = err
+		return
+	}
+	meta.length = uint64(4 + len(buf))
+	w.off += meta.length
+	w.blocks = append(w.blocks, meta)
+	c.reset()
+}
+
+// Column appenders: pick codecConst when every row carries one value
+// (kind, value, and aux usually do; skew samples' from/to are all -1);
+// otherwise compute the column's zigzag delta stream once and emit
+// whichever of codecPacked and codecDelta is smaller (packed on ties —
+// its constant-stride decode is the faster one). Each column is framed
+// as codec + length + bytes.
+
+func appendColHeader(dst []byte, codec byte, n int) []byte {
+	dst = append(dst, codec)
+	return binary.LittleEndian.AppendUint32(dst, uint32(n))
+}
+
+// appendNonConstCol frames and appends the column under the smaller of
+// the two non-const codecs: frame-of-reference packing (base image +
+// fixed-width residuals — the fast-decode path) or first value +
+// prefix-varint zigzag deltas (denser under outliers).
+func appendNonConstCol(dst []byte, first uint64, deltas []uint64, base uint64, resid []uint64) []byte {
+	width := packedWidth(resid)
+	psize := 8 + packedSize(len(resid), width)
+	vsize := 8
+	for _, d := range deltas {
+		vsize += pvLen(d)
+	}
+	// Packed decodes several times faster than varint, so it wins unless
+	// varint is at least 2x denser (a heavily outlier-skewed column).
+	if psize <= 2*vsize {
+		dst = appendColHeader(dst, codecPacked, psize)
+		dst = appendConstCol(dst, base)
+		return appendPacked(dst, resid, width)
+	}
+	dst = appendColHeader(dst, codecDelta, vsize)
+	dst = appendConstCol(dst, first)
+	return appendVarints(dst, deltas)
+}
+
+func (w *Writer) appendU64Col(dst []byte, vals []uint64) []byte {
+	if allEqU64(vals) {
+		dst = appendColHeader(dst, codecConst, 8)
+		return appendConstCol(dst, vals[0])
+	}
+	first, deltas := deltasU64(w.deltas, vals)
+	w.deltas = deltas
+	base, resid := residualsU64(w.resid, vals)
+	w.resid = resid
+	return appendNonConstCol(dst, first, deltas, base, resid)
+}
+
+func (w *Writer) appendF64Col(dst []byte, vals []float64) []byte {
+	if allEqF64(vals) {
+		dst = appendColHeader(dst, codecConst, 8)
+		return appendConstCol(dst, math.Float64bits(vals[0]))
+	}
+	first, deltas := deltasF64(w.deltas, vals)
+	w.deltas = deltas
+	base, resid := residualsF64(w.resid, vals)
+	w.resid = resid
+	return appendNonConstCol(dst, first, deltas, base, resid)
+}
+
+func (w *Writer) appendI32Col(dst []byte, vals []int32) []byte {
+	if allEqI32(vals) {
+		dst = appendColHeader(dst, codecConst, 8)
+		return appendConstCol(dst, uint64(uint32(vals[0])))
+	}
+	first, deltas := deltasI32(w.deltas, vals)
+	w.deltas = deltas
+	base, resid := residualsI32(w.resid, vals)
+	w.resid = resid
+	return appendNonConstCol(dst, first, deltas, base, resid)
+}
+
+func (w *Writer) appendU16Col(dst []byte, vals []uint16) []byte {
+	if allEqU16(vals) {
+		dst = appendColHeader(dst, codecConst, 8)
+		return appendConstCol(dst, uint64(vals[0]))
+	}
+	first, deltas := deltasU16(w.deltas, vals)
+	w.deltas = deltas
+	base, resid := residualsU16(w.resid, vals)
+	w.resid = resid
+	return appendNonConstCol(dst, first, deltas, base, resid)
+}
+
+func allEqU64(v []uint64) bool {
+	for _, x := range v[1:] {
+		if x != v[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func allEqF64(v []float64) bool {
+	b0 := math.Float64bits(v[0])
+	for _, x := range v[1:] {
+		if math.Float64bits(x) != b0 {
+			return false
+		}
+	}
+	return true
+}
+
+func allEqI32(v []int32) bool {
+	for _, x := range v[1:] {
+		if x != v[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func allEqU16(v []uint16) bool {
+	for _, x := range v[1:] {
+		if x != v[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Flush writes the pending partial blocks, the footer index, and the
+// trailer, then drains the buffer. It finalizes the container: further
+// events are errors (reported by Err). Flush is idempotent — a second
+// call reports the first call's outcome.
+func (w *Writer) Flush() error {
+	if w.done {
+		return w.finalErr
+	}
+	if w.err != nil {
+		w.done, w.finalErr = true, w.err
+		return w.err
+	}
+	w.done = true
+	if w.seq == 0 {
+		// An empty trace still becomes a well-formed (empty) lake, so the
+		// -trace flag never leaves a 0-byte file that Open rejects.
+		if _, err := w.bw.Write(Magic[:]); err != nil {
+			w.err = err
+			return w.err
+		}
+		w.off = uint64(len(Magic))
+	}
+	// Blocks flush in stream order per type; the footer keeps that order,
+	// so a type's blocks are seq-sorted by construction.
+	for ti := range w.pend {
+		w.flushBlock(probe.Type(ti), &w.pend[ti])
+	}
+	if w.err != nil {
+		return w.err
+	}
+
+	footer := w.scratch[:0]
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(len(w.blocks)))
+	footer = binary.LittleEndian.AppendUint64(footer, w.seq)
+	for i := range w.blocks {
+		footer = w.blocks[i].append(footer)
+	}
+	w.scratch = footer
+
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(footer, castagnoli))
+	if _, err := w.bw.Write(crcb[:]); err != nil {
+		w.err = err
+		return w.err
+	}
+	if _, err := w.bw.Write(footer); err != nil {
+		w.err = err
+		return w.err
+	}
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(4+len(footer)))
+	copy(trailer[8:], endMagic[:])
+	if _, err := w.bw.Write(trailer[:]); err != nil {
+		w.err = err
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}

@@ -25,6 +25,12 @@ type probeReg struct {
 	types []probe.Type
 }
 
+// flusher is the finalization contract shared by trace sinks: row trace
+// writers and lake writers both buffer, and both report their first I/O
+// error from Flush. Run/RunBatch flush every registered sink before
+// returning.
+type flusher interface{ Flush() error }
+
 type config struct {
 	workers  int
 	seeds    int
@@ -32,7 +38,7 @@ type config struct {
 	sinks    []Sink
 	specOpts []func(*Spec)
 	probes   []probeReg
-	traces   []*probe.Writer
+	traces   []flusher
 }
 
 func newConfig(opts []Option) *config {
@@ -155,6 +161,19 @@ func WithTrace(t *TraceWriter) Option {
 	return func(c *config) {
 		c.traces = append(c.traces, t)
 		c.probes = append(c.probes, probeReg{p: t})
+	}
+}
+
+// WithLakeTrace records the full event stream to w as a columnar trace
+// lake (see NewLakeWriter) — the queryable container, written live with
+// no intermediate row trace. The writer is flushed (finalizing the
+// container) before Run/RunBatch returns and its first I/O error is
+// returned. Batch caveats match WithTrace: concurrent runs interleave in
+// one stream.
+func WithLakeTrace(w *LakeWriter) Option {
+	return func(c *config) {
+		c.traces = append(c.traces, w)
+		c.probes = append(c.probes, probeReg{p: w})
 	}
 }
 

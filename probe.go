@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"optsync/internal/probe"
+	"optsync/internal/tracelake"
 )
 
 // The probe vocabulary, re-exported as aliases so probes and collectors
@@ -68,6 +69,15 @@ func MessageEventTypes() []EventType { return probe.MessageTypes() }
 // AllEventTypes lists every event type.
 func AllEventTypes() []EventType { return probe.AllTypes() }
 
+// EventTypeByName resolves an event type from its wire name ("pulse",
+// "skew_sample", ...) — the names JSONL traces and query flags use.
+func EventTypeByName(name string) (EventType, bool) { return probe.TypeByName(name) }
+
+// LakeMagic is the 8-byte header identifying a columnar trace lake.
+// Format sniffers compare a stream's leading bytes against it to route
+// lakes to OpenLake and row traces to ReplayTrace.
+var LakeMagic = probe.LakeMagic
+
 // NewSkewCollector returns a streaming skew collector: count/min/max/mean,
 // P² percentile estimates (p50/p95/p99), and an exponential histogram, in
 // O(1) memory. Subscribe with WithCollector.
@@ -109,3 +119,66 @@ func ReplayTrace(r io.Reader, probes ...Probe) (int, error) {
 // concurrent runs. Use it directly when attaching a shared probe through
 // lower-level APIs.
 func SynchronizedProbe(p Probe) Probe { return probe.Synchronized(p) }
+
+// The trace-lake vocabulary, re-exported like the probe types above. A
+// lake is the columnar, indexed trace container: events stored as
+// per-type column blocks with a footer index, so queries prune whole
+// blocks on type / time / node / round bounds instead of decoding the
+// stream front to back.
+type (
+	// Lake is an open container. Scan/ScanRows/Replay are its methods;
+	// Close releases the underlying file.
+	Lake = tracelake.Lake
+	// LakeQuery selects events. The zero value selects everything; chain
+	// WithTypes / WithNode / WithTimeRange / WithRounds to restrict it.
+	LakeQuery = tracelake.Query
+	// LakeScanStats reports what a scan touched — pruned vs scanned
+	// blocks, decoded vs matched rows.
+	LakeScanStats = tracelake.ScanStats
+	// LakeRows is one decoded column block in struct-of-arrays form, as
+	// seen by ScanRows callbacks.
+	LakeRows = tracelake.Rows
+	// LakeWriter streams events into a lake container (a Probe; install
+	// with WithLakeTrace).
+	LakeWriter = tracelake.Writer
+)
+
+// NewLakeWriter returns a lake writer emitting to w. Install it with
+// WithLakeTrace to record a run, or feed it events directly to convert
+// an existing trace (`syncsim trace -out x.lake` does). The container is
+// complete only after a nil Flush.
+func NewLakeWriter(w io.Writer) *LakeWriter { return tracelake.NewWriter(w) }
+
+// OpenLake opens a lake file for querying. The footer index is read and
+// verified up front; block payloads are read (and checksummed) lazily,
+// only when a query admits them.
+func OpenLake(path string) (*Lake, error) { return tracelake.Open(path) }
+
+// OpenLakeBytes opens an in-memory lake image without copying it. The
+// caller must not mutate data while the lake is in use.
+func OpenLakeBytes(data []byte) (*Lake, error) { return tracelake.OpenBytes(data) }
+
+// QueryLake is the one-shot form of OpenLake + Scan + Close: it streams
+// every event q admits through fn in recorded order and reports what the
+// scan touched.
+func QueryLake(path string, q LakeQuery, fn func(Event) error) (LakeScanStats, error) {
+	l, err := OpenLake(path)
+	if err != nil {
+		return LakeScanStats{}, err
+	}
+	defer l.Close()
+	return l.Scan(q, fn)
+}
+
+// ReplayLake feeds the events q admits back through probes, in recorded
+// order, and returns the number of events replayed — ReplayTrace for
+// lakes, plus the query. Collectors fed a match-all replay reproduce the
+// recording run's aggregates exactly.
+func ReplayLake(path string, q LakeQuery, probes ...Probe) (int, error) {
+	l, err := OpenLake(path)
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Replay(q, probes...)
+}

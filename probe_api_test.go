@@ -3,6 +3,8 @@ package optsync
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -91,6 +93,124 @@ func TestTraceReplayRoundTrip(t *testing.T) {
 			t.Fatalf("format %v: replay aggregates diverged\n live   %+v\n replay %+v",
 				format, liveAgg, replayAgg)
 		}
+	}
+}
+
+// TestLakeTraceReplayRoundTrip is the lake acceptance contract at the
+// public-API layer: a run recorded with WithLakeTrace, replayed from the
+// container through fresh collectors, reproduces the live aggregates
+// exactly — including when the recording run used the sharded engine.
+func TestLakeTraceReplayRoundTrip(t *testing.T) {
+	spec := testSpecs(t, 1)[0]
+	// A late joiner and a partition window exercise every event type.
+	spec.StartAt = map[int]float64{0: 3.25}
+	spec.Partitions = []Partition{{At: 2, Heal: 4, LeftSize: 2}}
+
+	for _, shards := range []int{1, 8} {
+		spec.Shards = shards
+		var buf bytes.Buffer
+		lw := NewLakeWriter(&buf)
+		live := collectors()
+		opts := []Option{WithLakeTrace(lw)}
+		for _, c := range live {
+			opts = append(opts, WithCollector(c))
+		}
+		if _, err := Run(context.Background(), spec, opts...); err != nil {
+			t.Fatal(err)
+		}
+		if lw.Events() == 0 {
+			t.Fatal("lake recorded no events")
+		}
+
+		path := filepath.Join(t.TempDir(), "run.lake")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// File-path layer: ReplayLake with a match-all query.
+		replayed := collectors()
+		probes := make([]Probe, len(replayed))
+		for i, c := range replayed {
+			probes[i] = c
+		}
+		n, err := ReplayLake(path, LakeQuery{}, probes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(n) != lw.Events() {
+			t.Fatalf("shards=%d: replayed %d of %d recorded events", shards, n, lw.Events())
+		}
+		liveAgg, replayAgg := aggregates(live), aggregates(replayed)
+		if !reflect.DeepEqual(liveAgg, replayAgg) {
+			t.Fatalf("shards=%d: lake replay aggregates diverged\n live   %+v\n replay %+v",
+				shards, liveAgg, replayAgg)
+		}
+
+		// In-memory layer: OpenLakeBytes sees the same stream.
+		l, err := OpenLakeBytes(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		memReplayed := collectors()
+		memProbes := make([]Probe, len(memReplayed))
+		for i, c := range memReplayed {
+			memProbes[i] = c
+		}
+		if m, err := l.Replay(LakeQuery{}, memProbes...); err != nil || m != n {
+			t.Fatalf("shards=%d: OpenLakeBytes replay: %d events, err %v (want %d, nil)", shards, m, err, n)
+		}
+		if got := aggregates(memReplayed); !reflect.DeepEqual(liveAgg, got) {
+			t.Fatalf("shards=%d: in-memory replay aggregates diverged", shards)
+		}
+		l.Close()
+	}
+}
+
+// TestQueryLakePushdown checks the one-shot query path end to end: a
+// typed, time-bounded query returns exactly the events a full replay
+// would filter to, and the footer index pruned at least one block.
+func TestQueryLakePushdown(t *testing.T) {
+	spec := testSpecs(t, 1)[0]
+	var buf bytes.Buffer
+	lw := NewLakeWriter(&buf)
+	if _, err := Run(context.Background(), spec, WithLakeTrace(lw)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.lake")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q := LakeQuery{}.WithTypes(EventSkewSample).WithTimeRange(0, spec.Horizon/2)
+	var want int
+	if _, err := QueryLake(path, LakeQuery{}, func(ev Event) error {
+		if ev.Type == EventSkewSample && ev.T <= spec.Horizon/2 {
+			want++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := 0
+	st, err := QueryLake(path, q, func(ev Event) error {
+		if ev.Type != EventSkewSample || ev.T > spec.Horizon/2 {
+			t.Fatalf("query leaked event %+v", ev)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || got == 0 {
+		t.Fatalf("query matched %d events, reference filter %d", got, want)
+	}
+	if uint64(got) != st.EventsMatched {
+		t.Fatalf("stats count %d != callback count %d", st.EventsMatched, got)
+	}
+	if st.BlocksPruned == 0 {
+		t.Fatalf("typed query pruned nothing: %+v", st)
 	}
 }
 

@@ -22,7 +22,12 @@
 #     core-aware: a single-core runner executes the shard matrix for the
 #     allocation gate but cannot measure parallelism, so the ratio check
 #     arms only when the benchmark actually ran with >=8 CPUs (the -cpu
-#     suffix on the result line is the ground truth, not the host's nproc).
+#     suffix on the result line is the ground truth, not the host's nproc), or
+#   - the run includes BenchmarkLakeScan lines and the full sequential
+#     scan decodes below LAKE_SCAN_FLOOR events/s (default 100e6,
+#     single-core), or the ~1%-selective pruned scan is not at least
+#     LAKE_PRUNE_RATIO (default 5.0) times faster than the full scan —
+#     the trace lake's two PR 8 acceptance floors.
 #
 # When benchstat (golang.org/x/perf) is on PATH, a baseline bench file is
 # synthesized from the JSON and a full benchstat delta report is printed;
@@ -36,11 +41,15 @@ BENCH_OUT="${1:-}"
 BASELINE="${2:-BENCH_PR5.json}"
 TOLERANCE="${BENCH_TOLERANCE:-1.10}"
 SPEEDUP_FLOOR="${SHARD_SPEEDUP_FLOOR:-3.0}"
+LAKE_FLOOR="${LAKE_SCAN_FLOOR:-100000000}"
+LAKE_RATIO="${LAKE_PRUNE_RATIO:-5.0}"
 
 if [[ -z "$BENCH_OUT" ]]; then
     BENCH_OUT="$(mktemp)"
     echo "bench_compare: running BenchmarkPulseRound[Sharded] (benchtime 3x)..." >&2
     go test -run xxx -bench 'BenchmarkPulseRound(Sharded)?$' -benchtime 3x -benchmem . | tee "$BENCH_OUT"
+    echo "bench_compare: running BenchmarkLakeScan..." >&2
+    go test -run xxx -bench 'BenchmarkLakeScan$' -benchmem ./internal/tracelake | tee -a "$BENCH_OUT"
 fi
 
 if command -v benchstat >/dev/null 2>&1; then
@@ -57,32 +66,45 @@ PY
     fi
 fi
 
-python3 - "$BENCH_OUT" "$BASELINE" "$TOLERANCE" "$SPEEDUP_FLOOR" <<'PY'
+python3 - "$BENCH_OUT" "$BASELINE" "$TOLERANCE" "$SPEEDUP_FLOOR" "$LAKE_FLOOR" "$LAKE_RATIO" <<'PY'
 import json, re, sys
 
 bench_out, baseline_path = sys.argv[1], sys.argv[2]
 tolerance, speedup_floor = float(sys.argv[3]), float(sys.argv[4])
+lake_floor, lake_ratio = float(sys.argv[5]), float(sys.argv[6])
 line_re = re.compile(
     r"^BenchmarkPulseRound(Sharded)?/"
     r"(n=\d+(?:/probed)?(?:/shards=\d+)?)"
     r"(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op"
     r".*?\s(\d+) B/op\s+(\d+) allocs/op"
 )
-serial, sharded = {}, {}
+lake_re = re.compile(
+    r"^BenchmarkLakeScan/(full|pruned|merge)"
+    r"(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$"
+)
+metric_re = re.compile(r"([\d.e+-]+) (events/s|scanned-frac)")
+serial, sharded, lake = {}, {}, {}
 for line in open(bench_out):
-    m = line_re.match(line.strip())
-    if not m:
+    line = line.strip()
+    m = line_re.match(line)
+    if m:
+        rec = {"ns_per_op": float(m.group(4)), "allocs_per_op": int(m.group(6))}
+        cpu = int(m.group(3)) if m.group(3) else None
+        if m.group(1):  # Sharded
+            sm = re.match(r"n=(\d+)/shards=(\d+)", m.group(2))
+            sharded[(int(sm.group(1)), int(sm.group(2)), cpu)] = rec
+        else:
+            # Serial: last cpu point wins for the ratio table (same tier key).
+            serial[m.group(2)] = rec
         continue
-    rec = {"ns_per_op": float(m.group(4)), "allocs_per_op": int(m.group(6))}
-    cpu = int(m.group(3)) if m.group(3) else None
-    if m.group(1):  # Sharded
-        sm = re.match(r"n=(\d+)/shards=(\d+)", m.group(2))
-        sharded[(int(sm.group(1)), int(sm.group(2)), cpu)] = rec
-    else:
-        # Serial: last cpu point wins for the ratio table (same tier key).
-        serial[m.group(2)] = rec
-if not serial and not sharded:
-    sys.exit("bench_compare: no BenchmarkPulseRound[Sharded] lines in " + bench_out)
+    lm = lake_re.match(line)
+    if lm:
+        rec = {"ns_per_op": float(lm.group(2))}
+        for val, unit in metric_re.findall(lm.group(3)):
+            rec[unit] = float(val)
+        lake[lm.group(1)] = rec
+if not serial and not sharded and not lake:
+    sys.exit("bench_compare: no BenchmarkPulseRound[Sharded]/BenchmarkLakeScan lines in " + bench_out)
 
 failures = []
 leaks = {n: r["allocs_per_op"] for n, r in serial.items() if r["allocs_per_op"] > 0}
@@ -142,6 +164,38 @@ if sharded:
                       f"(floor {speedup_floor:.1f}x)")
     if not gated:
         print("bench_compare: shard speedup gate skipped (no n=2048 point ran with >=8 CPUs)")
+
+if lake:
+    print(f"{'lake tier':>12} {'ns/op':>14} {'events/s':>14} {'vs full':>8}")
+    full = lake.get("full")
+    for name in ("full", "pruned", "merge"):
+        r = lake.get(name)
+        if r is None:
+            continue
+        evs = f"{r['events/s']:.3g}" if "events/s" in r else "-"
+        rel = f"{full['ns_per_op'] / r['ns_per_op']:.1f}x" if full and name != "full" else "-"
+        print(f"{name:>12} {r['ns_per_op']:>14.0f} {evs:>14} {rel:>8}")
+
+    if full is None or "pruned" not in lake:
+        failures.append("lake: BenchmarkLakeScan ran without both full and pruned tiers")
+    else:
+        evs = full.get("events/s", 0.0)
+        if evs < lake_floor:
+            failures.append(
+                f"lake full scan {evs:.3g} events/s is below the {lake_floor:.3g} floor "
+                f"(override with LAKE_SCAN_FLOOR)"
+            )
+        else:
+            print(f"bench_compare: lake full scan {evs:.3g} events/s (floor {lake_floor:.3g})")
+        speedup = full["ns_per_op"] / lake["pruned"]["ns_per_op"]
+        if speedup < lake_ratio:
+            failures.append(
+                f"lake pruned scan only {speedup:.2f}x faster than full (floor {lake_ratio:.1f}x, "
+                f"override with LAKE_PRUNE_RATIO)"
+            )
+        else:
+            print(f"bench_compare: lake pruned scan {speedup:.1f}x faster than full "
+                  f"(floor {lake_ratio:.1f}x)")
 
 if failures:
     for f in failures:
