@@ -33,7 +33,7 @@ type queryRecord struct {
 // against a columnar trace lake. Events stream out as JSONL (default)
 // or CSV; -stats prints only what the scan touched, the observable
 // proof that the footer index pruned non-matching blocks.
-func runQueryCmd(args []string) error {
+func runQueryCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("syncsim query", flag.ContinueOnError)
 	var (
 		in    = fs.String("in", "", "lake file to query (- for stdin; record one with -run ... -trace run.lake, or convert: syncsim trace -in FILE -out FILE.lake)")
@@ -91,7 +91,14 @@ func runQueryCmd(args []string) error {
 	defer l.Close()
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
+	// A failed flush (closed stdout pipe, full disk) must surface as the
+	// command's error, not vanish: rows already emitted would silently
+	// truncate.
+	defer func() {
+		if ferr := w.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	emit := jsonlEmitter(w)
 	if *csv {
 		emit = csvEmitter(w)

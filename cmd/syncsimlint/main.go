@@ -1,0 +1,69 @@
+// Command syncsimlint runs the repo's project-specific static analysis
+// suite (internal/lint) over the module: determinism rules for the
+// simulation core (detrand), probe-emission guard discipline
+// (probeguard), must-check results (mustcheck), and allocation rules for
+// //syncsim:hotpath functions (hotpath). It exits non-zero when any
+// finding survives the //syncsim:allowlist directives.
+//
+// Usage:
+//
+//	syncsimlint [packages]          # default ./...
+//	syncsimlint -hotpath-ranges ./...
+//
+// -hotpath-ranges prints "file start end name" for every annotated
+// function instead of linting; scripts/check_hotpath_allocs.sh feeds
+// those ranges to the compiler's escape analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optsync/internal/lint"
+)
+
+func main() {
+	hotRanges := flag.Bool("hotpath-ranges", false, "print //syncsim:hotpath function line ranges and exit")
+	list := flag.Bool("analyzers", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	ld, err := lint.NewLoaderHere(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syncsimlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+
+	if *hotRanges {
+		pkgs, err := ld.Load(patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "syncsimlint:", err)
+			os.Exit(2)
+		}
+		for _, r := range lint.HotRanges(ld, pkgs) {
+			fmt.Printf("%s %d %d %s\n", r.File, r.Start, r.End, r.Name)
+		}
+		return
+	}
+
+	diags, err := lint.Run(ld, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syncsimlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "syncsimlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

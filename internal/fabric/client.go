@@ -3,6 +3,8 @@ package fabric
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -54,6 +56,12 @@ type WorkerOptions struct {
 	// report is one small RPC; only if it too fails does the lease
 	// expire and the work re-run elsewhere.
 	ReportGrace time.Duration
+	// Rand supplies the backoff/poll jitter stream. Nil seeds a fresh
+	// generator from crypto/rand — never from the wall clock — so
+	// injecting a fixed-seed source makes retry-jitter schedules exactly
+	// reproducible in tests while the default stays unpredictable across
+	// a worker fleet.
+	Rand *rand.Rand
 	// HTTPClient overrides the transport (tests); nil uses a client
 	// with sane timeouts.
 	HTTPClient *http.Client
@@ -114,14 +122,31 @@ func NewWorker(coordinatorURL string, opts WorkerOptions) *Worker {
 	if httpc == nil {
 		httpc = &http.Client{Timeout: 30 * time.Second}
 	}
+	rng := opts.Rand
+	if rng == nil {
+		// Jitter quality does not affect results, only politeness — but
+		// the seed must not come from the wall clock: workers started in
+		// the same tick would jitter in lockstep, and a time-seeded
+		// stream can't be pinned by tests.
+		rng = rand.New(rand.NewSource(cryptoSeed()))
+	}
 	return &Worker{
 		base:  strings.TrimSuffix(coordinatorURL, "/"),
 		opts:  opts,
 		httpc: httpc,
-		// Jitter quality does not affect results, only politeness; seed
-		// from the wall clock deliberately.
-		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:   rng,
 	}
+}
+
+// cryptoSeed draws a 64-bit seed from the OS entropy source.
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand does not fail on supported platforms; if it ever
+		// does, a worker with degraded jitter is worse than no worker.
+		panic(fmt.Sprintf("fabric: reading entropy for jitter seed: %v", err))
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
 }
 
 // Run pulls, executes, and reports cells until the campaign completes

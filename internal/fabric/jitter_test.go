@@ -1,0 +1,45 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestJitterReproducibleWithInjectedRand pins the WorkerOptions.Rand
+// contract: two workers sharing a seed draw identical jitter schedules,
+// so retry-timing tests are deterministic.
+func TestJitterReproducibleWithInjectedRand(t *testing.T) {
+	mk := func() *Worker {
+		return NewWorker("http://127.0.0.1:0", WorkerOptions{
+			Rand: rand.New(rand.NewSource(42)),
+		})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		d := time.Duration(1+i) * 100 * time.Millisecond
+		ja, jb := a.jittered(d), b.jittered(d)
+		if ja != jb {
+			t.Fatalf("draw %d: jitter diverged with shared seed: %v vs %v", i, ja, jb)
+		}
+		if ja < d/2 || ja >= d {
+			t.Fatalf("draw %d: jitter %v outside [d/2, d) for d=%v", i, ja, d)
+		}
+	}
+}
+
+// TestJitterDefaultSeedsDiverge checks the crypto-seeded default: two
+// workers constructed without an injected Rand must not share a jitter
+// schedule (the pre-fix wall-clock seed made same-tick workers retry in
+// lockstep).
+func TestJitterDefaultSeedsDiverge(t *testing.T) {
+	a := NewWorker("http://127.0.0.1:0", WorkerOptions{})
+	b := NewWorker("http://127.0.0.1:0", WorkerOptions{})
+	d := 10 * time.Second
+	for i := 0; i < 32; i++ {
+		if a.jittered(d) != b.jittered(d) {
+			return
+		}
+	}
+	t.Fatal("32 identical jitter draws from two default-seeded workers: seeds are correlated")
+}

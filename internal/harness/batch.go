@@ -79,6 +79,7 @@ func RunBatchObserved(ctx context.Context, specs []Spec, workers int, onResult f
 	}
 
 	next := make(chan int)
+	//syncsim:allowlist detrand batch feeder goroutine hands out spec indices; each run itself stays single-threaded and spec-seeded
 	go func() {
 		defer close(next)
 		for i := range specs {
@@ -92,6 +93,7 @@ func RunBatchObserved(ctx context.Context, specs []Spec, workers int, onResult f
 
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//syncsim:allowlist detrand worker pool fans out whole independent runs; per-run determinism is untouched
 		go func() {
 			defer wg.Done()
 			for i := range next {

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces allocation-free bodies for functions annotated with
+// a //syncsim:hotpath directive — the pulse-round inner loop, where the
+// 0 allocs/op contract is CI-gated at a handful of benchmark points but
+// must hold on every branch. The static checks flag the constructs that
+// reliably induce heap allocation:
+//
+//   - any fmt call (formatting boxes every operand);
+//   - explicit or implicit conversion of a concrete value to an
+//     interface (boxing);
+//   - function literals (closures capture by reference and escape);
+//   - string concatenation at runtime;
+//   - append that grows into a destination other than its own source
+//     (self-append `x = append(x, ...)` reuses amortized capacity and is
+//     allowed — the dynamic side gates it);
+//   - make and new.
+//
+// scripts/check_hotpath_allocs.sh backs this up with the compiler's
+// escape analysis: any "escapes to heap" diagnostic inside an annotated
+// body fails the build, catching whatever the syntax-level list misses.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid alloc-inducing constructs in //syncsim:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) []Finding {
+	var out []Finding
+	for _, h := range p.hot {
+		out = append(out, checkHotBody(p, h.decl)...)
+	}
+	return out
+}
+
+func checkHotBody(p *Pass, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:     pos,
+			Message: fmt.Sprintf("//syncsim:hotpath %s: ", funcName(fd)) + fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal allocates (closure capture escapes)")
+			return false // don't descend: the closure body is off the hot path
+		case *ast.CallExpr:
+			checkHotCall(p, n, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isRuntimeString(p, n) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(p.Pkg.Info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotCall(p *Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	// Explicit conversion: T(x) with T an interface type.
+	if target, ok := p.isConversion(call); ok {
+		if isIface(target) && len(call.Args) == 1 && !isIface(p.Pkg.Info.TypeOf(call.Args[0])) {
+			report(call.Pos(), "conversion to interface %s allocates (boxing)", types.TypeString(target, types.RelativeTo(p.Pkg.Types)))
+		}
+		return
+	}
+	// Builtins.
+	switch {
+	case p.isBuiltin(call, "append"):
+		if !isSelfAppend(p, call) {
+			report(call.Pos(), "append into a different destination allocates a grown backing array; pre-size or reuse the source slice")
+		}
+		return
+	case p.isBuiltin(call, "make"):
+		report(call.Pos(), "make allocates")
+		return
+	case p.isBuiltin(call, "new"):
+		report(call.Pos(), "new allocates")
+		return
+	}
+	if fn := p.calleeFunc(call); fn != nil && funcPkgPath(fn) == "fmt" {
+		report(call.Pos(), "call to fmt.%s allocates", fn.Name())
+		return
+	}
+	// Implicit interface conversions at argument positions (boxing).
+	sig, ok := p.Pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := p.Pkg.Info.TypeOf(arg)
+		tv := p.Pkg.Info.Types[arg]
+		if isIface(pt) && !isIface(at) && at != nil && !tv.IsNil() && !pointerShaped(at) {
+			report(arg.Pos(), "implicit conversion of %s to interface %s allocates (boxing)",
+				types.TypeString(at, types.RelativeTo(p.Pkg.Types)),
+				types.TypeString(pt, types.RelativeTo(p.Pkg.Types)))
+		}
+	}
+}
+
+// pointerShaped reports whether values of t fit an interface data word
+// without boxing: pointers, channels, maps, funcs, and unsafe.Pointer
+// are stored directly, so converting them to an interface does not
+// allocate.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isIface reports whether t's underlying type is a non-type-param
+// interface.
+func isIface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isRuntimeString reports whether the expression is a string add that
+// survives to run time (constant folding makes compile-time concats
+// free).
+func isRuntimeString(p *Pass, expr *ast.BinaryExpr) bool {
+	tv := p.Pkg.Info.Types[expr]
+	return isStringType(tv.Type) && tv.Value == nil
+}
+
+// isSelfAppend recognizes `x = append(x, ...)` (including sliced reuse
+// like `x = append(x[:0], ...)` and element targets like
+// `b[i] = append(b[i], ...)`): growth amortizes into capacity the
+// steady state reuses, which the allocation benchmarks gate dynamically.
+func isSelfAppend(p *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	assign, ok := p.parent(call).(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return false
+	}
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) == call {
+			src := ast.Unparen(call.Args[0])
+			if s, ok := src.(*ast.SliceExpr); ok {
+				src = s.X
+			}
+			return types.ExprString(ast.Unparen(assign.Lhs[i])) == types.ExprString(src)
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+// Package fixture seeds hotpath cases: one annotated function per
+// alloc-inducing construct the analyzer flags, one annotated function
+// using only the allowed idioms, and an unannotated function showing
+// the analyzer scopes to //syncsim:hotpath bodies only.
+package fixture
+
+import "fmt"
+
+type buf struct {
+	data []int
+	name string
+}
+
+func sink(v any) { _ = v }
+
+// hot collects every flagged construct.
+//
+//syncsim:hotpath
+func hot(b *buf, x int, tag string) {
+	fmt.Println(x)     // want hotpath "call to fmt.Println allocates"
+	b.name = tag + "!" // want hotpath "string concatenation allocates"
+	f := func() int {  // want hotpath "function literal allocates"
+		return x
+	}
+	_ = f
+	_ = any(x)                 // want hotpath "conversion to interface any allocates (boxing)"
+	sink(x)                    // want hotpath "implicit conversion of int to interface any allocates (boxing)"
+	tmp := make([]int, 0, 8)   // want hotpath "make allocates"
+	p := new(buf)              // want hotpath "new allocates"
+	grown := append(b.data, x) // want hotpath "append into a different destination allocates"
+	_, _, _ = tmp, p, grown
+}
+
+// hotClean stays inside the contract: self-append reuse (including
+// sliced reuse), pointer-shaped interface args, no formatting.
+//
+//syncsim:hotpath
+func hotClean(b *buf, x int) {
+	b.data = append(b.data, x)
+	b.data = append(b.data[:0], x)
+	sink(b)
+}
+
+// cold is unannotated: the same constructs draw no findings.
+func cold(b *buf, x int) {
+	fmt.Println(x)
+	_ = any(x)
+	b.data = append(make([]int, 0, 8), x)
+}

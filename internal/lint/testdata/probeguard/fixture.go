@@ -1,0 +1,75 @@
+// Package fixture seeds probeguard cases: every recognized guard idiom
+// (direct, init-statement, hoisted bool, closure-captured bool), the
+// violations, and both allowlist-directive outcomes (a used suppression
+// and an unused one, which is itself a finding).
+package fixture
+
+import "optsync/internal/probe"
+
+func unguarded(bus *probe.Bus, ev probe.Event) {
+	bus.Emit(ev) // want probeguard "not dominated by a Bus.Active guard"
+}
+
+func directGuardOK(bus *probe.Bus, ev probe.Event) {
+	if bus.Active(ev.Type) {
+		bus.Emit(ev)
+	}
+}
+
+type holder struct{ bus *probe.Bus }
+
+func initStmtGuardOK(h *holder, ev probe.Event) {
+	if b := h.bus; b.Active(ev.Type) {
+		b.Emit(ev)
+	}
+}
+
+func hoistedGuardOK(bus *probe.Bus, evs []probe.Event) {
+	pulseActive := bus.Active(probe.TypePulse)
+	for _, ev := range evs {
+		if pulseActive {
+			bus.Emit(ev)
+		}
+	}
+}
+
+func hoistedClosureGuardOK(bus *probe.Bus, ev probe.Event) func() {
+	anyActive := bus.AnyActive()
+	return func() {
+		if anyActive {
+			bus.Emit(ev)
+		}
+	}
+}
+
+func elseBranch(bus *probe.Bus, ev probe.Event) int {
+	if bus.Active(ev.Type) {
+		return 1
+	} else {
+		bus.Emit(ev) // want probeguard "not dominated by a Bus.Active guard"
+	}
+	return 0
+}
+
+func unrelatedBool(bus *probe.Bus, evs []probe.Event) {
+	nonEmpty := len(evs) > 0
+	if nonEmpty {
+		bus.Emit(evs[0]) // want probeguard "not dominated by a Bus.Active guard"
+	}
+}
+
+func allowlistedOK(bus *probe.Bus, ev probe.Event) {
+	//syncsim:allowlist probeguard replay-style fixture: events were guarded when recorded
+	bus.Emit(ev)
+}
+
+func allowlistedSameLineOK(bus *probe.Bus, ev probe.Event) {
+	bus.Emit(ev) //syncsim:allowlist probeguard same-line suppression form
+}
+
+//syncsim:allowlist probeguard nothing in this body violates probeguard // want directive "suppresses no finding; delete it"
+func unusedDirective(bus *probe.Bus, ev probe.Event) {
+	if bus.Active(ev.Type) {
+		bus.Emit(ev)
+	}
+}

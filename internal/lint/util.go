@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+func filepathRel(root, file string) (string, error) {
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return "", err
+	}
+	return filepath.ToSlash(rel), nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions, and
+// calls through function-typed variables.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isConversion reports whether the call expression is a type conversion
+// and, if so, returns the target type.
+func (p *Pass) isConversion(call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// funcPkgPath returns the import path of fn's defining package ("" for
+// universe-scope objects).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeName returns the name of fn's receiver's named type ("" for
+// non-methods).
+func recvTypeName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isMethod reports whether fn is the named method on the named type of
+// the given package path.
+func isMethod(fn *types.Func, pkgPath, typeName, method string) bool {
+	return fn != nil && fn.Name() == method &&
+		funcPkgPath(fn) == pkgPath && recvTypeName(fn) == typeName
+}
+
+// isPkgFunc reports whether fn is the named package-level function.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Name() == name &&
+		funcPkgPath(fn) == pkgPath && recvTypeName(fn) == ""
+}
+
+// probeBusPath is the import path of the probe bus; detrand, probeguard,
+// and hotpath all key on its types. Fixture packages under testdata
+// import the real package, so analyzer behavior in tests matches the
+// tree.
+const probeBusPath = "optsync/internal/probe"
+
+// simPath is the import path of the event engine.
+const simPath = "optsync/internal/sim"
+
+// networkPath is the import path of the simulated network.
+const networkPath = "optsync/internal/network"
+
+// campaignPath is the import path of the campaign store.
+const campaignPath = "optsync/internal/campaign"
+
+// containsActiveCall reports whether expr contains a call to
+// (*probe.Bus).Active or (*probe.Bus).AnyActive.
+func (p *Pass) containsActiveCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if isMethod(fn, probeBusPath, "Bus", "Active") || isMethod(fn, probeBusPath, "Bus", "AnyActive") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprIdents collects the identifiers appearing in expr.
+func exprIdents(expr ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

@@ -182,11 +182,18 @@ func (r *PulseReport) CompleteRounds(want int) int {
 	return n
 }
 
-// Periods returns all per-node gaps between consecutive pulses.
+// Periods returns all per-node gaps between consecutive pulses, in
+// ascending node order (map iteration order must not reach the returned
+// slice: downstream consumers may be order-sensitive).
 func (r *PulseReport) Periods() []float64 {
+	ids := make([]node.ID, 0, len(r.ByNode))
+	for id := range r.ByNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var out []float64
-	for _, ts := range r.ByNode {
-		sorted := append([]float64(nil), ts...)
+	for _, id := range ids {
+		sorted := append([]float64(nil), r.ByNode[id]...)
 		sort.Float64s(sorted)
 		for i := 1; i < len(sorted); i++ {
 			out = append(out, sorted[i]-sorted[i-1])

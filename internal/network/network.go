@@ -327,6 +327,8 @@ func (nt *Net) linkDelay(from, to NodeID, now sim.Time) float64 {
 // topology gating, traffic accounting, delay resolution, and probe
 // emission. It returns the delivery instant, or ok=false when the
 // message was dropped at send time (already counted).
+//
+//syncsim:hotpath
 func (nt *Net) transmit(from, to NodeID, now sim.Time, msg Message) (deliverAt sim.Time, ok bool) {
 	if !nt.mesh && !nt.topo.Linked(from, to, now) {
 		nt.stats.DroppedLink++
@@ -353,6 +355,8 @@ func (nt *Net) transmit(from, to NodeID, now sim.Time, msg Message) (deliverAt s
 }
 
 // msgEvent builds the probe event for one per-message moment.
+//
+//syncsim:hotpath
 func (nt *Net) msgEvent(t probe.Type, from, to NodeID, at sim.Time, deliverAt float64, msg Message) probe.Event {
 	return probe.Event{
 		Type: t,
@@ -410,6 +414,8 @@ func (nt *Net) release(idx uint32, targets []NodeID) {
 // timers — then carries the recipient's lane in its event key, which is
 // what lets a sharded run (where the recipient's shard does the
 // scheduling) assign the exact keys a serial run assigns.
+//
+//syncsim:hotpath
 func (nt *Net) Dispatch(now sim.Time, m sim.Message) {
 	if m.Flags&msgInline != 0 {
 		from, to := NodeID(m.From), NodeID(m.To)

@@ -227,6 +227,8 @@ func (b *Bus) AnyActive() bool { return b.total > 0 }
 
 // Emit delivers ev to every probe subscribed to its type, in attach
 // order. It never allocates.
+//
+//syncsim:hotpath
 func (b *Bus) Emit(ev Event) {
 	for _, p := range b.byType[ev.Type] {
 		p.OnEvent(ev)

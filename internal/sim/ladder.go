@@ -132,6 +132,8 @@ type ladder struct {
 
 // push enqueues ev. ev.at must be finite and >= now, the engine's
 // current time (validated by the engine before the event is built).
+//
+//syncsim:hotpath
 func (l *ladder) push(now Time, ev msgEvent) {
 	if !l.anchored {
 		l.anchor(now)
@@ -200,6 +202,8 @@ func (l *ladder) peek() (msgEvent, bool) {
 }
 
 // pop consumes the event peek returned. Callers must call peek first.
+//
+//syncsim:hotpath
 func (l *ladder) pop() msgEvent {
 	ev := l.bottom[l.pos]
 	l.pos++

@@ -272,6 +272,7 @@ func (s *Shards) flushObservations() {
 		if best < 0 {
 			break
 		}
+		//syncsim:allowlist probeguard merge drains events the shard recorders already buffered; buffers are empty unless probes were attached, so the unobserved run never reaches this loop
 		bus.Emit(s.recs[best].buf[s.mergePos[best]].ev)
 		s.mergePos[best]++
 	}

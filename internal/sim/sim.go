@@ -366,6 +366,8 @@ func (e *Engine) Cancel(ev *Event) {
 
 // Step executes the single next event, advancing virtual time to it.
 // It returns false when the queue is empty.
+//
+//syncsim:hotpath
 func (e *Engine) Step() bool {
 	m, okM := e.ladder.peek()
 	if len(e.closures) == 0 {
