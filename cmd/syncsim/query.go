@@ -31,19 +31,26 @@ type queryRecord struct {
 
 // runQueryCmd implements `syncsim query`: predicate-pushdown queries
 // against a columnar trace lake. Events stream out as JSONL (default)
-// or CSV; -stats prints only what the scan touched, the observable
-// proof that the footer index pruned non-matching blocks.
+// or CSV in the lake's block order, decoded by a parallel worker pool
+// (-workers; 0 = one per core) with output bytes identical at every
+// worker count; -ordered switches to the k-way merge that interleaves
+// event types by (T, Seq) at some merge cost. -stats prints only what
+// the scan touched — the observable proof that the footer index pruned
+// non-matching blocks — and answers fully-covered blocks from the
+// footer alone, without decoding them.
 func runQueryCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("syncsim query", flag.ContinueOnError)
 	var (
-		in    = fs.String("in", "", "lake file to query (- for stdin; record one with -run ... -trace run.lake, or convert: syncsim trace -in FILE -out FILE.lake)")
-		types = fs.String("type", "", "comma-separated event types to keep (e.g. skew_sample,pulse); empty = all")
-		node  = fs.Int("node", 0, "keep events touching this node id (as sender or receiver)")
-		from  = fs.Float64("from", 0, "keep events with T >= this simulated time (s)")
-		to    = fs.Float64("to", 0, "keep events with T <= this simulated time (s)")
-		round = fs.Int("round", 0, "keep events of this exact protocol round")
-		csv   = fs.Bool("csv", false, "emit CSV instead of JSONL")
-		stats = fs.Bool("stats", false, "print scan statistics (blocks pruned/scanned) instead of events")
+		in      = fs.String("in", "", "lake file to query (- for stdin; record one with -run ... -trace run.lake, or convert: syncsim trace -in FILE -out FILE.lake)")
+		types   = fs.String("type", "", "comma-separated event types to keep (e.g. skew_sample,pulse); empty = all")
+		node    = fs.Int("node", 0, "keep events touching this node id (as sender or receiver)")
+		from    = fs.Float64("from", 0, "keep events with T >= this simulated time (s)")
+		to      = fs.Float64("to", 0, "keep events with T <= this simulated time (s)")
+		round   = fs.Int("round", 0, "keep events of this exact protocol round")
+		csv     = fs.Bool("csv", false, "emit CSV instead of JSONL")
+		stats   = fs.Bool("stats", false, "print scan statistics (blocks pruned/covered/scanned) instead of events")
+		workers = fs.Int("workers", 0, "decode workers (0 = one per core, 1 = serial); output is identical at every count")
+		ordered = fs.Bool("ordered", false, "merge event types into (T, Seq) order instead of the lake's block order")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,7 +62,7 @@ func runQueryCmd(args []string) (err error) {
 		return fmt.Errorf("query: -csv and -stats are mutually exclusive")
 	}
 
-	q := optsync.LakeQuery{}
+	q := optsync.LakeQuery{Workers: *workers}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *types != "" {
@@ -99,25 +106,34 @@ func runQueryCmd(args []string) (err error) {
 			err = ferr
 		}
 	}()
-	emit := jsonlEmitter(w)
-	if *csv {
-		emit = csvEmitter(w)
-	}
 	if *stats {
-		emit = func(optsync.Event) error { return nil }
-	}
-	st, err := l.Scan(q, emit)
-	if err != nil {
-		return err
-	}
-	if *stats {
+		// Stats never materializes events: pruned and fully-covered
+		// blocks are answered from the footer, only partial blocks
+		// decode.
+		st, err := l.Stats(q)
+		if err != nil {
+			return err
+		}
 		t := optsync.NewTable("lake query", "stat", "value")
 		t.AddRow("blocks total", fmt.Sprint(st.BlocksTotal))
 		t.AddRow("blocks pruned", fmt.Sprint(st.BlocksPruned))
+		t.AddRow("blocks covered", fmt.Sprint(st.BlocksCovered))
 		t.AddRow("blocks scanned", fmt.Sprint(st.BlocksScanned))
 		t.AddRow("rows decoded", fmt.Sprint(st.RowsDecoded))
 		t.AddRow("events matched", fmt.Sprint(st.EventsMatched))
 		fmt.Fprintln(w, t.Render())
+		return nil
+	}
+	emit := jsonlEmitter(w)
+	if *csv {
+		emit = csvEmitter(w)
+	}
+	scan := l.ScanUnordered
+	if *ordered {
+		scan = l.Scan
+	}
+	if _, err := scan(q, emit); err != nil {
+		return err
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -144,6 +145,87 @@ func TestQuerySubcommandStats(t *testing.T) {
 	}
 }
 
+// TestQueryWorkersByteIdentical is the CLI half of the parallel-scan
+// determinism contract: every output mode — JSONL in block order,
+// -ordered merge, CSV — must produce byte-identical output at workers
+// 1, 2, and 8, both for a serially recorded lake and for one recorded
+// by the sharded engine (-shards 8), whose block layout already
+// interleaved multiple producers.
+func TestQueryWorkersByteIdentical(t *testing.T) {
+	sharded := filepath.Join(t.TempDir(), "sharded.lake")
+	if _, err := capture(t, func() error {
+		return run([]string{"-run", "-n", "5", "-horizon", "6", "-seed", "3",
+			"-partition", "2:4:2", "-shards", "8", "-trace", sharded})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lakes := map[string]string{"serial": recordLake(t), "sharded": sharded}
+	modes := map[string][]string{
+		"jsonl":   nil,
+		"ordered": {"-ordered"},
+		"csv":     {"-csv"},
+	}
+	for lname, path := range lakes {
+		for mname, extra := range modes {
+			base := append([]string{"query", "-in", path}, extra...)
+			ref, err := capture(t, func() error { return run(append(base, "-workers", "1")) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.TrimSpace(ref) == "" {
+				t.Fatalf("%s/%s: empty output", lname, mname)
+			}
+			for _, w := range []string{"2", "8"} {
+				out, err := capture(t, func() error { return run(append(base, "-workers", w)) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out != ref {
+					t.Fatalf("%s/%s: -workers %s output differs from -workers 1", lname, mname, w)
+				}
+			}
+		}
+	}
+
+	// The block-order JSONL stream is still a valid row trace: replay
+	// aggregates are order-insensitive per collector contract and must
+	// match the ordered stream's.
+	path := lakes["serial"]
+	unordered, err := capture(t, func() error { return run([]string{"query", "-in", path, "-workers", "8"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := refCount(t, path, optsync.LakeQuery{})
+	if _, got, err := replayAggregates(strings.NewReader(unordered)); err != nil || got != n {
+		t.Fatalf("unordered output replayed %d events, want %d (err %v)", got, n, err)
+	}
+}
+
+// TestQueryStatsCoveredFastPath pins the footer-only -stats short
+// circuit: a whole-lake count has every block fully covered by the
+// footer, so nothing is decoded.
+func TestQueryStatsCoveredFastPath(t *testing.T) {
+	path := recordLake(t)
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-in", path, "-stats"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, re := range []string{`blocks scanned\s+0\b`, `rows decoded\s+0\b`, `blocks pruned\s+0\b`} {
+		if !regexp.MustCompile(re).MatchString(out) {
+			t.Fatalf("whole-lake stats decoded something, want %s:\n%s", re, out)
+		}
+	}
+	if regexp.MustCompile(`blocks covered\s+0\b`).MatchString(out) {
+		t.Fatalf("whole-lake stats covered no blocks:\n%s", out)
+	}
+	want := refCount(t, path, optsync.LakeQuery{})
+	if !regexp.MustCompile(`events matched\s+` + fmt.Sprint(want) + `\b`).MatchString(out) {
+		t.Fatalf("stats missing matched count %d:\n%s", want, out)
+	}
+}
+
 func TestQuerySubcommandErrors(t *testing.T) {
 	if err := run([]string{"query"}); err == nil || !strings.Contains(err.Error(), "-in") {
 		t.Fatalf("missing -in not reported: %v", err)
@@ -156,6 +238,11 @@ func TestQuerySubcommandErrors(t *testing.T) {
 	if err := run([]string{"query", "-in", path, "-type", "no_such_type"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown event type") {
 		t.Fatalf("bad type not reported: %v", err)
+	}
+
+	if err := run([]string{"query", "-in", path, "-workers", "-1"}); err == nil ||
+		!strings.Contains(err.Error(), "worker") {
+		t.Fatalf("negative -workers not reported: %v", err)
 	}
 
 	// A row trace is rejected with the conversion recipe, not misparsed.

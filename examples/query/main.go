@@ -5,14 +5,17 @@
 // intersect it; everything else is pruned unread. Selective replays
 // rebuild collector aggregates from just the matching slice. This is
 // the workflow behind `syncsim -run ... -trace run.lake` + `syncsim
-// query`, in library form.
+// query`, in library form. Scans decode blocks on a parallel worker
+// pool (-workers; 0 = one per core) with output identical at every
+// worker count.
 //
-//	go run ./examples/query
+//	go run ./examples/query [-workers N]
 package main
 
 import (
 	"bytes"
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,6 +24,8 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "decode workers per scan (0 = one per core, 1 = serial)")
+	flag.Parse()
 	params := optsync.Params{
 		N: 7, F: 3, Variant: optsync.Auth,
 		Rho:  optsync.Rho(1e-4),
@@ -53,7 +58,8 @@ func main() {
 	//    whose type or time bounds miss the query are never decoded.
 	q := optsync.LakeQuery{}.
 		WithTypes(optsync.EventSkewSample).
-		WithTimeRange(10, 20)
+		WithTimeRange(10, 20).
+		WithWorkers(*workers)
 	worst := 0.0
 	st, err := optsync.QueryLake(path, q, func(ev optsync.Event) error {
 		if ev.Value > worst {
@@ -72,7 +78,7 @@ func main() {
 	//    5 — the "what did this node see" query that a row trace answers
 	//    only by scanning front to back.
 	msgs := 0
-	nq := optsync.LakeQuery{}.WithNode(3).WithRound(5)
+	nq := optsync.LakeQuery{}.WithNode(3).WithRound(5).WithWorkers(*workers)
 	if _, err := optsync.QueryLake(path, nq, func(ev optsync.Event) error {
 		msgs++
 		return nil
@@ -89,8 +95,23 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("late-window replay: %d events -> skew p95 %.6fs, max %.6fs\n",
+	fmt.Printf("late-window replay: %d events -> skew p95 %.6fs, max %.6fs\n\n",
 		n, late.P95(), late.Max())
+
+	// 5. Footer-only counting: when every admitted block is fully
+	//    covered by the query bounds (a whole-lake count always is),
+	//    Stats answers from the footer index and decodes nothing.
+	l, err := optsync.OpenLake(path)
+	if err != nil {
+		fail(err)
+	}
+	defer l.Close()
+	fst, err := l.Stats(optsync.LakeQuery{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("footer-only count: %d events across %d blocks, %d rows decoded\n",
+		fst.EventsMatched, fst.BlocksCovered, fst.RowsDecoded)
 }
 
 func fail(err error) {

@@ -114,6 +114,12 @@ type directive struct {
 	// function: the directive sits in a function's doc comment and
 	// suppresses every matching finding in its body.
 	funcScope *[2]int
+	// fileScope marks a directive placed above the package clause: it
+	// suppresses every matching finding in the file. The coarse scope
+	// exists for files whose whole point trips one rule — the tracelake
+	// decode pool's worker goroutines against detrand — so the reason
+	// is stated once instead of per line.
+	fileScope bool
 	used      bool
 }
 
@@ -164,6 +170,14 @@ func parseDirectives(fset *token.FileSet, f *ast.File, valid map[string]bool) ([
 			})
 		}
 	}
+	// A directive above the package clause suppresses across the whole
+	// file.
+	pkgLine := fset.Position(f.Package).Line
+	for _, d := range dirs {
+		if d.pos.Line < pkgLine {
+			d.fileScope = true
+		}
+	}
 	// A directive inside a function's doc comment suppresses across the
 	// whole body.
 	for _, decl := range f.Decls {
@@ -184,10 +198,15 @@ func parseDirectives(fset *token.FileSet, f *ast.File, valid map[string]bool) ([
 
 // suppresses reports whether directive d covers a finding from analyzer
 // at line. Statement scope is the directive's own line or the line
-// directly below it; function scope covers the annotated body.
+// directly below it; function scope covers the annotated body; file
+// scope (directive above the package clause) covers the whole file —
+// the caller has already matched the filename.
 func (d *directive) suppresses(analyzer string, line int) bool {
 	if d.analyzer != analyzer {
 		return false
+	}
+	if d.fileScope {
+		return true
 	}
 	if d.funcScope != nil {
 		return line >= d.funcScope[0] && line <= d.funcScope[1]

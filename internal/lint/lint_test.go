@@ -133,6 +133,15 @@ func TestDetRandScopedToDeterministicCore(t *testing.T) {
 	}
 }
 
+func TestDetRandFileScopedDirective(t *testing.T) {
+	// A directive above the package clause suppresses the whole file
+	// (pool.go's two goroutines go silent) but is still held to the
+	// unused rule (unused.go's directive is reported). Loaded under a
+	// deterministic-core path so detrand is in scope.
+	diags := runFixture(t, "detrandpool", "optsync/internal/sim/lintfixturepool")
+	checkWants(t, diags, parseWants(t, filepath.Join(moduleRoot(t), "internal", "lint", "testdata", "detrandpool")))
+}
+
 func TestProbeGuardFixture(t *testing.T) {
 	diags := runFixture(t, "probeguard", "optsync/lintfixtures/probeguard")
 	checkWants(t, diags, parseWants(t, filepath.Join(moduleRoot(t), "internal", "lint", "testdata", "probeguard")))

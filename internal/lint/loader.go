@@ -20,14 +20,17 @@
 package lint
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -185,7 +188,10 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 }
 
 // parseDir parses the non-test Go files of dir with comments retained,
-// in sorted file-name order.
+// in sorted file-name order. Files whose //go:build constraint excludes
+// the host platform are skipped, mirroring what the compiler would
+// build — without this, platform pairs like tracelake's mmap_unix.go /
+// mmap_other.go would redeclare symbols and fail type-checking.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -197,6 +203,13 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		ok, err := buildsOnHost(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
 			continue
 		}
 		names = append(names, name)
@@ -211,6 +224,56 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// unixGOOS mirrors the GOOS set the toolchain's implicit "unix" build
+// tag matches.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildsOnHost evaluates a file's //go:build line (if any) against the
+// host GOOS/GOARCH. Only the modern directive form is recognized; the
+// scan stops at the first non-comment line, where a constraint would no
+// longer be valid anyway. Files without a constraint always build.
+func buildsOnHost(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return false, fmt.Errorf("lint: %s: %v", path, err)
+			}
+			return expr.Eval(hostTag), nil
+		}
+		if line != "" && !strings.HasPrefix(line, "//") {
+			break
+		}
+	}
+	return true, sc.Err()
+}
+
+// hostTag reports whether one build tag is satisfied on the host.
+// Release tags (go1.N) are treated as satisfied: the analysis toolchain
+// is at least as new as anything the repo targets.
+func hostTag(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixGOOS[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1."):
+		return true
+	}
+	return false
 }
 
 // Expand resolves package patterns relative to the module root. "./..."

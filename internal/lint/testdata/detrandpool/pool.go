@@ -1,0 +1,19 @@
+// Fixture for the file-scoped allowlist: the directive below sits above
+// the package clause, so it must suppress every detrand finding in THIS
+// file — the idiom the tracelake decode pool uses, one reasoned
+// carve-out instead of a directive per go statement. Both goroutines
+// below would be detrand findings without it; neither carries a want
+// comment, so a regression in file scoping fails the fixture test as an
+// unexpected diagnostic.
+//
+//syncsim:allowlist detrand fixture decode pool: workers deliver in deterministic order, no simulation state touched
+
+package pool
+
+func spawnWorker(fn func()) {
+	go fn() // suppressed by the file-scoped directive above the package clause
+}
+
+func spawnFeeder(done chan struct{}) {
+	go func() { close(done) }() // also suppressed: file scope covers every line
+}

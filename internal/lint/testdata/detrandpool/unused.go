@@ -1,0 +1,9 @@
+// The other half of the file-scope contract: a file-scoped directive is
+// still subject to the unused-directive rule. This file has no detrand
+// violation, so the directive itself must be reported.
+//
+//syncsim:allowlist detrand nothing in this file trips the rule // want directive "suppresses no finding"
+
+package pool
+
+func plainCode() int { return 42 }

@@ -2,6 +2,7 @@ package tracelake
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -43,6 +44,10 @@ func benchSetup(b *testing.B) (*Lake, int, float64) {
 // BenchmarkLakeScan/full is the raw-bandwidth number the CI floor
 // gates: a single-core sequential ScanRows over every block, decoding
 // every column of every event. events/s is the headline metric.
+// Workers is pinned to 1 throughout: a zero Workers now means
+// one-per-core, and these sub-benchmarks are the single-core record
+// the serial-regression gate compares against (parallel scaling has its
+// own family below).
 func BenchmarkLakeScan(b *testing.B) {
 	b.Run("full", func(b *testing.B) {
 		l, n, _ := benchSetup(b)
@@ -51,7 +56,7 @@ func BenchmarkLakeScan(b *testing.B) {
 		b.ResetTimer()
 		rows := uint64(0)
 		for i := 0; i < b.N; i++ {
-			st, err := l.ScanRows(Query{}, func(r *Rows) error { return nil })
+			st, err := l.ScanRows(Query{Workers: 1}, func(r *Rows) error { return nil })
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -69,7 +74,7 @@ func BenchmarkLakeScan(b *testing.B) {
 	b.Run("pruned", func(b *testing.B) {
 		l, _, tMax := benchSetup(b)
 		defer l.Close()
-		q := Query{}.WithTimeRange(tMax*0.495, tMax*0.505)
+		q := Query{Workers: 1}.WithTimeRange(tMax*0.495, tMax*0.505)
 		b.ResetTimer()
 		var last ScanStats
 		for i := 0; i < b.N; i++ {
@@ -94,7 +99,7 @@ func BenchmarkLakeScan(b *testing.B) {
 		b.ResetTimer()
 		events := uint64(0)
 		for i := 0; i < b.N; i++ {
-			st, err := l.Scan(Query{}, func(probe.Event) error { return nil })
+			st, err := l.Scan(Query{Workers: 1}, func(probe.Event) error { return nil })
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -105,6 +110,35 @@ func BenchmarkLakeScan(b *testing.B) {
 		}
 		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	})
+}
+
+// BenchmarkLakeScanParallel measures the multi-core full scan at fixed
+// worker counts. The CI gate compares workers=8 against workers=1 on
+// the same -cpu run and arms only when the runner actually has >= 8
+// cores (run with -cpu 1,8 so both points exist). workers=1 doubles as
+// the overhead probe: it takes the exact serial path, so any gap vs
+// BenchmarkLakeScan/full is harness noise, not pool cost.
+func BenchmarkLakeScanParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			l, n, _ := benchSetup(b)
+			defer l.Close()
+			b.SetBytes(int64(len(benchLake.data)))
+			b.ResetTimer()
+			rows := uint64(0)
+			for i := 0; i < b.N; i++ {
+				st, err := l.ScanRows(Query{Workers: workers}, func(r *Rows) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows += st.RowsDecoded
+			}
+			if rows != uint64(n)*uint64(b.N) {
+				b.Fatalf("decoded %d rows, want %d", rows, uint64(n)*uint64(b.N))
+			}
+			b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 // BenchmarkLakeWrite tracks the ingest side (probe sink hot path).

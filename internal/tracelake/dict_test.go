@@ -1,0 +1,143 @@
+package tracelake
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"optsync/internal/probe"
+)
+
+// dictEvents builds a stream whose aux column repeats a small value set
+// in shuffled order — the payload shape codecDict exists for. card is
+// the number of distinct aux values; a large card degrades to random
+// floats that no dictionary should win on.
+func dictEvents(n int, card int, seed int64) []probe.Event {
+	rng := rand.New(rand.NewSource(seed))
+	palette := make([]float64, card)
+	for i := range palette {
+		palette[i] = 0.125 * float64(i+1) * (1 + 1e-9*rng.Float64())
+	}
+	evs := make([]probe.Event, n)
+	t := 0.0
+	for i := range evs {
+		t += 1e-4 * rng.Float64()
+		evs[i] = probe.Event{
+			Type: probe.TypeResync, From: int32(i % 16), To: -1,
+			Round: int32(i / 500), T: t,
+			Value: t * (1 + rng.Float64()),
+			Aux:   palette[rng.Intn(card)],
+		}
+	}
+	return evs
+}
+
+// codecHistogram counts column codec bytes across every block by
+// walking the raw container with the footer index.
+func codecHistogram(t *testing.T, data []byte) map[byte]int {
+	t.Helper()
+	l, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	hist := map[byte]int{}
+	for _, m := range l.blocks {
+		off := int(m.offset) + blockHeaderSize
+		end := int(m.offset) + int(m.length)
+		for ci := 0; ci < numCols; ci++ {
+			codec := data[off]
+			clen := int(binary.LittleEndian.Uint32(data[off+1:]))
+			hist[codec]++
+			off += 5 + clen
+		}
+		if off != end {
+			t.Fatalf("block at %d: columns cover %d..%d, block ends at %d", m.offset, m.offset, off, end)
+		}
+	}
+	return hist
+}
+
+// TestDictCodecRoundTrip: a low-cardinality aux column must be stored
+// with codecDict and decode bit-exactly; a high-cardinality stream must
+// never pick the dictionary (it would be larger than the delta codecs).
+func TestDictCodecRoundTrip(t *testing.T) {
+	evs := dictEvents(12000, 8, 21)
+	data := buildLake(t, evs)
+	if n := codecHistogram(t, data)[codecDict]; n == 0 {
+		t.Fatal("low-cardinality aux column never chose codecDict")
+	}
+	l := openLake(t, data)
+	defer l.Close()
+	i := 0
+	if _, err := l.Scan(Query{}, func(ev probe.Event) error {
+		if ev != evs[i] {
+			t.Fatalf("event %d diverges:\n got %+v\nwant %+v", i, ev, evs[i])
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(evs) {
+		t.Fatalf("scanned %d of %d events", i, len(evs))
+	}
+
+	highCard := buildLake(t, dictEvents(12000, 11000, 22))
+	if n := codecHistogram(t, highCard)[codecDict]; n != 0 {
+		t.Fatalf("high-cardinality stream chose codecDict for %d columns", n)
+	}
+}
+
+// findDictColumn locates one codecDict column frame: its absolute
+// payload offset and declared length, plus the owning block's bounds
+// for resealing.
+func findDictColumn(t *testing.T, data []byte) (colOff, colLen, blockOff, blockLen int) {
+	t.Helper()
+	l, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, m := range l.blocks {
+		off := int(m.offset) + blockHeaderSize
+		for ci := 0; ci < numCols; ci++ {
+			codec := data[off]
+			clen := int(binary.LittleEndian.Uint32(data[off+1:]))
+			if codec == codecDict {
+				return off + 5, clen, int(m.offset), int(m.length)
+			}
+			off += 5 + clen
+		}
+	}
+	t.Fatal("no codecDict column in the container")
+	return 0, 0, 0, 0
+}
+
+// TestDictCodecCorrupt: damage inside a dictionary column is caught —
+// by the block checksum for a blind bitflip, and by the dictionary
+// frame validation when the checksum has been maliciously resealed.
+// Both errors name the block's offset.
+func TestDictCodecCorrupt(t *testing.T) {
+	good := buildLake(t, dictEvents(9000, 6, 33))
+
+	t.Run("bitflip", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		colOff, colLen, _, _ := findDictColumn(t, data)
+		data[colOff+colLen/2] ^= 0x20
+		openCorrupt(t, data, "checksum", "offset")
+	})
+
+	t.Run("resealed_entry_count", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		colOff, _, blockOff, blockLen := findDictColumn(t, data)
+		// An entry count of 1 is never written (const wins); with the
+		// block checksum recomputed, only the frame validation is left to
+		// object.
+		data[colOff] = 1
+		payload := data[blockOff+4 : blockOff+blockLen]
+		binary.LittleEndian.PutUint32(data[blockOff:], crc32.Checksum(payload, castagnoli))
+		openCorrupt(t, data, "dictionary column frame is inconsistent", "offset")
+	})
+}

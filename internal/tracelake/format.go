@@ -65,6 +65,17 @@
 // continuation bits. Denser than packed when magnitudes are skewed — a
 // single outlier row would widen every packed residual.
 //
+// codecDict: for float columns whose rows repeat a small set of values
+// (low-cardinality aux payloads — drop reason codes, per-kind
+// constants): an entry count, the distinct 8-byte bit images sorted
+// ascending, then every row as a bit-packed index into that table. A
+// block of 4096 rows drawing from 16 values costs ~4 bits/row where
+// frame-of-reference packing of unrelated float images would need
+// 64. The writer measures the density (distinct-image count, abandoning
+// past dictMaxEntries) and emits dict only when it beats both delta
+// codecs; the codec byte gates the reader exactly like the others, so
+// the container version is unchanged and round-trips stay bit-exact.
+//
 // The writer sizes both encodings and emits the smaller (packed on
 // ties, for its faster decode), so the choice is a per-column,
 // per-block decision the reader discovers from the codec byte.
@@ -113,12 +124,21 @@ const (
 
 // Column codecs. The writer encodes each column's zigzag delta stream
 // both ways on paper (a size computation, not a second pass) and emits
-// the smaller, preferring packed on ties for its faster decode.
+// the smaller, preferring packed on ties for its faster decode. Float
+// columns additionally compete against codecDict (see below), which
+// wins on low-cardinality payloads — repeated aux values in particular.
 const (
 	codecConst  = 0x01 // all rows carry one value: the 8-byte image
 	codecDelta  = 0x02 // prefix-varint zigzag deltas
 	codecPacked = 0x03 // fixed-width bit-packed zigzag deltas
+	codecDict   = 0x04 // sorted image dictionary + bit-packed indices
 )
+
+// dictMaxEntries bounds the dictionary codec: past 64 distinct images
+// the indices need 7+ bits and the 8-byte-per-entry table starts eating
+// the savings, while the writer's per-row binary search stops being
+// negligible. A column that exceeds it falls back to delta/packed.
+const dictMaxEntries = 64
 
 // zigzag folds signed deltas into unsigned varint space.
 func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
@@ -592,6 +612,122 @@ func decodeU16Packed(dst []uint16, src []byte, clen int) bool {
 	for i := range dst {
 		u := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7) & mask
 		dst[i] = uint16(base + u)
+		bitpos += width
+	}
+	return true
+}
+
+// --- dictionary codec (float columns) ---
+//
+// Frame layout: u8 entry count (2..255), the distinct bit images sorted
+// strictly ascending (8 bytes each), then the per-row indices in
+// codecPacked's width-byte + bit-packed framing. The writer only emits
+// dictionaries it measured to be smaller than both delta codecs; the
+// width is always exactly dictWidth(entries), which the reader enforces
+// so a corrupt frame fails validation instead of mis-decoding.
+
+// dictWidth is the packed index width for a dictionary of nd entries.
+func dictWidth(nd int) int { return max(1, bits.Len(uint(nd-1))) }
+
+// dictSizeF64 is the encoded frame size for n rows over nd entries.
+func dictSizeF64(n, nd int) int { return 1 + 8*nd + packedSize(n, dictWidth(nd)) }
+
+// dictBuildF64 collects the sorted distinct bit images of vals into
+// scratch, abandoning as soon as the count exceeds dictMaxEntries (for
+// high-cardinality columns that happens within the first rows, so the
+// probe costs almost nothing). The returned slice reuses scratch's
+// backing array; ok reports whether the column fit.
+func dictBuildF64(scratch []uint64, vals []float64) (dict []uint64, ok bool) {
+	d := scratch[:0]
+	for _, v := range vals {
+		img := math.Float64bits(v)
+		lo, hi := 0, len(d)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if d[mid] < img {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(d) && d[lo] == img {
+			continue
+		}
+		if len(d) >= dictMaxEntries {
+			return d, false
+		}
+		d = append(d, 0)
+		copy(d[lo+1:], d[lo:])
+		d[lo] = img
+	}
+	return d, true
+}
+
+// dictIndexesF64 maps every row to its position in the sorted dict.
+func dictIndexesF64(scratch []uint64, dict []uint64, vals []float64) []uint64 {
+	idx := scratch[:0]
+	for _, v := range vals {
+		img := math.Float64bits(v)
+		lo, hi := 0, len(dict)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if dict[mid] < img {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		idx = append(idx, uint64(lo))
+	}
+	return idx
+}
+
+// appendDict appends the dictionary frame: entry count, sorted images,
+// then the indices through the shared bit-packer.
+func appendDict(dst []byte, dict []uint64, idx []uint64) []byte {
+	dst = append(dst, byte(len(dict)))
+	for _, img := range dict {
+		dst = binary.LittleEndian.AppendUint64(dst, img)
+	}
+	return appendPacked(dst, idx, dictWidth(len(dict)))
+}
+
+// decodeF64Dict decodes a dictionary column. Validation pins the whole
+// frame shape — entry count, exact index width, strictly ascending
+// images, exact length — so corruption that survives the block CRC
+// window (it cannot, but the decoder does not rely on that) fails here
+// rather than decoding garbage. The index table is 256 entries because
+// width <= 8 keeps the masked index in-bounds unconditionally; unused
+// entries stay zero.
+func decodeF64Dict(dst []float64, src []byte, clen int) bool {
+	if clen < 1+2*8+1 {
+		return false // minimum: 2 entries + count + width byte
+	}
+	nd := int(src[0])
+	if nd < 2 {
+		return false
+	}
+	width := dictWidth(nd)
+	hs := 1 + 8*nd // frame bytes before the packed index stream
+	if clen != hs+packedSize(len(dst), width) || int(src[hs]) != width {
+		return false
+	}
+	var table [256]uint64
+	prev := binary.LittleEndian.Uint64(src[1:])
+	table[0] = prev
+	for i := 1; i < nd; i++ {
+		img := binary.LittleEndian.Uint64(src[1+8*i:])
+		if img <= prev {
+			return false // images are sorted and distinct by construction
+		}
+		table[i], prev = img, img
+	}
+	mask := uint64(1)<<uint(width) - 1
+	data := src[hs+1:]
+	bitpos := 0
+	for i := range dst {
+		u := binary.LittleEndian.Uint64(data[bitpos>>3:]) >> (bitpos & 7) & mask
+		dst[i] = math.Float64frombits(table[u])
 		bitpos += width
 	}
 	return true

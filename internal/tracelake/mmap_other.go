@@ -1,0 +1,16 @@
+//go:build !unix
+
+package tracelake
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the mmap fast path in Open: absent here, so Open
+// always takes the positioned-read fallback.
+const mmapSupported = false
+
+func mmapOpen(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, errors.ErrUnsupported
+}

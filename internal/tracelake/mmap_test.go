@@ -1,0 +1,111 @@
+package tracelake
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optsync/internal/probe"
+)
+
+// writeLakeFile persists an in-memory container to a temp file.
+func writeLakeFile(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.lake")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func scanAll(t *testing.T, l *Lake) []probe.Event {
+	t.Helper()
+	var evs []probe.Event
+	if _, err := l.Scan(Query{}, func(ev probe.Event) error {
+		evs = append(evs, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestOpenMmap: on platforms with mmap support, Open maps the file and
+// the scan reproduces the recorded stream exactly; with the env knob
+// set, Open takes the positioned-read fallback and produces the same
+// events. Both paths close cleanly.
+func TestOpenMmap(t *testing.T) {
+	evs := synthEvents(6, 20, 13)
+	path := writeLakeFile(t, buildLake(t, evs))
+
+	// CI runs the whole suite with the knob set to prove the fallback;
+	// clear it here so this half tests the mapped path regardless.
+	t.Setenv("SYNCSIM_LAKE_MMAP", "")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mmapSupported && !l.Mapped() {
+		t.Fatal("Open did not map on a supported platform")
+	}
+	got := scanAll(t, l)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close after mmap: %v", err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatal("mmap-backed scan diverges from the recorded stream")
+	}
+
+	t.Setenv("SYNCSIM_LAKE_MMAP", "off")
+	l, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Mapped() {
+		t.Fatal("SYNCSIM_LAKE_MMAP=off still mapped")
+	}
+	got = scanAll(t, l)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close after fallback: %v", err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatal("fallback scan diverges from the recorded stream")
+	}
+}
+
+// TestOpenMmapCorrupt: damage in an on-disk lake surfaces through the
+// mmap path with the same offset-naming errors the in-memory path
+// reports — truncation at open time, a flipped block byte at first
+// touch (mmap verifies checksums lazily, once per block).
+func TestOpenMmapCorrupt(t *testing.T) {
+	good := buildLake(t, synthEvents(6, 20, 17))
+
+	t.Run("truncated", func(t *testing.T) {
+		path := writeLakeFile(t, good[:len(good)*2/3])
+		l, err := Open(path)
+		if err == nil {
+			l.Close()
+			t.Fatal("truncated lake opened")
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("truncation error names no offset: %v", err)
+		}
+	})
+
+	t.Run("block_bitflip", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		data[len(Magic)+16] ^= 0x40
+		path := writeLakeFile(t, data)
+		l, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		_, err = l.Scan(Query{}, func(probe.Event) error { return nil })
+		if err == nil || !strings.Contains(err.Error(), "checksum") || !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("flipped byte in mapped lake gave %v", err)
+		}
+	})
+}

@@ -33,9 +33,17 @@ type Lake struct {
 	// Only consulted for mem-backed lakes (the bytes cannot change under
 	// us), so repeated scans checksum each block once, not once per scan.
 	verified []atomic.Bool
+	// mapped records that mem is a memory mapping owned by this lake.
+	mapped bool
 }
 
-// Open opens a lake file.
+// Open opens a lake file. Where the platform supports it (unix), the
+// container is memory-mapped: opening costs O(footer) no matter how
+// large the lake is, blocks decode zero-copy from the mapped pages, and
+// each block's checksum is verified on first touch instead of at open
+// time. The mapped file must not be truncated while the lake is open.
+// Set SYNCSIM_LAKE_MMAP=off to force the positioned-read fallback — the
+// default behavior on platforms without mmap, or when mapping fails.
 func Open(path string) (*Lake, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -46,6 +54,21 @@ func Open(path string) (*Lake, error) {
 		f.Close()
 		return nil, err
 	}
+	if mmapSupported && mmapEnabled() && st.Size() > 0 {
+		if data, unmap, merr := mmapOpen(f, st.Size()); merr == nil {
+			f.Close() // the mapping outlives the descriptor
+			l, err := OpenBytes(data)
+			if err != nil {
+				unmap()
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			l.mapped = true
+			l.closer = closerFunc(unmap)
+			return l, nil
+		}
+		// Mapping failed (exotic filesystem, resource limits): fall
+		// through to positioned reads rather than failing the open.
+	}
 	l, err := OpenReader(f, st.Size())
 	if err != nil {
 		f.Close()
@@ -54,6 +77,21 @@ func Open(path string) (*Lake, error) {
 	l.closer = f
 	return l, nil
 }
+
+// mmapEnabled reports whether the SYNCSIM_LAKE_MMAP environment knob
+// permits the mmap fast path (any value but "0"/"off"/"false"/"no").
+func mmapEnabled() bool {
+	switch os.Getenv("SYNCSIM_LAKE_MMAP") {
+	case "0", "off", "false", "no":
+		return false
+	}
+	return true
+}
+
+// closerFunc adapts the unmap function to io.Closer.
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
 
 // OpenReader opens a lake from any random-access byte source of the
 // given size. It validates the header magic, the trailer, and the
@@ -155,6 +193,11 @@ func (l *Lake) Close() error {
 	}
 	return nil
 }
+
+// Mapped reports whether the lake decodes from a memory mapping Open
+// established (false for OpenBytes images, OpenReader sources, and the
+// positioned-read fallback).
+func (l *Lake) Mapped() bool { return l.mapped }
 
 // Events returns the total event count recorded in the footer.
 func (l *Lake) Events() uint64 { return l.total }
@@ -375,6 +418,23 @@ func (b *blockReader) decodeCol(r *Rows, ci int, codec byte, data []byte, clen i
 		}
 		if !ok {
 			return fmt.Errorf("packed column frame is inconsistent with its declared %d bytes", clen)
+		}
+		return nil
+	case codecDict:
+		b.constN[ci] = 0
+		var ok bool
+		switch ci {
+		case 1:
+			ok = decodeF64Dict(r.T, data, clen)
+		case 6:
+			ok = decodeF64Dict(r.Value, data, clen)
+		case 7:
+			ok = decodeF64Dict(r.Aux, data, clen)
+		default:
+			return fmt.Errorf("dictionary codec on non-float column")
+		}
+		if !ok {
+			return fmt.Errorf("dictionary column frame is inconsistent with its declared %d bytes", clen)
 		}
 		return nil
 	default:

@@ -28,6 +28,13 @@ type Query struct {
 	// when FilterRound.
 	RoundMin, RoundMax int32
 	FilterRound        bool
+	// Workers bounds the scan's decode parallelism: 0 (the zero value)
+	// means one worker per core (runtime.GOMAXPROCS), 1 forces the
+	// serial scanner, higher values pin the pool width exactly. Output
+	// and error reporting are byte-identical at every worker count —
+	// parallel decode changes wall-clock time, nothing else. Negative
+	// values are an error.
+	Workers int
 }
 
 // WithTypes returns q restricted to the given event types.
@@ -57,6 +64,13 @@ func (q Query) WithRounds(lo, hi int32) Query {
 
 // WithRound returns q restricted to one exact round.
 func (q Query) WithRound(k int32) Query { return q.WithRounds(k, k) }
+
+// WithWorkers returns q with the given decode-worker count (see the
+// Workers field).
+func (q Query) WithWorkers(n int) Query {
+	q.Workers = n
+	return q
+}
 
 // typeMask folds Types into a bitmap.
 func (q *Query) typeMask() [probe.NumTypes]bool {
@@ -92,6 +106,24 @@ func (q *Query) admitsBlock(mask *[probe.NumTypes]bool, m *blockMeta) bool {
 	return true
 }
 
+// coversBlock reports whether the footer bounds prove that EVERY row of
+// an already-admitted block passes q's row predicates — the footer-only
+// fast path of Stats. The node predicate keeps rows touching q.Node as
+// sender or receiver, which the bounds only prove when both columns are
+// pinned to that one id; anything wider is conservatively "partial".
+func (q *Query) coversBlock(m *blockMeta) bool {
+	if q.FilterTime && (m.tMin < q.TMin || m.tMax > q.TMax) {
+		return false
+	}
+	if q.FilterNode && (m.nodeMin != q.Node || m.nodeMax != q.Node) {
+		return false
+	}
+	if q.FilterRound && (m.roundMin < q.RoundMin || m.roundMax > q.RoundMax) {
+		return false
+	}
+	return true
+}
+
 // admitsRow applies the row-level predicates to row i of r (the type was
 // settled at block level).
 func (q *Query) admitsRow(r *Rows, i int) bool {
@@ -112,8 +144,9 @@ func (q *Query) admitsRow(r *Rows, i int) bool {
 type ScanStats struct {
 	// BlocksTotal is the container's block count; BlocksPruned of them
 	// were skipped on footer bounds alone and BlocksScanned were read
-	// and decoded.
-	BlocksTotal, BlocksPruned, BlocksScanned int
+	// and decoded. BlocksCovered (Stats only) were answered from the
+	// footer without decoding: the bounds proved every row matches.
+	BlocksTotal, BlocksPruned, BlocksScanned, BlocksCovered int
 	// RowsDecoded counts rows in scanned blocks; EventsMatched of them
 	// passed the row-level predicates.
 	RowsDecoded, EventsMatched uint64
@@ -124,10 +157,38 @@ type ScanStats struct {
 // row-level predicates are included (pruning is block-granular here);
 // use Scan for exact row filtering in stream order. This is the raw
 // bandwidth interface — a full scan decodes every column of every event
-// and nothing else.
+// and nothing else. With q.Workers != 1 the admitted blocks decode on a
+// worker pool; fn still sees them one at a time, in file order, on the
+// calling goroutine.
 func (l *Lake) ScanRows(q Query, fn func(*Rows) error) (ScanStats, error) {
+	workers, err := resolveWorkers(q.Workers)
+	if err != nil {
+		return ScanStats{}, err
+	}
 	mask := q.typeMask()
 	st := ScanStats{BlocksTotal: len(l.blocks)}
+	if workers > 1 {
+		var metas []int
+		for i := range l.blocks {
+			if !q.admitsBlock(&mask, &l.blocks[i]) {
+				st.BlocksPruned++
+				continue
+			}
+			metas = append(metas, i)
+		}
+		if len(metas) == 0 {
+			return st, nil
+		}
+		depth := min(workers+2, len(metas))
+		pool := newDecodePool(l, workers, depth)
+		defer pool.close()
+		err := pool.consume(metas, depth, func(rows *Rows) error {
+			st.BlocksScanned++
+			st.RowsDecoded += uint64(rows.Len())
+			return fn(rows)
+		})
+		return st, err
+	}
 	var br blockReader
 	for i := range l.blocks {
 		m := &l.blocks[i]
@@ -150,12 +211,16 @@ func (l *Lake) ScanRows(q Query, fn func(*Rows) error) (ScanStats, error) {
 
 // cursor walks the admitted blocks of one event type in seq order,
 // positioned on the next row that passes the query's row predicates.
+// With a stream attached, block decode is prefetched on the scan's
+// worker pool; the per-row loop is the same either way.
 type cursor struct {
 	lake  *Lake
 	q     *Query
 	metas []int // admitted block indices of this type, seq-sorted
 	next  int   // next position in metas
 	br    blockReader
+	s     *blockStream // non-nil: parallel prefetch replaces br
+	held  *blockReader // the stream reader whose rows are in use
 	rows  *Rows
 	idx   int
 	st    *ScanStats
@@ -176,7 +241,17 @@ func (c *cursor) advance() (bool, error) {
 		if c.next >= len(c.metas) {
 			return false, nil
 		}
-		rows, err := c.br.read(c.lake, c.metas[c.next])
+		var rows *Rows
+		var err error
+		if c.s != nil {
+			if c.held != nil {
+				c.s.recycle(c.held)
+				c.held = nil
+			}
+			rows, c.held, err = c.s.take()
+		} else {
+			rows, err = c.br.read(c.lake, c.metas[c.next])
+		}
 		if err != nil {
 			return false, err
 		}
@@ -194,19 +269,50 @@ func (c *cursor) headSeq() uint64 { return c.rows.Seq[c.idx] }
 // order — the per-type blocks are merged back by the seq column, so a
 // match-all Scan reproduces the original probe stream exactly (which is
 // what Replay builds on). Block pruning happens first; rows of admitted
-// blocks are then filtered exactly.
+// blocks are then filtered exactly. With q.Workers != 1 each type's
+// blocks prefetch-decode on a worker pool while the merge loop runs on
+// the calling goroutine — the merged stream (and its error reporting)
+// is byte-identical to the serial scan at every worker count.
 func (l *Lake) Scan(q Query, fn func(probe.Event) error) (ScanStats, error) {
+	workers, err := resolveWorkers(q.Workers)
+	if err != nil {
+		return ScanStats{}, err
+	}
 	mask := q.typeMask()
 	st := ScanStats{BlocksTotal: len(l.blocks)}
 
 	perType := make([][]int, probe.NumTypes)
+	active := 0
 	for i := range l.blocks {
 		m := &l.blocks[i]
 		if !q.admitsBlock(&mask, m) {
 			st.BlocksPruned++
 			continue
 		}
+		if len(perType[m.typ]) == 0 {
+			active++
+		}
 		perType[m.typ] = append(perType[m.typ], i)
+	}
+
+	// The merge consumes one type at a time, so per-type prefetch past
+	// a couple of blocks buys nothing — except when a single type holds
+	// every admitted block, where the stream degenerates to ScanRows
+	// and the full pool width pays off.
+	var pool *decodePool
+	depth := 2
+	if workers > 1 && active > 0 {
+		if active == 1 {
+			depth = workers + 2
+		}
+		queue := 0
+		for _, metas := range perType {
+			if len(metas) > 0 {
+				queue += min(depth, len(metas))
+			}
+		}
+		pool = newDecodePool(l, workers, queue)
+		defer pool.close()
 	}
 
 	cursors := make([]*cursor, 0, probe.NumTypes)
@@ -215,6 +321,9 @@ func (l *Lake) Scan(q Query, fn func(probe.Event) error) (ScanStats, error) {
 			continue
 		}
 		c := &cursor{lake: l, q: &q, metas: metas, st: &st, idx: -1}
+		if pool != nil {
+			c.s = pool.stream(metas, depth)
+		}
 		ok, err := c.advance()
 		if err != nil {
 			return st, err
@@ -246,6 +355,93 @@ func (l *Lake) Scan(q Query, fn func(probe.Event) error) (ScanStats, error) {
 		if !ok {
 			cursors[mi] = cursors[len(cursors)-1]
 			cursors = cursors[:len(cursors)-1]
+		}
+	}
+	return st, nil
+}
+
+// ScanUnordered streams every event q admits through fn in FILE order
+// instead of global stream order: an admitted block's matching rows are
+// emitted consecutively, blocks in container order. That drops the
+// k-way seq merge — for a single-type query the two orders coincide (a
+// type's blocks are seq-sorted), for multi-type queries events of
+// different types interleave differently than they were recorded. The
+// order is still fully deterministic and identical at every worker
+// count; use Scan when downstream consumers are order-sensitive
+// (collectors, replay).
+func (l *Lake) ScanUnordered(q Query, fn func(probe.Event) error) (ScanStats, error) {
+	matched := uint64(0)
+	st, err := l.ScanRows(q, func(r *Rows) error {
+		for i := 0; i < r.Len(); i++ {
+			if !q.admitsRow(r, i) {
+				continue
+			}
+			matched++
+			if err := fn(r.Event(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	st.EventsMatched = matched
+	return st, err
+}
+
+// Stats reports what q would match without streaming any events. Blocks
+// are classified from the footer index alone: pruned (bounds cannot
+// intersect q), covered (bounds prove every row matches — the count
+// comes straight from the footer entry), or partial. Only partial
+// blocks are decoded and row-counted, so a whole-lake count — or any
+// query whose predicates align with block bounds — answers in O(footer)
+// with zero blocks decoded.
+func (l *Lake) Stats(q Query) (ScanStats, error) {
+	workers, err := resolveWorkers(q.Workers)
+	if err != nil {
+		return ScanStats{}, err
+	}
+	mask := q.typeMask()
+	st := ScanStats{BlocksTotal: len(l.blocks)}
+	var partial []int
+	for i := range l.blocks {
+		m := &l.blocks[i]
+		if !q.admitsBlock(&mask, m) {
+			st.BlocksPruned++
+			continue
+		}
+		if q.coversBlock(m) {
+			st.BlocksCovered++
+			st.EventsMatched += uint64(m.count)
+			continue
+		}
+		partial = append(partial, i)
+	}
+	if len(partial) == 0 {
+		return st, nil
+	}
+	count := func(rows *Rows) error {
+		st.BlocksScanned++
+		st.RowsDecoded += uint64(rows.Len())
+		for i := 0; i < rows.Len(); i++ {
+			if q.admitsRow(rows, i) {
+				st.EventsMatched++
+			}
+		}
+		return nil
+	}
+	if workers > 1 {
+		depth := min(workers+2, len(partial))
+		pool := newDecodePool(l, workers, depth)
+		defer pool.close()
+		return st, pool.consume(partial, depth, count)
+	}
+	var br blockReader
+	for _, mi := range partial {
+		rows, err := br.read(l, mi)
+		if err != nil {
+			return st, err
+		}
+		if err := count(rows); err != nil {
+			return st, err
 		}
 	}
 	return st, nil

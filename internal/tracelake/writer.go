@@ -61,6 +61,8 @@ type Writer struct {
 	scratch  []byte
 	deltas   []uint64
 	resid    []uint64
+	dict     []uint64
+	didx     []uint64
 }
 
 // NewWriter returns a lake writer emitting to w. Writes are buffered and
@@ -222,6 +224,27 @@ func (w *Writer) appendF64Col(dst []byte, vals []float64) []byte {
 	w.deltas = deltas
 	base, resid := residualsF64(w.resid, vals)
 	w.resid = resid
+	// Float columns with few distinct values (aux payloads above all)
+	// beat both delta codecs with a dictionary: measure the density and
+	// emit codecDict only when the measured frame is strictly smaller
+	// than both alternatives. High-cardinality columns abandon the
+	// probe within their first dictMaxEntries+1 distinct rows.
+	dict, ok := dictBuildF64(w.dict, vals)
+	w.dict = dict
+	if ok && len(dict) >= 2 {
+		dsize := dictSizeF64(len(vals), len(dict))
+		psize := 8 + packedSize(len(resid), packedWidth(resid))
+		vsize := 8
+		for _, d := range deltas {
+			vsize += pvLen(d)
+		}
+		if dsize < psize && dsize < vsize {
+			idx := dictIndexesF64(w.didx, dict, vals)
+			w.didx = idx
+			dst = appendColHeader(dst, codecDict, dsize)
+			return appendDict(dst, dict, idx)
+		}
+	}
 	return appendNonConstCol(dst, first, deltas, base, resid)
 }
 

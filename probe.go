@@ -126,14 +126,19 @@ func SynchronizedProbe(p Probe) Probe { return probe.Synchronized(p) }
 // blocks on type / time / node / round bounds instead of decoding the
 // stream front to back.
 type (
-	// Lake is an open container. Scan/ScanRows/Replay are its methods;
-	// Close releases the underlying file.
+	// Lake is an open container. Scan (merged event order), ScanUnordered
+	// (block order, cheapest), ScanRows, Stats (footer-only counting),
+	// and Replay are its methods; Close releases the underlying file or
+	// mapping.
 	Lake = tracelake.Lake
 	// LakeQuery selects events. The zero value selects everything; chain
-	// WithTypes / WithNode / WithTimeRange / WithRounds to restrict it.
+	// WithTypes / WithNode / WithTimeRange / WithRounds to restrict it
+	// and WithWorkers to size the decode pool (0 = one per core; output
+	// is identical at every worker count).
 	LakeQuery = tracelake.Query
-	// LakeScanStats reports what a scan touched — pruned vs scanned
-	// blocks, decoded vs matched rows.
+	// LakeScanStats reports what a scan touched — pruned, covered
+	// (answered from the footer without decoding, Stats only), and
+	// scanned blocks, decoded vs matched rows.
 	LakeScanStats = tracelake.ScanStats
 	// LakeRows is one decoded column block in struct-of-arrays form, as
 	// seen by ScanRows callbacks.
@@ -151,7 +156,10 @@ func NewLakeWriter(w io.Writer) *LakeWriter { return tracelake.NewWriter(w) }
 
 // OpenLake opens a lake file for querying. The footer index is read and
 // verified up front; block payloads are read (and checksummed) lazily,
-// only when a query admits them.
+// only when a query admits them. On unix the container is memory-mapped
+// — opening costs O(footer) regardless of lake size and blocks decode
+// zero-copy from the mapped pages; SYNCSIM_LAKE_MMAP=off forces the
+// positioned-read fallback (the default where mmap is unavailable).
 func OpenLake(path string) (*Lake, error) { return tracelake.Open(path) }
 
 // OpenLakeBytes opens an in-memory lake image without copying it. The

@@ -27,7 +27,13 @@
 #     scan decodes below LAKE_SCAN_FLOOR events/s (default 100e6,
 #     single-core), or the ~1%-selective pruned scan is not at least
 #     LAKE_PRUNE_RATIO (default 5.0) times faster than the full scan —
-#     the trace lake's two PR 8 acceptance floors.
+#     the trace lake's two PR 8 acceptance floors, or
+#   - the run includes the BenchmarkLakeScanParallel matrix on a >=8-CPU
+#     point and workers=8 is not at least LAKE_PARALLEL_FLOOR (default
+#     3.0) times faster than workers=1 at the same CPU count. Like the
+#     shard gate, this arms only when the -cpu suffix proves the run had
+#     >=8 CPUs — a single-core runner exercises the pool for correctness
+#     but cannot witness parallel speedup.
 #
 # When benchstat (golang.org/x/perf) is on PATH, a baseline bench file is
 # synthesized from the JSON and a full benchstat delta report is printed;
@@ -43,6 +49,7 @@ TOLERANCE="${BENCH_TOLERANCE:-1.10}"
 SPEEDUP_FLOOR="${SHARD_SPEEDUP_FLOOR:-3.0}"
 LAKE_FLOOR="${LAKE_SCAN_FLOOR:-100000000}"
 LAKE_RATIO="${LAKE_PRUNE_RATIO:-5.0}"
+LAKEPAR_FLOOR="${LAKE_PARALLEL_FLOOR:-3.0}"
 
 if [[ -z "$BENCH_OUT" ]]; then
     BENCH_OUT="$(mktemp)"
@@ -66,12 +73,13 @@ PY
     fi
 fi
 
-python3 - "$BENCH_OUT" "$BASELINE" "$TOLERANCE" "$SPEEDUP_FLOOR" "$LAKE_FLOOR" "$LAKE_RATIO" <<'PY'
+python3 - "$BENCH_OUT" "$BASELINE" "$TOLERANCE" "$SPEEDUP_FLOOR" "$LAKE_FLOOR" "$LAKE_RATIO" "$LAKEPAR_FLOOR" <<'PY'
 import json, re, sys
 
 bench_out, baseline_path = sys.argv[1], sys.argv[2]
 tolerance, speedup_floor = float(sys.argv[3]), float(sys.argv[4])
 lake_floor, lake_ratio = float(sys.argv[5]), float(sys.argv[6])
+lakepar_floor = float(sys.argv[7])
 line_re = re.compile(
     r"^BenchmarkPulseRound(Sharded)?/"
     r"(n=\d+(?:/probed)?(?:/shards=\d+)?)"
@@ -82,10 +90,22 @@ lake_re = re.compile(
     r"^BenchmarkLakeScan/(full|pruned|merge)"
     r"(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$"
 )
+lakepar_re = re.compile(
+    r"^BenchmarkLakeScanParallel/workers=(\d+)"
+    r"(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$"
+)
 metric_re = re.compile(r"([\d.e+-]+) (events/s|scanned-frac)")
-serial, sharded, lake = {}, {}, {}
+serial, sharded, lake, lakepar = {}, {}, {}, {}
 for line in open(bench_out):
     line = line.strip()
+    pm = lakepar_re.match(line)
+    if pm:
+        rec = {"ns_per_op": float(pm.group(3))}
+        for val, unit in metric_re.findall(pm.group(4)):
+            rec[unit] = float(val)
+        cpu = int(pm.group(2)) if pm.group(2) else None
+        lakepar[(int(pm.group(1)), cpu)] = rec
+        continue
     m = line_re.match(line)
     if m:
         rec = {"ns_per_op": float(m.group(4)), "allocs_per_op": int(m.group(6))}
@@ -103,8 +123,8 @@ for line in open(bench_out):
         for val, unit in metric_re.findall(lm.group(3)):
             rec[unit] = float(val)
         lake[lm.group(1)] = rec
-if not serial and not sharded and not lake:
-    sys.exit("bench_compare: no BenchmarkPulseRound[Sharded]/BenchmarkLakeScan lines in " + bench_out)
+if not serial and not sharded and not lake and not lakepar:
+    sys.exit("bench_compare: no BenchmarkPulseRound[Sharded]/BenchmarkLakeScan[Parallel] lines in " + bench_out)
 
 failures = []
 leaks = {n: r["allocs_per_op"] for n, r in serial.items() if r["allocs_per_op"] > 0}
@@ -196,6 +216,37 @@ if lake:
         else:
             print(f"bench_compare: lake pruned scan {speedup:.1f}x faster than full "
                   f"(floor {lake_ratio:.1f}x)")
+
+if lakepar:
+    print(f"{'parallel tier':>24} {'ns/op':>14} {'events/s':>14} {'vs workers=1':>13}")
+    for (w, c), r in sorted(lakepar.items(), key=lambda kv: (kv[0][1] or 0, kv[0][0])):
+        base = lakepar.get((1, c))
+        rel = f"{base['ns_per_op'] / r['ns_per_op']:.2f}x" if base and w != 1 else "-"
+        evs = f"{r['events/s']:.3g}" if "events/s" in r else "-"
+        cpu = f"/cpu={c}" if c else ""
+        print(f"{f'workers={w}{cpu}':>24} {r['ns_per_op']:>14.0f} {evs:>14} {rel:>13}")
+
+    # Core-aware parallel-scan speedup gate, same arming rule as the
+    # shard gate: only a >=8-CPU measurement can witness the speedup.
+    gated = False
+    for (w, c), r in lakepar.items():
+        if w == 8 and c is not None and c >= 8:
+            base = lakepar.get((1, c))
+            if base is None:
+                failures.append(f"lake workers=1/cpu={c}: missing, cannot gate parallel speedup")
+                continue
+            gated = True
+            speedup = base["ns_per_op"] / r["ns_per_op"]
+            if speedup < lakepar_floor:
+                failures.append(
+                    f"lake workers=8 speedup {speedup:.2f}x at cpu={c} is below the "
+                    f"{lakepar_floor:.1f}x floor (override with LAKE_PARALLEL_FLOOR)"
+                )
+            else:
+                print(f"bench_compare: lake workers=8 speedup {speedup:.2f}x at cpu={c} "
+                      f"(floor {lakepar_floor:.1f}x)")
+    if not gated:
+        print("bench_compare: lake parallel gate skipped (no workers=8 point ran with >=8 CPUs)")
 
 if failures:
     for f in failures:

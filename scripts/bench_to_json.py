@@ -9,6 +9,7 @@ Parses three benchmark families:
   BenchmarkPulseRoundSharded/n=2048/shards=8   sharded engine (PR 7 record)
   BenchmarkLakeScan/{full,pruned,merge},       trace-lake scan/ingest
   BenchmarkLakeWrite                             (PR 8 record)
+  BenchmarkLakeScanParallel/workers=K          parallel lake scan (PR 10)
 
 including the `/probed` variants (no-op probe attached to every message
 event type) and `-cpu` suffixes (`-8` becomes a `/cpu=8` key suffix, so
@@ -22,9 +23,10 @@ exempt from the zero-alloc gate (block decoding amortizes buffer growth
 per scan, not per event); their floor gates live in bench_compare.sh.
 
 Required tiers (a run that silently dropped a regime must not pass):
-  serial lines present  -> n=512, n=512/probed, n=2048, n=2048/probed
-  sharded lines present -> n=2048/shards=1, n=2048/shards=8
-  lake lines present    -> lake/full, lake/pruned
+  serial lines present   -> n=512, n=512/probed, n=2048, n=2048/probed
+  sharded lines present  -> n=2048/shards=1, n=2048/shards=8
+  lake lines present     -> lake/full, lake/pruned
+  parallel lines present -> lake/parallel/workers=1, lake/parallel/workers=8
 
 ns/op regression gating, the shards=8 speedup gate, and the lake
 events/s + pruning-ratio floors live in bench_compare.sh.
@@ -44,11 +46,16 @@ LAKE_RE = re.compile(
     r"^BenchmarkLake(?:(Scan)/(full|pruned|merge)|(Write))"
     r"(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$"
 )
+LAKEPAR_RE = re.compile(
+    r"^BenchmarkLakeScanParallel/(workers=\d+)"
+    r"(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$"
+)
 METRIC_RE = re.compile(r"([\d.e+-]+) (events/s|scanned-frac)")
 
 SERIAL_REQUIRED = {"n=512", "n=512/probed", "n=2048", "n=2048/probed"}
 SHARDED_REQUIRED = {"n=2048/shards=1", "n=2048/shards=8"}
 LAKE_REQUIRED = {"lake/full", "lake/pruned"}
+LAKEPAR_REQUIRED = {"lake/parallel/workers=1", "lake/parallel/workers=8"}
 
 
 def parse(path):
@@ -69,6 +76,16 @@ def parse(path):
                     "bytes_per_op": int(m.group(5)),
                     "allocs_per_op": int(m.group(6)),
                 }
+                continue
+            pm = LAKEPAR_RE.match(line)
+            if pm:
+                key = f"lake/parallel/{pm.group(1)}"
+                if pm.group(2):
+                    key += f"/cpu={pm.group(2)}"
+                rec = {"ns_per_op": float(pm.group(3))}
+                for val, unit in METRIC_RE.findall(pm.group(4)):
+                    rec["events_per_s" if unit == "events/s" else "scanned_frac"] = float(val)
+                results[key] = rec
                 continue
             lm = LAKE_RE.match(line)
             if lm:
@@ -104,8 +121,10 @@ def main() -> int:
         required |= SERIAL_REQUIRED
     if any("shards=" in t for t in pulse):
         required |= SHARDED_REQUIRED
-    if any(t.startswith("lake/") for t in tiers):
+    if any(t.startswith("lake/") and not t.startswith("lake/parallel/") for t in tiers):
         required |= LAKE_REQUIRED
+    if any(t.startswith("lake/parallel/") for t in tiers):
+        required |= LAKEPAR_REQUIRED
     missing = required - tiers
     if missing:
         print(f"bench_to_json: required tiers missing from the run: {sorted(missing)}",
